@@ -1,0 +1,274 @@
+package rvma_test
+
+// Benchmarks regenerating the paper's evaluation, one per table/figure,
+// plus the ablation benches DESIGN.md calls out. Each benchmark iteration
+// runs a scaled-down but structurally identical experiment; use
+// cmd/rvmabench for full-scale tables.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"rvma/internal/collective"
+	"rvma/internal/fabric"
+	"rvma/internal/harness"
+	"rvma/internal/hostif"
+	"rvma/internal/microbench"
+	"rvma/internal/motif"
+	"rvma/internal/mpirma"
+	"rvma/internal/nic"
+	"rvma/internal/pcie"
+	"rvma/internal/rstream"
+	irvma "rvma/internal/rvma"
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+)
+
+// benchOptions are harness options scaled for per-iteration benchmarking.
+func benchOptions() harness.Options {
+	o := harness.DefaultOptions()
+	o.Sizes = []int{2, 1024, 65536}
+	o.Iters = 50
+	o.Runs = 2
+	o.Nodes = 64
+	o.LinkGbps = []float64{100, 2000}
+	return o
+}
+
+// BenchmarkFig4LatencyVerbs regenerates Figure 4 (RVMA vs RDMA latency,
+// Verbs profile; paper: up to 65.8% reduction).
+func BenchmarkFig4LatencyVerbs(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		harness.Fig4(o)
+	}
+}
+
+// BenchmarkFig5LatencyUCX regenerates Figure 5 (UCX profile; paper: 45.8%
+// reduction).
+func BenchmarkFig5LatencyUCX(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		harness.Fig5(o)
+	}
+}
+
+// BenchmarkFig6Amortization regenerates Figure 6 (exchanges needed to
+// amortize RDMA buffer setup to within 3%).
+func BenchmarkFig6Amortization(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		harness.Fig6(o)
+	}
+}
+
+// benchMotifPair runs one motif point under both transports.
+func benchMotifPair(b *testing.B, m harness.MotifName, kind topology.Kind, routing fabric.RoutingMode, gbps float64) {
+	b.Helper()
+	nc := harness.NetConfig{Name: "bench", Kind: kind, Routing: routing}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunMotifPoint(m, motif.KindRVMA, nc, 64, gbps, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.RunMotifPoint(m, motif.KindRDMA, nc, 64, gbps, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Sweep3D regenerates one Figure 7 point: Sweep3D on the
+// adaptively routed dragonfly (the paper's 4.4x best-case configuration).
+func BenchmarkFig7Sweep3D(b *testing.B) {
+	benchMotifPair(b, harness.MotifSweep3D, topology.KindDragonfly, fabric.RouteAdaptive, 2000)
+}
+
+// BenchmarkFig7Sweep3DContemporary benchmarks the 100 Gbps point.
+func BenchmarkFig7Sweep3DContemporary(b *testing.B) {
+	benchMotifPair(b, harness.MotifSweep3D, topology.KindDragonfly, fabric.RouteAdaptive, 100)
+}
+
+// BenchmarkFig8Halo3D regenerates one Figure 8 point: Halo3D on HyperX
+// with Dimension Order Routing (the paper's best case).
+func BenchmarkFig8Halo3D(b *testing.B) {
+	benchMotifPair(b, harness.MotifHalo3D, topology.KindHyperX, fabric.RouteStatic, 400)
+}
+
+// BenchmarkIncast benchmarks the bonus many-to-one motif.
+func BenchmarkIncast(b *testing.B) {
+	benchMotifPair(b, harness.MotifIncast, topology.KindDragonfly, fabric.RouteAdaptive, 400)
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationNotifyMWait measures the RVMA ping-pong with
+// Monitor/MWait completion observation.
+func BenchmarkAblationNotifyMWait(b *testing.B) {
+	benchNotify(b, irvma.NotifyMWait)
+}
+
+// BenchmarkAblationNotifyPoll measures the same with polling observation.
+func BenchmarkAblationNotifyPoll(b *testing.B) {
+	benchNotify(b, irvma.NotifyPoll)
+}
+
+func benchNotify(b *testing.B, mode irvma.NotifyMode) {
+	b.Helper()
+	cfg := microbench.LatencyConfig{
+		Profile: hostif.Verbs(), Size: 64, Iters: 100, Runs: 1, Seed: 1,
+		Notification: mode,
+	}
+	for i := 0; i < b.N; i++ {
+		res := microbench.MeasureLatency(cfg, microbench.TransportRVMA)
+		b.ReportMetric(res.Summary.Mean, "sim-ns/op")
+	}
+}
+
+// BenchmarkAblationRDMABuffers sweeps the RDMA negotiated-buffer depth on
+// Sweep3D, quantifying how much credit pipelining recovers.
+func BenchmarkAblationRDMABuffers(b *testing.B) {
+	for _, bufs := range []int{1, 2, 4} {
+		bufs := bufs
+		b.Run(benchName("bufs", bufs), func(b *testing.B) {
+			topo, err := topology.ForNodeCount(topology.KindDragonfly, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				cfg := motif.DefaultClusterConfig(topo, motif.KindRDMA)
+				cfg.RDMABuffers = bufs
+				cfg.ApplyLinkSpeed(400)
+				c, err := motif.NewCluster(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tm, err := motif.RunSweep3D(c, motif.DefaultSweep3DConfig(topo.NumNodes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(tm.Microseconds(), "sim-us/run")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveVsStaticFabric measures raw fabric delivery
+// under the two routing disciplines (design decision 2 in DESIGN.md).
+func BenchmarkAblationAdaptiveVsStaticFabric(b *testing.B) {
+	for _, mode := range []fabric.RoutingMode{fabric.RouteStatic, fabric.RouteAdaptive} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			nc := harness.NetConfig{Name: "bench", Kind: topology.KindFatTree, Routing: mode}
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunMotifPoint(harness.MotifSweep3D, motif.KindRVMA, nc, 64, 100, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "-" + string(rune('0'+n))
+}
+
+// BenchmarkCollectives measures the extension collectives under both
+// transports (see internal/collective).
+func BenchmarkCollectives(b *testing.B) {
+	for _, op := range []collective.Op{collective.OpBarrier, collective.OpAllreduce} {
+		for _, kind := range []motif.TransportKind{motif.KindRVMA, motif.KindRDMA} {
+			op, kind := op, kind
+			b.Run(string(op)+"/"+kind.String(), func(b *testing.B) {
+				topo, err := topology.ForNodeCount(topology.KindDragonfly, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					cfg := motif.DefaultClusterConfig(topo, kind)
+					c, err := motif.NewCluster(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tm, err := collective.RunCollective(c, collective.DefaultConfig(op))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(tm.Microseconds(), "sim-us/run")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMPIRMAFence measures the mpirma fence (entry + data-wait + exit
+// rounds) at a few communicator sizes.
+func BenchmarkMPIRMAFence(b *testing.B) {
+	for _, ranks := range []int{4, 16} {
+		ranks := ranks
+		b.Run(fmt.Sprintf("ranks-%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(1)
+				net, err := fabric.New(eng, topology.NewSingleSwitch(ranks), fabric.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				prof := nic.DefaultProfile()
+				eps := make([]*irvma.Endpoint, ranks)
+				for j := 0; j < ranks; j++ {
+					eps[j] = irvma.NewEndpoint(nic.New(eng, net, j, pcie.Gen4x16(), prof), irvma.DefaultConfig())
+				}
+				comm, err := mpirma.NewComm(eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				win, err := mpirma.CreateWin(comm, mpirma.WinConfig{Size: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < ranks; r++ {
+					r := r
+					eng.Spawn("rank", func(p *sim.Process) {
+						for e := 0; e < 5; e++ {
+							if err := win.Fence(p, r); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					})
+				}
+				eng.Run()
+				b.ReportMetric(eng.Now().Microseconds()/5, "sim-us/fence")
+			}
+		})
+	}
+}
+
+// BenchmarkStreamThroughput measures rstream end-to-end transfer.
+func BenchmarkStreamThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(1)
+		fcfg := fabric.DefaultConfig()
+		fcfg.Routing = fabric.RouteStatic
+		net, err := fabric.New(eng, topology.NewSingleSwitch(2), fcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof := nic.DefaultProfile()
+		a := irvma.NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), prof), irvma.DefaultConfig())
+		c := irvma.NewEndpoint(nic.New(eng, net, 1, pcie.Gen4x16(), prof), irvma.DefaultConfig())
+		ca, cb, err := rstream.Pair(a, c, 1, rstream.Config{SegmentBytes: 4096, Depth: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const total = 256 * 1024
+		payload := make([]byte, total)
+		eng.Spawn("w", func(p *sim.Process) { ca.Write(payload) })
+		eng.Spawn("r", func(p *sim.Process) {
+			f, _ := cb.Read(total)
+			p.Wait(f)
+		})
+		eng.Run()
+		b.ReportMetric(float64(total)*8/eng.Now().Nanoseconds(), "sim-gbps")
+	}
+}

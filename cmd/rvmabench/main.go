@@ -1,0 +1,114 @@
+// Command rvmabench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	rvmabench [flags] [experiment...]
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine
+// summary ablations all
+// (default: all).
+//
+// Examples:
+//
+//	rvmabench fig4
+//	rvmabench -nodes 1024 fig7
+//	rvmabench -paper all        # paper-scale settings (slow)
+//	rvmabench -csv fig6 > fig6.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvma/internal/harness"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 0, "motif system size in nodes (0 = default 128; paper used 8192)")
+		iters = flag.Int("iters", 0, "ping-pong iterations per run (0 = default 200)")
+		runs  = flag.Int("runs", 0, "independent runs per latency point (0 = default 10)")
+		seed  = flag.Uint64("seed", 0, "simulation seed (0 = default 42)")
+		paper = flag.Bool("paper", false, "use paper-scale settings (8192 nodes, 1000 iterations; slow)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	if *paper {
+		opt = harness.PaperOptions()
+	}
+	if *nodes > 0 {
+		opt.Nodes = *nodes
+	}
+	if *iters > 0 {
+		opt.Iters = *iters
+	}
+	if *runs > 0 {
+		opt.Runs = *runs
+	}
+	if *seed > 0 {
+		opt.Seed = *seed
+	}
+
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"all"}
+	}
+
+	var run func(name string) bool
+	run = func(name string) bool {
+		var tables []*harness.Table
+		switch name {
+		case "fig4":
+			tables = []*harness.Table{harness.Fig4(opt)}
+		case "fig5":
+			tables = []*harness.Table{harness.Fig5(opt)}
+		case "fig6":
+			tables = []*harness.Table{harness.Fig6(opt)}
+		case "fig7":
+			tables = []*harness.Table{harness.Fig7(opt)}
+		case "fig8":
+			tables = []*harness.Table{harness.Fig8(opt)}
+		case "incast":
+			tables = []*harness.Table{harness.IncastTable(opt)}
+		case "summary":
+			tables = []*harness.Table{harness.MicroSummary(opt), harness.MotifSummary(opt)}
+		case "collectives":
+			tables = []*harness.Table{harness.CollectivesTable(opt)}
+		case "matchengine":
+			tables = []*harness.Table{harness.MatchEngineTable(opt)}
+		case "ablations":
+			tables = []*harness.Table{
+				harness.NotifyAblation(opt),
+				harness.PCIeAblation(opt),
+				harness.RDMABuffersAblation(opt),
+				harness.LastByteCheatAblation(opt),
+			}
+		case "all":
+			return run("fig4") && run("fig5") && run("fig6") &&
+				run("fig7") && run("fig8") && run("incast") &&
+				run("collectives") && run("matchengine") &&
+				run("summary") && run("ablations")
+		default:
+			fmt.Fprintf(os.Stderr, "rvmabench: unknown experiment %q\n", name)
+			fmt.Fprintln(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine summary ablations all")
+			return false
+		}
+		for _, t := range tables {
+			if *csv {
+				t.CSV(os.Stdout)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+		return true
+	}
+
+	for _, name := range experiments {
+		if !run(name) {
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command rvmasim runs a single motif simulation with explicit parameters,
+// for exploring points outside the paper's sweeps.
+//
+// Usage:
+//
+//	rvmasim -motif sweep3d -transport rvma -topology dragonfly \
+//	        -routing adaptive -nodes 128 -gbps 400
+//
+// It prints the simulated makespan and fabric statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvma/internal/fabric"
+	"rvma/internal/harness"
+	"rvma/internal/motif"
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+	"rvma/internal/trace"
+)
+
+func main() {
+	var (
+		motifName = flag.String("motif", "sweep3d", "motif: sweep3d, halo3d, incast")
+		transport = flag.String("transport", "rvma", "transport: rvma, rdma")
+		topoName  = flag.String("topology", "dragonfly", "topology: single, torus3d, fattree, dragonfly, hyperx")
+		routing   = flag.String("routing", "adaptive", "routing: static, adaptive, valiant")
+		nodes     = flag.Int("nodes", 128, "minimum node count")
+		gbps      = flag.Float64("gbps", 100, "link speed in Gbps")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		rdmaBufs  = flag.Int("rdma-buffers", 1, "negotiated buffers per pair (RDMA transport)")
+		rvmaDepth = flag.Int("rvma-depth", 4, "posted buffer depth per mailbox (RVMA transport)")
+		doTrace   = flag.Bool("trace", false, "collect and print fabric trace counters/series")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rvmasim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	var kind motif.TransportKind
+	switch *transport {
+	case "rvma":
+		kind = motif.KindRVMA
+	case "rdma":
+		kind = motif.KindRDMA
+	default:
+		fail("unknown transport %q", *transport)
+	}
+
+	var route fabric.RoutingMode
+	switch *routing {
+	case "static":
+		route = fabric.RouteStatic
+	case "adaptive":
+		route = fabric.RouteAdaptive
+	case "valiant":
+		route = fabric.RouteValiant
+	default:
+		fail("unknown routing %q", *routing)
+	}
+
+	topo, err := topology.ForNodeCount(topology.Kind(*topoName), *nodes)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	cfg := motif.DefaultClusterConfig(topo, kind)
+	cfg.Routing = route
+	cfg.Seed = *seed
+	cfg.RDMABuffers = *rdmaBufs
+	cfg.RVMADepth = *rvmaDepth
+	cfg.ApplyLinkSpeed(*gbps)
+	cluster, err := motif.NewCluster(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	var tr *trace.Tracer
+	if *doTrace {
+		tr = trace.New(cluster.Eng, 32) // counters/series only; event ring small
+		cluster.Net.SetTracer(tr)
+	}
+
+	var makespan sim.Time
+	switch harness.MotifName(*motifName) {
+	case harness.MotifSweep3D:
+		makespan, err = motif.RunSweep3D(cluster, motif.DefaultSweep3DConfig(topo.NumNodes()))
+	case harness.MotifHalo3D:
+		makespan, err = motif.RunHalo3D(cluster, motif.DefaultHalo3DConfig(topo.NumNodes()))
+	case harness.MotifIncast:
+		makespan, err = motif.RunIncast(cluster, motif.DefaultIncastConfig())
+	default:
+		fail("unknown motif %q", *motifName)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("motif:      %s\n", *motifName)
+	fmt.Printf("transport:  %s\n", kind)
+	fmt.Printf("network:    %s, %s routing, %g Gbps links\n", topo.Name(), route, *gbps)
+	fmt.Printf("makespan:   %v\n", makespan)
+	fmt.Printf("events:     %d executed\n", cluster.Eng.EventsExecuted())
+	st := cluster.Net.Stats
+	fmt.Printf("fabric:     %d packets delivered, %.0f MB, mean latency %v, mean hops %.2f\n",
+		st.PacketsDelivered, float64(st.BytesDelivered)/1e6,
+		cluster.Net.MeanPacketLatency(), cluster.Net.MeanHops())
+	if st.ValiantDetours > 0 {
+		fmt.Printf("routing:    %d Valiant detours\n", st.ValiantDetours)
+	}
+	if tr != nil {
+		fmt.Println("\ntrace:")
+		tr.Dump(os.Stdout)
+	}
+}

@@ -1,0 +1,3 @@
+module rvma
+
+go 1.22

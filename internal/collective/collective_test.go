@@ -1,0 +1,127 @@
+package collective
+
+import (
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/motif"
+	"rvma/internal/sim"
+	"rvma/internal/stats"
+	"rvma/internal/topology"
+)
+
+// run executes a collective on a fresh cluster and returns the makespan.
+func run(t *testing.T, kind motif.TransportKind, op Op, ranks int) sim.Time {
+	t.Helper()
+	topo := topology.NewSingleSwitch(ranks)
+	cfg := motif.DefaultClusterConfig(topo, kind)
+	cfg.Routing = fabric.RouteAdaptive
+	c, err := motif.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := RunCollective(c, DefaultConfig(op))
+	if err != nil {
+		t.Fatalf("%s/%v: %v", op, kind, err)
+	}
+	return tm
+}
+
+func TestAllCollectivesCompleteBothTransports(t *testing.T) {
+	for _, op := range []Op{OpBarrier, OpAllreduce, OpBroadcast, OpAllgather} {
+		for _, kind := range []motif.TransportKind{motif.KindRVMA, motif.KindRDMA} {
+			for _, ranks := range []int{2, 7, 8, 16} { // includes non-power-of-two
+				if tm := run(t, kind, op, ranks); tm <= 0 {
+					t.Fatalf("%s/%v/%d ranks: zero makespan", op, kind, ranks)
+				}
+			}
+		}
+	}
+}
+
+func TestRVMAWinsCollectives(t *testing.T) {
+	for _, op := range []Op{OpBarrier, OpAllreduce, OpBroadcast} {
+		rv := run(t, motif.KindRVMA, op, 16)
+		rd := run(t, motif.KindRDMA, op, 16)
+		sp := stats.Speedup(rd.Seconds(), rv.Seconds())
+		if sp <= 1.0 {
+			t.Fatalf("%s: RVMA speedup %.2f, want > 1 (latency-bound chains of small messages)", op, sp)
+		}
+	}
+}
+
+func TestBarrierScalesLogarithmically(t *testing.T) {
+	// Dissemination barrier rounds grow as ceil(log2 n): time at 16 ranks
+	// must be well under 4x the time at 2 ranks (2 ranks = 1 round,
+	// 16 ranks = 4 rounds, contention aside).
+	t2 := run(t, motif.KindRVMA, OpBarrier, 2)
+	t16 := run(t, motif.KindRVMA, OpBarrier, 16)
+	if t16 >= 8*t2 {
+		t.Fatalf("barrier(16) = %v vs barrier(2) = %v: worse than linear in rounds", t16, t2)
+	}
+}
+
+func TestSingleRankCollectivesAreFree(t *testing.T) {
+	// The collective primitives must no-op at n=1 (RunCollective itself
+	// requires 2+, so call the primitives directly).
+	topo := topology.NewSingleSwitch(1)
+	cfg := motif.DefaultClusterConfig(topo, motif.KindRVMA)
+	c, err := motif.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := c.Transports[0]
+	ran := false
+	c.Eng.Spawn("solo", func(p *sim.Process) {
+		Barrier(p, tp)
+		Allreduce(p, tp, 16, 8, 0)
+		Broadcast(p, tp, 0, 64)
+		Allgather(p, tp, 64)
+		ran = true
+	})
+	c.Eng.Run()
+	if !ran {
+		t.Fatal("single-rank collectives blocked")
+	}
+}
+
+func TestRunCollectiveValidation(t *testing.T) {
+	topo := topology.NewSingleSwitch(1)
+	c, err := motif.NewCluster(motif.DefaultClusterConfig(topo, motif.KindRVMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCollective(c, DefaultConfig(OpBarrier)); err == nil {
+		t.Fatal("single-rank RunCollective should error")
+	}
+	topo2 := topology.NewSingleSwitch(4)
+	c2, _ := motif.NewCluster(motif.DefaultClusterConfig(topo2, motif.KindRVMA))
+	bad := DefaultConfig(OpBarrier)
+	bad.Iterations = 0
+	if _, err := RunCollective(c2, bad); err == nil {
+		t.Fatal("zero iterations should error")
+	}
+}
+
+func TestBroadcastNonZeroRoot(t *testing.T) {
+	topo := topology.NewSingleSwitch(6)
+	cfg := motif.DefaultClusterConfig(topo, motif.KindRVMA)
+	c, err := motif.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for rank := 0; rank < 6; rank++ {
+		tp := c.Transports[rank]
+		c.Eng.Spawn("r", func(p *sim.Process) {
+			peers := neighborsAll(tp)
+			p.Wait(tp.Prepare(peers, peers, 4096))
+			Broadcast(p, tp, 3, 4096) // root 3
+			done++
+		})
+	}
+	c.Eng.Run()
+	if done != 6 {
+		t.Fatalf("only %d ranks finished broadcast from root 3", done)
+	}
+}

@@ -1,0 +1,408 @@
+// Package fabric turns a topology into a timed packet network: links with
+// bandwidth and latency, switches with finite crossbar bandwidth and
+// per-output-port queues, and static, adaptive or Valiant routing.
+//
+// The model follows the paper's simulation setup (§V-B): switch crossbar
+// bandwidth is scaled with link bandwidth ("crossbar bandwidth is always
+// 50% greater than link bandwidth"), host injection always keeps the NIC
+// fed at line rate, and queue depths are ample so full-queue stalls never
+// constrain results. Adaptive routing chooses the least-backlogged
+// candidate output port; on dragonfly it may additionally take a one-shot
+// Valiant detour when minimal queues are congested (UGAL-style), after
+// which the packet routes minimally. Because different packets of one
+// message can take different paths, adaptive routing reorders packet
+// arrivals — exactly the property that breaks last-byte polling for RDMA
+// and that RVMA's offset placement plus threshold counting tolerates.
+package fabric
+
+import (
+	"fmt"
+
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+	"rvma/internal/trace"
+)
+
+// RoutingMode selects how the fabric picks among candidate output ports.
+type RoutingMode int
+
+const (
+	// RouteStatic always takes the deterministic first candidate. Packet
+	// order between one source and destination is preserved end to end,
+	// which is the property last-byte polling depends on.
+	RouteStatic RoutingMode = iota
+	// RouteAdaptive picks the least-backlogged candidate, with a one-shot
+	// Valiant detour on topologies that support it. Delivery order is not
+	// guaranteed.
+	RouteAdaptive
+	// RouteValiant always detours through a random intermediate group/path
+	// when the topology supports it, then routes minimally.
+	RouteValiant
+)
+
+// String returns the mode's report name.
+func (m RoutingMode) String() string {
+	switch m {
+	case RouteStatic:
+		return "static"
+	case RouteAdaptive:
+		return "adaptive"
+	case RouteValiant:
+		return "valiant"
+	default:
+		return fmt.Sprintf("routing(%d)", int(m))
+	}
+}
+
+// Ordered reports whether the mode preserves per-flow packet order.
+func (m RoutingMode) Ordered() bool { return m == RouteStatic }
+
+// HeaderBytes is the per-packet wire header (route, transport and RVMA/RDMA
+// command fields). 64 bytes is in line with Portals/IB header budgets and
+// with the paper's observation that an RVMA LUT entry needs 24 bytes of
+// addressing state carried per command.
+const HeaderBytes = 64
+
+// Config sets the fabric's timing parameters.
+type Config struct {
+	// LinkGbps is the link data rate in gigabits per second. The paper
+	// sweeps 100, 200, 400 and 2000 Gbps.
+	LinkGbps float64
+	// LinkLatency is the propagation delay of one cable (time of flight +
+	// SerDes). ~50 ns for short copper/optical at these scales.
+	LinkLatency sim.Time
+	// SwitchLatency is the pipeline latency of one switch traversal
+	// (arbitration + lookup), paid per hop in addition to crossbar time.
+	SwitchLatency sim.Time
+	// XbarFactor scales crossbar bandwidth relative to link bandwidth; the
+	// paper fixes this at 1.5.
+	XbarFactor float64
+	// MTU is the maximum packet payload size in bytes.
+	MTU int
+	// Routing selects static/adaptive/valiant port selection.
+	Routing RoutingMode
+	// AdaptiveJitter, when positive under non-static routing, scales link
+	// latency by a random factor in [1-j, 1+j] to model path-length and
+	// congestion variation between alternative routes. It makes packet
+	// reordering observable even on lightly loaded networks.
+	AdaptiveJitter float64
+	// ValiantBias is the backlog advantage (in time) a non-minimal path
+	// must offer before an adaptive packet detours. Zero uses one MTU
+	// serialization time.
+	ValiantBias sim.Time
+	// DropRate is a per-packet loss probability (failure injection). Real
+	// HPC fabrics are lossless in steady state, but the paper's fault-
+	// tolerance argument (§IV-F) is about exactly the moments they are
+	// not; tests use this to show RVMA's threshold counting never falsely
+	// completes a holed buffer, while last-byte polling does.
+	DropRate float64
+}
+
+// DefaultConfig returns the baseline used across experiments: 100 Gbps
+// links, 50 ns cables, 100 ns switch pipeline, 1.5x crossbar, 2 KiB MTU.
+func DefaultConfig() Config {
+	return Config{
+		LinkGbps:      100,
+		LinkLatency:   50 * sim.Nanosecond,
+		SwitchLatency: 100 * sim.Nanosecond,
+		XbarFactor:    1.5,
+		MTU:           2048,
+		Routing:       RouteStatic,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LinkGbps <= 0 {
+		return fmt.Errorf("fabric: link bandwidth must be positive, got %v", c.LinkGbps)
+	}
+	if c.MTU <= 0 {
+		return fmt.Errorf("fabric: MTU must be positive, got %d", c.MTU)
+	}
+	if c.XbarFactor <= 0 {
+		return fmt.Errorf("fabric: crossbar factor must be positive, got %v", c.XbarFactor)
+	}
+	if c.LinkLatency < 0 || c.SwitchLatency < 0 {
+		return fmt.Errorf("fabric: negative latency")
+	}
+	if c.DropRate < 0 || c.DropRate >= 1 {
+		return fmt.Errorf("fabric: drop rate %v outside [0, 1)", c.DropRate)
+	}
+	return nil
+}
+
+// Packet is one wire packet. Payload semantics belong to the NIC protocol
+// layers; the fabric only reads Size (payload bytes, excluding header) and
+// the addressing fields.
+type Packet struct {
+	ID      uint64
+	Src     int
+	Dst     int
+	Size    int // payload bytes; HeaderBytes is added on the wire
+	Payload any
+
+	// Bookkeeping maintained by the fabric.
+	Injected  sim.Time
+	Hops      int
+	misrouted bool
+}
+
+// WireSize returns payload plus header bytes.
+func (p *Packet) WireSize() int { return p.Size + HeaderBytes }
+
+// DeliverFunc receives a packet at its destination node at the current
+// simulated time.
+type DeliverFunc func(pkt *Packet)
+
+// Stats aggregates fabric-level counters for experiment reports.
+type Stats struct {
+	PacketsInjected  uint64
+	PacketsDelivered uint64
+	PacketsDropped   uint64
+	BytesDelivered   uint64
+	TotalHops        uint64
+	TotalLatency     sim.Time
+	ValiantDetours   uint64
+}
+
+// Network is an instantiated fabric over a topology.
+type Network struct {
+	eng   *sim.Engine
+	topo  topology.Topology
+	cfg   Config
+	hosts []DeliverFunc
+
+	outPorts [][]*sim.Resource // per switch, per port: link transmitter
+	xbars    []*sim.Resource   // per switch crossbar
+	hostTx   []*sim.Resource   // per node injection link
+
+	nonMin topology.NonMinimalRouter // nil if unsupported
+
+	nextID uint64
+	Stats  Stats
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches a tracer; packet-level events go to trace.CatPacket
+// and aggregate counters/series are kept regardless of enablement. A nil
+// tracer detaches.
+func (n *Network) SetTracer(t *trace.Tracer) {
+	n.tracer = t
+	if t != nil {
+		t.DefineSeries("fabric.delivered_bytes", 10*sim.Microsecond)
+	}
+}
+
+// New builds a network over topo with the given config.
+func New(eng *sim.Engine, topo topology.Topology, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		eng:   eng,
+		topo:  topo,
+		cfg:   cfg,
+		hosts: make([]DeliverFunc, topo.NumNodes()),
+	}
+	n.outPorts = make([][]*sim.Resource, topo.NumSwitches())
+	n.xbars = make([]*sim.Resource, topo.NumSwitches())
+	for sw := 0; sw < topo.NumSwitches(); sw++ {
+		ports := topo.Ports(sw)
+		n.outPorts[sw] = make([]*sim.Resource, len(ports))
+		for pi := range ports {
+			n.outPorts[sw][pi] = sim.NewResource(fmt.Sprintf("sw%d.p%d", sw, pi))
+		}
+		n.xbars[sw] = sim.NewResource(fmt.Sprintf("sw%d.xbar", sw))
+	}
+	n.hostTx = make([]*sim.Resource, topo.NumNodes())
+	for i := range n.hostTx {
+		n.hostTx[i] = sim.NewResource(fmt.Sprintf("host%d.tx", i))
+	}
+	n.nonMin, _ = topo.(topology.NonMinimalRouter)
+	return n, nil
+}
+
+// Engine returns the engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Config returns the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// MTU returns the maximum payload per packet.
+func (n *Network) MTU() int { return n.cfg.MTU }
+
+// AttachHost registers the delivery callback for node's NIC. Each node must
+// attach exactly once before receiving traffic.
+func (n *Network) AttachHost(node int, fn DeliverFunc) {
+	if n.hosts[node] != nil {
+		panic(fmt.Sprintf("fabric: node %d attached twice", node))
+	}
+	n.hosts[node] = fn
+}
+
+// Inject hands a packet to node src's injection link at the current time.
+// The packet serializes onto the host link (which always runs at line rate,
+// per the paper's host-bus assumption), then traverses the fabric.
+func (n *Network) Inject(pkt *Packet) {
+	if pkt.Src < 0 || pkt.Src >= len(n.hostTx) || pkt.Dst < 0 || pkt.Dst >= len(n.hosts) {
+		panic(fmt.Sprintf("fabric: inject with bad endpoints src=%d dst=%d", pkt.Src, pkt.Dst))
+	}
+	pkt.ID = n.nextID
+	n.nextID++
+	pkt.Injected = n.eng.Now()
+	n.Stats.PacketsInjected++
+	if n.tracer != nil {
+		n.tracer.Count("fabric.packets_injected", 1)
+		n.tracer.Eventf(trace.CatPacket, "inject #%d %d->%d %dB", pkt.ID, pkt.Src, pkt.Dst, pkt.Size)
+	}
+
+	ser := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps)
+	txDone := n.hostTx[pkt.Src].Acquire(n.eng, ser)
+	arrive := txDone + n.linkDelay()
+	sw, _ := n.topo.HostPort(pkt.Src)
+	n.eng.At(arrive, func() { n.atSwitch(sw, pkt) })
+}
+
+// linkDelay returns the (possibly jittered) cable latency for one hop.
+func (n *Network) linkDelay() sim.Time {
+	d := n.cfg.LinkLatency
+	if n.cfg.AdaptiveJitter > 0 && n.cfg.Routing != RouteStatic {
+		d = n.eng.RNG().Jitter(d, n.cfg.AdaptiveJitter)
+	}
+	return d
+}
+
+// atSwitch processes a packet's arrival at switch sw at the current time:
+// route selection, crossbar transit, output serialization, link traversal.
+func (n *Network) atSwitch(sw int, pkt *Packet) {
+	pkt.Hops++
+	outPort := n.selectPort(sw, pkt)
+	ports := n.topo.Ports(sw)
+	port := ports[outPort]
+
+	now := n.eng.Now()
+	xbarHold := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps*n.cfg.XbarFactor)
+	xbarDone := n.xbars[sw].AcquireAt(now, xbarHold)
+	ser := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps)
+	txDone := n.outPorts[sw][outPort].AcquireAt(xbarDone+n.cfg.SwitchLatency, ser)
+	arrive := txDone + n.linkDelay()
+
+	switch port.Kind {
+	case topology.HostPort:
+		n.eng.At(arrive, func() { n.deliver(port.Node, pkt) })
+	case topology.SwitchPort:
+		n.eng.At(arrive, func() { n.atSwitch(port.PeerSwitch, pkt) })
+	default:
+		panic(fmt.Sprintf("fabric: routed to unused port %d of switch %d", outPort, sw))
+	}
+}
+
+// selectPort applies the routing mode to the candidate set.
+func (n *Network) selectPort(sw int, pkt *Packet) int {
+	cands := n.topo.Candidates(sw, pkt.Dst, nil)
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("fabric: no route from switch %d to node %d", sw, pkt.Dst))
+	}
+	switch n.cfg.Routing {
+	case RouteStatic:
+		return cands[0]
+	case RouteValiant:
+		if !pkt.misrouted && n.nonMin != nil {
+			if nm := n.nonMin.NonMinimalCandidates(sw, pkt.Dst, nil); len(nm) > 0 {
+				pkt.misrouted = true
+				n.Stats.ValiantDetours++
+				return nm[n.eng.RNG().Intn(len(nm))]
+			}
+		}
+		pkt.misrouted = true // minimal from here on
+		return n.leastBacklogged(sw, cands)
+	case RouteAdaptive:
+		best := n.leastBacklogged(sw, cands)
+		if !pkt.misrouted && n.nonMin != nil {
+			bias := n.cfg.ValiantBias
+			if bias == 0 {
+				bias = sim.SerializationTime(n.cfg.MTU+HeaderBytes, n.cfg.LinkGbps)
+			}
+			minBacklog := n.outPorts[sw][best].Backlog(n.eng)
+			if minBacklog > bias {
+				if nm := n.nonMin.NonMinimalCandidates(sw, pkt.Dst, nil); len(nm) > 0 {
+					alt := n.leastBacklogged(sw, nm)
+					// UGAL: detour when twice the non-minimal backlog still
+					// beats the minimal backlog.
+					if 2*n.outPorts[sw][alt].Backlog(n.eng)+bias < minBacklog {
+						pkt.misrouted = true
+						n.Stats.ValiantDetours++
+						if n.tracer != nil {
+							n.tracer.Count("fabric.valiant_detours", 1)
+							n.tracer.Eventf(trace.CatPacket, "detour #%d at sw%d", pkt.ID, sw)
+						}
+						return alt
+					}
+				}
+			}
+		}
+		return best
+	default:
+		panic("fabric: unknown routing mode")
+	}
+}
+
+// leastBacklogged returns the candidate whose output queue frees soonest,
+// breaking ties in favor of the earliest candidate (keeping selection
+// deterministic for a given simulation state).
+func (n *Network) leastBacklogged(sw int, cands []int) int {
+	best := cands[0]
+	bestBacklog := n.outPorts[sw][best].Backlog(n.eng)
+	for _, c := range cands[1:] {
+		if b := n.outPorts[sw][c].Backlog(n.eng); b < bestBacklog {
+			best, bestBacklog = c, b
+		}
+	}
+	return best
+}
+
+// deliver hands the packet to the destination host at the current time,
+// unless failure injection claims it.
+func (n *Network) deliver(node int, pkt *Packet) {
+	fn := n.hosts[node]
+	if fn == nil {
+		panic(fmt.Sprintf("fabric: packet for unattached node %d", node))
+	}
+	if n.cfg.DropRate > 0 && n.eng.RNG().Float64() < n.cfg.DropRate {
+		n.Stats.PacketsDropped++
+		if n.tracer != nil {
+			n.tracer.Count("fabric.packets_dropped", 1)
+			n.tracer.Eventf(trace.CatPacket, "DROP #%d for node %d", pkt.ID, node)
+		}
+		return
+	}
+	n.Stats.PacketsDelivered++
+	n.Stats.BytesDelivered += uint64(pkt.Size)
+	n.Stats.TotalHops += uint64(pkt.Hops)
+	n.Stats.TotalLatency += n.eng.Now() - pkt.Injected
+	if n.tracer != nil {
+		n.tracer.Count("fabric.packets_delivered", 1)
+		n.tracer.Add("fabric.delivered_bytes", float64(pkt.Size))
+		n.tracer.Eventf(trace.CatPacket, "deliver #%d at node %d after %d hops", pkt.ID, node, pkt.Hops)
+	}
+	fn(pkt)
+}
+
+// MeanPacketLatency returns the average injection-to-delivery latency.
+func (n *Network) MeanPacketLatency() sim.Time {
+	if n.Stats.PacketsDelivered == 0 {
+		return 0
+	}
+	return n.Stats.TotalLatency / sim.Time(n.Stats.PacketsDelivered)
+}
+
+// MeanHops returns the average switch hops per delivered packet.
+func (n *Network) MeanHops() float64 {
+	if n.Stats.PacketsDelivered == 0 {
+		return 0
+	}
+	return float64(n.Stats.TotalHops) / float64(n.Stats.PacketsDelivered)
+}

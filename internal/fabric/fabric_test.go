@@ -1,0 +1,376 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+	"rvma/internal/trace"
+)
+
+// twoNodeNet builds the microbenchmark network: two nodes, one switch.
+func twoNodeNet(t *testing.T, cfg Config) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net, err := New(eng, topology.NewSingleSwitch(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, net
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{LinkGbps: 0, MTU: 1, XbarFactor: 1},
+		{LinkGbps: 1, MTU: 0, XbarFactor: 1},
+		{LinkGbps: 1, MTU: 1, XbarFactor: 0},
+		{LinkGbps: 1, MTU: 1, XbarFactor: 1, LinkLatency: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestSingleHopLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net := twoNodeNet(t, cfg)
+	var arrived sim.Time
+	net.AttachHost(0, func(pkt *Packet) {})
+	net.AttachHost(1, func(pkt *Packet) { arrived = eng.Now() })
+	pkt := &Packet{Src: 0, Dst: 1, Size: 1024}
+	eng.Schedule(0, func() { net.Inject(pkt) })
+	eng.Run()
+
+	// Expected: host serialization + link + (xbar + switch pipeline +
+	// output serialization) + link.
+	wire := pkt.WireSize()
+	ser := sim.SerializationTime(wire, cfg.LinkGbps)
+	xbar := sim.SerializationTime(wire, cfg.LinkGbps*cfg.XbarFactor)
+	want := ser + cfg.LinkLatency + xbar + cfg.SwitchLatency + ser + cfg.LinkLatency
+	if arrived != want {
+		t.Fatalf("arrival = %v, want %v", arrived, want)
+	}
+	if pkt.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", pkt.Hops)
+	}
+}
+
+func TestBandwidthSerializesBackToBack(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, net := twoNodeNet(t, cfg)
+	var arrivals []sim.Time
+	net.AttachHost(0, func(pkt *Packet) {})
+	net.AttachHost(1, func(pkt *Packet) { arrivals = append(arrivals, eng.Now()) })
+	eng.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			net.Inject(&Packet{Src: 0, Dst: 1, Size: 2048})
+		}
+	})
+	eng.Run()
+	if len(arrivals) != 4 {
+		t.Fatalf("delivered %d packets, want 4", len(arrivals))
+	}
+	ser := sim.SerializationTime(2048+HeaderBytes, cfg.LinkGbps)
+	for i := 1; i < len(arrivals); i++ {
+		gap := arrivals[i] - arrivals[i-1]
+		if gap != ser {
+			t.Fatalf("inter-arrival gap %d = %v, want one serialization time %v", i, gap, ser)
+		}
+	}
+}
+
+func TestStaticRoutingPreservesOrder(t *testing.T) {
+	topo := topology.NewFatTree(4)
+	cfg := DefaultConfig()
+	cfg.Routing = RouteStatic
+	eng := sim.NewEngine(7)
+	net, err := New(eng, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for n := 0; n < topo.NumNodes(); n++ {
+		n := n
+		net.AttachHost(n, func(pkt *Packet) {
+			if n == 15 {
+				got = append(got, pkt.ID)
+			}
+		})
+	}
+	eng.Schedule(0, func() {
+		for i := 0; i < 50; i++ {
+			net.Inject(&Packet{Src: 0, Dst: 15, Size: 1500})
+		}
+	})
+	eng.Run()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d, want 50", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("static routing reordered packets: %v", got)
+		}
+	}
+}
+
+func TestAdaptiveRoutingCanReorder(t *testing.T) {
+	// Adaptive routing spreads a burst over alternative paths whose
+	// latencies vary (jitter models path-length and congestion variation),
+	// so some seed must exhibit reordering; static routing never may.
+	reorderedForSeed := func(seed uint64, mode RoutingMode) bool {
+		topo := topology.NewFatTree(4)
+		cfg := DefaultConfig()
+		cfg.Routing = mode
+		cfg.AdaptiveJitter = 0.9
+		eng := sim.NewEngine(seed)
+		net, err := New(eng, topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []uint64
+		for n := 0; n < topo.NumNodes(); n++ {
+			n := n
+			net.AttachHost(n, func(pkt *Packet) {
+				if n == 15 {
+					got = append(got, pkt.ID)
+				}
+			})
+		}
+		eng.Schedule(0, func() {
+			for i := 0; i < 200; i++ {
+				net.Inject(&Packet{Src: 0, Dst: 15, Size: 1500})
+			}
+		})
+		eng.Run()
+		if len(got) != 200 {
+			t.Fatalf("delivered %d, want 200", len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return true
+			}
+		}
+		return false
+	}
+	anyReorder := false
+	for seed := uint64(1); seed <= 20; seed++ {
+		if reorderedForSeed(seed, RouteAdaptive) {
+			anyReorder = true
+			break
+		}
+	}
+	if !anyReorder {
+		t.Fatal("adaptive routing with jitter never reordered across 20 seeds")
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		if reorderedForSeed(seed, RouteStatic) {
+			t.Fatal("static routing must never reorder")
+		}
+	}
+}
+
+func TestAllModesDeliverEverything(t *testing.T) {
+	topos := []topology.Topology{
+		topology.NewDragonfly(4, 2, 2),
+		topology.NewFatTree(4),
+		topology.NewHyperX(4, 4, 2),
+		topology.NewTorus3D(4, 4, 2, 2),
+	}
+	for _, topo := range topos {
+		for _, mode := range []RoutingMode{RouteStatic, RouteAdaptive, RouteValiant} {
+			cfg := DefaultConfig()
+			cfg.Routing = mode
+			eng := sim.NewEngine(3)
+			net, err := New(eng, topo, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered := 0
+			for n := 0; n < topo.NumNodes(); n++ {
+				net.AttachHost(n, func(pkt *Packet) { delivered++ })
+			}
+			want := 0
+			eng.Schedule(0, func() {
+				for s := 0; s < topo.NumNodes(); s++ {
+					for d := 0; d < topo.NumNodes(); d += 3 {
+						if s == d {
+							continue
+						}
+						net.Inject(&Packet{Src: s, Dst: d, Size: 512})
+						want++
+					}
+				}
+			})
+			eng.Run()
+			if delivered != want {
+				t.Fatalf("%s/%s: delivered %d of %d", topo.Name(), mode, delivered, want)
+			}
+			if net.Stats.PacketsDelivered != uint64(want) {
+				t.Fatalf("%s/%s: stats mismatch", topo.Name(), mode)
+			}
+		}
+	}
+}
+
+func TestValiantDetoursHappenOnDragonfly(t *testing.T) {
+	topo := topology.NewDragonfly(4, 2, 2)
+	cfg := DefaultConfig()
+	cfg.Routing = RouteValiant
+	eng := sim.NewEngine(5)
+	net, err := New(eng, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < topo.NumNodes(); n++ {
+		net.AttachHost(n, func(pkt *Packet) {})
+	}
+	eng.Schedule(0, func() {
+		// Cross-group traffic only.
+		net.Inject(&Packet{Src: 0, Dst: topo.NumNodes() - 1, Size: 512})
+	})
+	eng.Run()
+	if net.Stats.ValiantDetours == 0 {
+		t.Fatal("valiant mode took no detours on cross-group dragonfly traffic")
+	}
+}
+
+func TestAdaptiveAvoidsCongestedPort(t *testing.T) {
+	// On a fat-tree, saturate one up-path then check the adaptive router
+	// spreads subsequent packets onto others, reducing mean latency
+	// versus static routing under the same load.
+	run := func(mode RoutingMode) sim.Time {
+		topo := topology.NewFatTree(4)
+		cfg := DefaultConfig()
+		cfg.Routing = mode
+		eng := sim.NewEngine(9)
+		net, err := New(eng, topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < topo.NumNodes(); n++ {
+			net.AttachHost(n, func(pkt *Packet) {})
+		}
+		eng.Schedule(0, func() {
+			// Two sources on the same edge switch send to destinations whose
+			// static hashes collide on one up port; adaptive routing should
+			// move the second flow to the idle up port.
+			for i := 0; i < 32; i++ {
+				net.Inject(&Packet{Src: 0, Dst: 12, Size: 2048})
+				net.Inject(&Packet{Src: 1, Dst: 14, Size: 2048})
+			}
+		})
+		eng.Run()
+		return net.MeanPacketLatency()
+	}
+	static := run(RouteStatic)
+	adaptive := run(RouteAdaptive)
+	if adaptive >= static {
+		t.Fatalf("adaptive mean latency %v should beat static %v under burst load", adaptive, static)
+	}
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, _ := New(eng, topology.NewSingleSwitch(2), DefaultConfig())
+	net.AttachHost(0, func(*Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double attach should panic")
+		}
+	}()
+	net.AttachHost(0, func(*Packet) {})
+}
+
+func TestInjectBadEndpointPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, _ := New(eng, topology.NewSingleSwitch(2), DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad endpoint should panic")
+		}
+	}()
+	net.Inject(&Packet{Src: 0, Dst: 9, Size: 1})
+}
+
+// Property: delivery latency scales inversely with link bandwidth for a
+// fixed payload (higher Gbps never increases latency).
+func TestBandwidthMonotonicityProperty(t *testing.T) {
+	oneShot := func(gbps float64) sim.Time {
+		eng := sim.NewEngine(1)
+		cfg := DefaultConfig()
+		cfg.LinkGbps = gbps
+		net, _ := New(eng, topology.NewSingleSwitch(2), cfg)
+		var at sim.Time
+		net.AttachHost(0, func(*Packet) {})
+		net.AttachHost(1, func(*Packet) { at = eng.Now() })
+		eng.Schedule(0, func() { net.Inject(&Packet{Src: 0, Dst: 1, Size: 65536}) })
+		eng.Run()
+		return at
+	}
+	f := func(raw uint8) bool {
+		g1 := float64(raw%100) + 10
+		g2 := g1 * 2
+		return oneShot(g2) <= oneShot(g1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the 2 Tbps configuration's latency is dominated by fixed
+// overheads: quadrupling a small payload barely moves delivery time.
+func TestFixedOverheadDominanceAtHighSpeed(t *testing.T) {
+	oneShot := func(size int) sim.Time {
+		eng := sim.NewEngine(1)
+		cfg := DefaultConfig()
+		cfg.LinkGbps = 2000
+		net, _ := New(eng, topology.NewSingleSwitch(2), cfg)
+		var at sim.Time
+		net.AttachHost(0, func(*Packet) {})
+		net.AttachHost(1, func(*Packet) { at = eng.Now() })
+		eng.Schedule(0, func() { net.Inject(&Packet{Src: 0, Dst: 1, Size: size}) })
+		eng.Run()
+		return at
+	}
+	small, big := oneShot(64), oneShot(256)
+	if float64(big) > float64(small)*1.02 {
+		t.Fatalf("at 2 Tbps, 64B->256B grew latency %v -> %v (>2%%)", small, big)
+	}
+}
+
+func TestTracerIntegration(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, err := New(eng, topology.NewSingleSwitch(2), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(eng, 64)
+	tr.Enable(trace.CatPacket)
+	net.SetTracer(tr)
+	net.AttachHost(0, func(*Packet) {})
+	net.AttachHost(1, func(*Packet) {})
+	eng.Schedule(0, func() {
+		net.Inject(&Packet{Src: 0, Dst: 1, Size: 100})
+	})
+	eng.Run()
+	if tr.Counter("fabric.packets_injected") != 1 || tr.Counter("fabric.packets_delivered") != 1 {
+		t.Fatalf("tracer counters: inj=%d del=%d",
+			tr.Counter("fabric.packets_injected"), tr.Counter("fabric.packets_delivered"))
+	}
+	if len(tr.Events()) != 2 {
+		t.Fatalf("events = %d, want inject+deliver", len(tr.Events()))
+	}
+	if sums := tr.SeriesSums("fabric.delivered_bytes"); len(sums) == 0 || sums[0] != 100 {
+		t.Fatalf("series = %v", sums)
+	}
+	net.SetTracer(nil) // detach is safe
+	eng.Schedule(0, func() { net.Inject(&Packet{Src: 0, Dst: 1, Size: 1}) })
+	eng.Run()
+}

@@ -1,0 +1,93 @@
+// Package harness regenerates every table and figure in the paper's
+// evaluation section (§V): the Verbs and UCX latency comparisons
+// (Figures 4, 5), the setup-amortization analysis (Figure 6), and the
+// Sweep3D and Halo3D motif sweeps over topologies, routings and link
+// speeds (Figures 7, 8), plus the summary claims (65.8% / 45.8% latency
+// reductions, 3.56x / 1.57x average speedups, 4.4x best case) and the
+// ablation studies DESIGN.md calls out.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends an explanatory footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// CSV renders the table as comma-separated values (no notes).
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}

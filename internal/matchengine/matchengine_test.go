@@ -1,0 +1,189 @@
+package matchengine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryMatching(t *testing.T) {
+	e := &Entry{Source: 3, Bits: 0xAB00, Ignore: 0x00FF}
+	cases := []struct {
+		src  int
+		tag  MatchBits
+		want bool
+	}{
+		{3, 0xAB00, true},
+		{3, 0xAB42, true},  // wildcarded low byte
+		{3, 0xAC00, false}, // non-ignored bit differs
+		{4, 0xAB00, false}, // wrong source
+	}
+	for _, c := range cases {
+		if got := e.Matches(c.src, c.tag); got != c.want {
+			t.Errorf("Matches(%d, %#x) = %v, want %v", c.src, c.tag, got, c.want)
+		}
+	}
+	any := &Entry{Source: AnySource, Bits: 7, Ignore: 0}
+	if !any.Matches(99, 7) {
+		t.Error("AnySource must match every sender")
+	}
+}
+
+func TestListFIFOPriority(t *testing.T) {
+	// MPI semantics: among multiple potential matches, the earliest posted
+	// wins — "resolves multiple potential matches to a single message by
+	// the order in which the potential matches were posted" (§II).
+	l := &List{}
+	l.Append(&Entry{Source: AnySource, Bits: 5, Ignore: 0, Payload: "first", UseOnce: true})
+	l.Append(&Entry{Source: AnySource, Bits: 5, Ignore: 0, Payload: "second", UseOnce: true})
+	e, _ := l.Match(0, 5)
+	if e == nil || e.Payload != "first" {
+		t.Fatalf("first match = %v", e)
+	}
+	e, _ = l.Match(0, 5)
+	if e == nil || e.Payload != "second" {
+		t.Fatalf("second match = %v", e)
+	}
+	if e, _ := l.Match(0, 5); e != nil {
+		t.Fatal("exhausted list should miss")
+	}
+}
+
+func TestListPersistentEntry(t *testing.T) {
+	l := &List{}
+	l.Append(&Entry{Source: AnySource, Bits: 9, Payload: "p"})
+	for i := 0; i < 3; i++ {
+		if e, _ := l.Match(1, 9); e == nil {
+			t.Fatalf("persistent entry vanished on match %d", i)
+		}
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestListWalkLength(t *testing.T) {
+	l := &List{}
+	for i := 0; i < 100; i++ {
+		l.Append(&Entry{Source: i, Bits: MatchBits(i), Payload: i})
+	}
+	_, walked := l.Match(99, 99)
+	if walked != 100 {
+		t.Fatalf("deep match walked %d elements, want 100", walked)
+	}
+	_, walked = l.Match(0, 0)
+	if walked != 1 {
+		t.Fatalf("head match walked %d, want 1", walked)
+	}
+	if _, walked = l.Match(200, 5); walked != 100 {
+		t.Fatalf("miss walked %d, want full list", walked)
+	}
+}
+
+func TestTableSingleLookup(t *testing.T) {
+	tab := NewTable()
+	tab.Install(0x11FF0011, "win")
+	if p, ok := tab.Lookup(0x11FF0011); !ok || p != "win" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := tab.Lookup(0xDEAD); ok {
+		t.Fatal("missing vaddr should miss")
+	}
+	tab.Remove(0x11FF0011)
+	if _, ok := tab.Lookup(0x11FF0011); ok {
+		t.Fatal("removed vaddr should miss")
+	}
+	if tab.Lookups != 3 {
+		t.Fatalf("lookups = %d", tab.Lookups)
+	}
+}
+
+func TestTableFootprint(t *testing.T) {
+	tab := NewTable()
+	for i := 0; i < 1000; i++ {
+		tab.Install(uint64(i), i)
+	}
+	// The paper's LUT sizing: 24 bytes per entry (§IV-A).
+	if got := tab.BytesOnNIC(); got != 24000 {
+		t.Fatalf("footprint = %d, want 24000", got)
+	}
+}
+
+func TestCostModelScaling(t *testing.T) {
+	m := DefaultCostModel()
+	if m.TableLookupTime() != m.ListMatchTime(2) {
+		t.Fatalf("defaults: table %v vs 2-element list %v", m.TableLookupTime(), m.ListMatchTime(2))
+	}
+	// The paper's point: table cost is flat, list cost grows with depth.
+	if m.ListMatchTime(1000) <= m.TableLookupTime() {
+		t.Fatal("a deep list walk must cost more than a table lookup")
+	}
+	if m.ListMatchTime(0) != m.ListMatchTime(1) {
+		t.Fatal("a miss on an empty list still costs one element check")
+	}
+}
+
+// Property: ignore-bit semantics — flipping only ignored bits never
+// changes the match result.
+func TestIgnoreBitsProperty(t *testing.T) {
+	f := func(bits, ignore, noise uint64, src uint8) bool {
+		e := &Entry{Source: AnySource, Bits: MatchBits(bits), Ignore: MatchBits(ignore)}
+		base := MatchBits(bits)                       // always matches
+		noisy := base ^ (MatchBits(noise) & e.Ignore) // perturb ignored bits only
+		return e.Matches(int(src), base) && e.Matches(int(src), noisy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a table lookup hits exactly the installed keys.
+func TestTableProperty(t *testing.T) {
+	f := func(keys []uint64, probe uint64) bool {
+		tab := NewTable()
+		set := map[uint64]bool{}
+		for _, k := range keys {
+			tab.Install(k, k)
+			set[k] = true
+		}
+		_, ok := tab.Lookup(probe)
+		return ok == set[probe]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Benchmarks: the software analogues of the two steering designs. The
+// table stays flat as postings grow; the list walk scales linearly — the
+// §IV-A hardware-complexity argument, measurable.
+
+func BenchmarkTableLookup(b *testing.B) {
+	for _, n := range []int{16, 256, 4096, 65536} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			tab := NewTable()
+			for i := 0; i < n; i++ {
+				tab.Install(uint64(i)*2654435761, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab.Lookup(uint64(i%n) * 2654435761)
+			}
+		})
+	}
+}
+
+func BenchmarkListMatch(b *testing.B) {
+	for _, n := range []int{16, 256, 4096, 65536} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			l := &List{}
+			for i := 0; i < n; i++ {
+				l.Append(&Entry{Source: i, Bits: MatchBits(i), Payload: i})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Match(i%n, MatchBits(i%n)) // persistent entries: average walk n/2
+			}
+		})
+	}
+}

@@ -1,0 +1,307 @@
+// Package microbench reproduces the paper's "real world testing" (§V-A):
+// ping-pong latency measurements in the style of OFED perftest, comparing
+//
+//   - RVMA: put completed by the NIC's threshold counter + completion
+//     pointer (no extra network traffic);
+//   - RDMA (static routing): put completed by polling the last byte of the
+//     receive buffer — the fast-but-noncompliant idiom;
+//   - RDMA (adaptive routing): put followed by the 1-byte send/recv the
+//     InfiniBand specification requires when byte ordering is unavailable
+//     (the paper's modified perftest).
+//
+// It also measures the RDMA buffer-setup handshake and computes the
+// amortization analysis of Figure 6: how many data exchanges are needed
+// before setup cost falls within 3% of steady-state latency.
+package microbench
+
+import (
+	"fmt"
+
+	"rvma/internal/fabric"
+	"rvma/internal/hostif"
+	"rvma/internal/nic"
+	"rvma/internal/pcie"
+	"rvma/internal/rdma"
+	"rvma/internal/rvma"
+	"rvma/internal/sim"
+	"rvma/internal/stats"
+	"rvma/internal/topology"
+)
+
+// Transport selects the data-transfer + completion stack under test.
+type Transport int
+
+const (
+	// TransportRVMA is an RVMA put with hardware threshold completion.
+	TransportRVMA Transport = iota
+	// TransportRDMAStatic is an RDMA put with last-byte polling, valid only
+	// because static routing preserves byte order.
+	TransportRDMAStatic
+	// TransportRDMAAdaptive is an RDMA put plus the specification-required
+	// trailing send/recv, as needed on adaptively routed networks.
+	TransportRDMAAdaptive
+)
+
+// String returns the transport's report name.
+func (tr Transport) String() string {
+	switch tr {
+	case TransportRVMA:
+		return "RVMA"
+	case TransportRDMAStatic:
+		return "RDMA-static(last-byte)"
+	case TransportRDMAAdaptive:
+		return "RDMA-adaptive(send/recv)"
+	default:
+		return fmt.Sprintf("transport(%d)", int(tr))
+	}
+}
+
+// LatencyConfig parameterizes a latency measurement.
+type LatencyConfig struct {
+	Profile hostif.Profile
+	Size    int // message payload bytes
+	Iters   int // ping-pong iterations per run
+	Runs    int // independent runs (the paper averages 10)
+	Seed    uint64
+	// RunNoise is the stddev of a per-run multiplicative scale applied to
+	// host-software overheads, modeling run-to-run system noise; it
+	// produces the error bars in Figure 5. Zero disables it.
+	RunNoise float64
+	// Notification is the RVMA host observation mechanism (MWait default).
+	Notification rvma.NotifyMode
+}
+
+// LatencyResult is the outcome of one (transport, size) measurement.
+type LatencyResult struct {
+	Transport Transport
+	Size      int
+	// PerRunNanos holds each run's mean one-way latency in nanoseconds.
+	PerRunNanos []float64
+	// Summary summarizes PerRunNanos.
+	Summary stats.Summary
+}
+
+// routingFor returns the fabric routing mode a transport runs under.
+func routingFor(tr Transport) fabric.RoutingMode {
+	if tr == TransportRDMAStatic {
+		return fabric.RouteStatic
+	}
+	return fabric.RouteAdaptive
+}
+
+// MeasureLatency runs the configured ping-pong and returns per-run means.
+func MeasureLatency(cfg LatencyConfig, tr Transport) LatencyResult {
+	if cfg.Iters <= 0 || cfg.Runs <= 0 || cfg.Size <= 0 {
+		panic("microbench: invalid latency configuration")
+	}
+	res := LatencyResult{Transport: tr, Size: cfg.Size}
+	noise := sim.NewRNG(cfg.Seed ^ 0x9E3779B97F4A7C15)
+	for run := 0; run < cfg.Runs; run++ {
+		prof := cfg.Profile
+		if cfg.RunNoise > 0 {
+			scale := noise.Normal(1, cfg.RunNoise)
+			if scale < 0.5 {
+				scale = 0.5
+			}
+			prof = prof.Scale(scale)
+		}
+		oneWay := runPingPong(prof, tr, cfg, cfg.Seed+uint64(run)*1000003)
+		res.PerRunNanos = append(res.PerRunNanos, oneWay.Nanoseconds())
+	}
+	res.Summary = stats.Summarize(res.PerRunNanos)
+	return res
+}
+
+// runPingPong executes one run and returns the mean one-way latency.
+func runPingPong(prof hostif.Profile, tr Transport, cfg LatencyConfig, seed uint64) sim.Time {
+	eng := sim.NewEngine(seed)
+	fcfg := prof.Fabric
+	fcfg.Routing = routingFor(tr)
+	net, err := fabric.New(eng, topology.NewSingleSwitch(2), fcfg)
+	if err != nil {
+		panic(err)
+	}
+	nicA := nic.New(eng, net, 0, pcie.Gen4x16(), prof.NIC)
+	nicB := nic.New(eng, net, 1, pcie.Gen4x16(), prof.NIC)
+
+	switch tr {
+	case TransportRVMA:
+		return rvmaPingPong(eng, nicA, nicB, cfg)
+	default:
+		return rdmaPingPong(eng, nicA, nicB, cfg, tr)
+	}
+}
+
+// rvmaPingPong: both sides expose one mailbox (EPOCH_OPS, threshold 1 — a
+// message size known a priori needs exactly one operation), keep a buffer
+// posted, and bounce a message back and forth. No handshake precedes the
+// first put.
+func rvmaPingPong(eng *sim.Engine, nicA, nicB *nic.NIC, cfg LatencyConfig) sim.Time {
+	rcfg := rvma.DefaultConfig()
+	rcfg.CarryData = false
+	rcfg.Notification = cfg.Notification
+	a := rvma.NewEndpoint(nicA, rcfg)
+	b := rvma.NewEndpoint(nicB, rcfg)
+
+	const mboxA, mboxB = rvma.VAddr(0xA), rvma.VAddr(0xB)
+	winA, err := a.InitWindow(mboxA, 1, rvma.EpochOps)
+	if err != nil {
+		panic(err)
+	}
+	winB, err := b.InitWindow(mboxB, 1, rvma.EpochOps)
+	if err != nil {
+		panic(err)
+	}
+
+	var start, end sim.Time
+	eng.Spawn("A", func(p *sim.Process) {
+		start = p.Now()
+		for i := 0; i < cfg.Iters; i++ {
+			buf, err := winA.PostBuffer(cfg.Size)
+			if err != nil {
+				panic(err)
+			}
+			n := a.WatchBuffer(buf)
+			a.PutN(1, mboxB, 0, cfg.Size)
+			p.Wait(n.Done)
+		}
+		end = p.Now()
+	})
+	eng.Spawn("B", func(p *sim.Process) {
+		for i := 0; i < cfg.Iters; i++ {
+			buf, err := winB.PostBuffer(cfg.Size)
+			if err != nil {
+				panic(err)
+			}
+			n := b.WatchBuffer(buf)
+			p.Wait(n.Done)
+			b.PutN(0, mboxA, 0, cfg.Size)
+		}
+	})
+	eng.Run()
+	return (end - start) / sim.Time(2*cfg.Iters)
+}
+
+// rdmaPingPong: buffers are negotiated once (Figure 1) outside the timed
+// region, then the ping-pong runs with the transport's completion scheme.
+func rdmaPingPong(eng *sim.Engine, nicA, nicB *nic.NIC, cfg LatencyConfig, tr Transport) sim.Time {
+	dcfg := rdma.DefaultConfig()
+	dcfg.CarryData = false
+	dcfg.PipelinedFence = cfg.Profile.PipelinedFence
+	a := rdma.NewEndpoint(nicA, dcfg)
+	b := rdma.NewEndpoint(nicB, dcfg)
+
+	// Untimed setup handshakes, one per direction.
+	var rbOnB, rbOnA rdma.RemoteBuffer
+	opAB := a.RequestRemoteBuffer(1, cfg.Size)
+	opBA := b.RequestRemoteBuffer(0, cfg.Size)
+	eng.Run()
+	if !opAB.Done.Done() || !opBA.Done.Done() {
+		panic("microbench: setup handshake did not complete")
+	}
+	rbOnB = opAB.Done.Value().(rdma.RemoteBuffer)
+	rbOnA = opBA.Done.Value().(rdma.RemoteBuffer)
+	mrOnB := regionOf(b, rbOnB)
+	mrOnA := regionOf(a, rbOnA)
+
+	scheme := rdma.CompleteSendRecv
+	if tr == TransportRDMAStatic {
+		scheme = rdma.CompleteLastByte
+	}
+
+	wait := func(p *sim.Process, ep *rdma.Endpoint, mr *rdma.MemoryRegion) {
+		switch scheme {
+		case rdma.CompleteLastByte:
+			w := ep.WaitLastByte(mr, cfg.Size)
+			p.Wait(w.Done)
+		case rdma.CompleteSendRecv:
+			r := ep.PostRecv(1-ep.Node(), rdma.FenceQP)
+			p.Wait(r.Done)
+		}
+	}
+
+	var start, end sim.Time
+	eng.Spawn("A", func(p *sim.Process) {
+		start = p.Now()
+		for i := 0; i < cfg.Iters; i++ {
+			a.PutN(rbOnB, 0, cfg.Size, scheme)
+			wait(p, a, mrOnA)
+		}
+		end = p.Now()
+	})
+	eng.Spawn("B", func(p *sim.Process) {
+		for i := 0; i < cfg.Iters; i++ {
+			wait(p, b, mrOnB)
+			b.PutN(rbOnA, 0, cfg.Size, scheme)
+		}
+	})
+	eng.Run()
+	return (end - start) / sim.Time(2*cfg.Iters)
+}
+
+// regionOf finds the endpoint's registered region matching a handle.
+func regionOf(ep *rdma.Endpoint, rb rdma.RemoteBuffer) *rdma.MemoryRegion {
+	mr := ep.RegionByKey(rb.RKey)
+	if mr == nil {
+		panic("microbench: remote buffer has no local region")
+	}
+	return mr
+}
+
+// SetupCost measures the Figure 1 handshake cost for a buffer of the given
+// size under the profile's fabric with the given routing mode: the time
+// from the initiator's request until the (addr, len, key) reply is in hand.
+func SetupCost(prof hostif.Profile, size int, routing fabric.RoutingMode, seed uint64) sim.Time {
+	eng := sim.NewEngine(seed)
+	fcfg := prof.Fabric
+	fcfg.Routing = routing
+	net, err := fabric.New(eng, topology.NewSingleSwitch(2), fcfg)
+	if err != nil {
+		panic(err)
+	}
+	dcfg := rdma.DefaultConfig()
+	dcfg.CarryData = false
+	a := rdma.NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), prof.NIC), dcfg)
+	rdma.NewEndpoint(nic.New(eng, net, 1, pcie.Gen4x16(), prof.NIC), dcfg)
+	op := a.RequestRemoteBuffer(1, size)
+	eng.Run()
+	if !op.Done.Done() {
+		panic("microbench: setup never completed")
+	}
+	return op.Done.CompletedAt()
+}
+
+// AmortizationPoint is one Figure 6 sample: for a message size and routing
+// mode, the number of exchanges after which RDMA's setup overhead is
+// amortized to within the tolerance of steady-state latency.
+type AmortizationPoint struct {
+	Size         int
+	Routing      fabric.RoutingMode
+	SetupNanos   float64
+	LatencyNanos float64
+	Exchanges    int
+}
+
+// Amortization computes Figure 6's curve: the smallest N such that
+// (setup + N*latency) / (N*latency) <= 1 + tolerance, i.e.
+// N >= setup / (tolerance * latency). The paper uses tolerance = 3%, "the
+// margin of error for our latency tests".
+func Amortization(prof hostif.Profile, size int, tr Transport, tolerance float64, seed uint64) AmortizationPoint {
+	if tolerance <= 0 {
+		panic("microbench: tolerance must be positive")
+	}
+	routing := routingFor(tr)
+	setup := SetupCost(prof, size, routing, seed)
+	lat := runPingPong(prof, tr, LatencyConfig{Size: size, Iters: 200, Runs: 1, Profile: prof}, seed)
+	n := int(float64(setup)/(tolerance*float64(lat))) + 1
+	if n < 1 {
+		n = 1
+	}
+	return AmortizationPoint{
+		Size:         size,
+		Routing:      routing,
+		SetupNanos:   setup.Nanoseconds(),
+		LatencyNanos: lat.Nanoseconds(),
+		Exchanges:    n,
+	}
+}

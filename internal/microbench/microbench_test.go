@@ -1,0 +1,159 @@
+package microbench
+
+import (
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/hostif"
+	"rvma/internal/stats"
+)
+
+// quickCfg keeps unit-test runtimes small.
+func quickCfg(prof hostif.Profile, size int) LatencyConfig {
+	return LatencyConfig{Profile: prof, Size: size, Iters: 50, Runs: 3, Seed: 7}
+}
+
+func TestTransportNames(t *testing.T) {
+	if TransportRVMA.String() != "RVMA" {
+		t.Fatal(TransportRVMA.String())
+	}
+	if TransportRDMAStatic.String() == TransportRDMAAdaptive.String() {
+		t.Fatal("distinct transports must print distinctly")
+	}
+}
+
+func TestLatencyOrderingVerbs(t *testing.T) {
+	// The core Figure 4 invariant: RVMA <= RDMA-static < RDMA-adaptive.
+	cfg := quickCfg(hostif.Verbs(), 64)
+	rv := MeasureLatency(cfg, TransportRVMA)
+	rs := MeasureLatency(cfg, TransportRDMAStatic)
+	ra := MeasureLatency(cfg, TransportRDMAAdaptive)
+	if !(rv.Summary.Mean <= rs.Summary.Mean) {
+		t.Fatalf("RVMA (%.0fns) should not lose to RDMA-static (%.0fns)", rv.Summary.Mean, rs.Summary.Mean)
+	}
+	if !(rs.Summary.Mean < ra.Summary.Mean) {
+		t.Fatalf("RDMA-adaptive (%.0fns) must cost more than static (%.0fns)", ra.Summary.Mean, rs.Summary.Mean)
+	}
+}
+
+func TestHeadlineReductions(t *testing.T) {
+	// Paper: up to 65.8% (Verbs) and 45.8% (UCX) latency reduction. The
+	// reproduction must land in the same band and preserve Verbs > UCX.
+	small := func(prof hostif.Profile) float64 {
+		cfg := quickCfg(prof, 2)
+		rv := MeasureLatency(cfg, TransportRVMA)
+		ra := MeasureLatency(cfg, TransportRDMAAdaptive)
+		return stats.Reduction(ra.Summary.Mean, rv.Summary.Mean)
+	}
+	verbs := small(hostif.Verbs())
+	ucx := small(hostif.UCX())
+	if verbs < 0.50 || verbs > 0.75 {
+		t.Fatalf("verbs reduction %.1f%%, want in the 50-75%% band around the paper's 65.8%%", 100*verbs)
+	}
+	if ucx < 0.35 || ucx > 0.55 {
+		t.Fatalf("ucx reduction %.1f%%, want in the 35-55%% band around the paper's 45.8%%", 100*ucx)
+	}
+	if verbs <= ucx {
+		t.Fatalf("verbs reduction (%.1f%%) must exceed ucx (%.1f%%) as in the paper", 100*verbs, 100*ucx)
+	}
+}
+
+func TestReductionShrinksWithSize(t *testing.T) {
+	// The latency curves converge at large sizes: the fixed completion
+	// overhead amortizes against serialization.
+	red := func(size int) float64 {
+		cfg := quickCfg(hostif.Verbs(), size)
+		rv := MeasureLatency(cfg, TransportRVMA)
+		ra := MeasureLatency(cfg, TransportRDMAAdaptive)
+		return stats.Reduction(ra.Summary.Mean, rv.Summary.Mean)
+	}
+	if small, big := red(2), red(65536); big >= small {
+		t.Fatalf("reduction should shrink with size: %.1f%% @2B vs %.1f%% @64KiB", 100*small, 100*big)
+	}
+}
+
+func TestRunNoiseProducesErrorBars(t *testing.T) {
+	cfg := quickCfg(hostif.UCX(), 1024)
+	cfg.Runs = 6
+	if res := MeasureLatency(cfg, TransportRVMA); res.Summary.Stddev > 1e-6 {
+		t.Fatalf("no noise should mean (numerically) zero stddev, got %v", res.Summary.Stddev)
+	}
+	cfg.RunNoise = 0.05
+	if res := MeasureLatency(cfg, TransportRVMA); res.Summary.Stddev < 1 {
+		t.Fatalf("run noise should produce visible inter-run stddev, got %v", res.Summary.Stddev)
+	}
+}
+
+func TestMeasureLatencyDeterministic(t *testing.T) {
+	cfg := quickCfg(hostif.Verbs(), 256)
+	a := MeasureLatency(cfg, TransportRDMAAdaptive)
+	b := MeasureLatency(cfg, TransportRDMAAdaptive)
+	if a.Summary.Mean != b.Summary.Mean {
+		t.Fatalf("same seed must reproduce: %v vs %v", a.Summary.Mean, b.Summary.Mean)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config should panic")
+		}
+	}()
+	MeasureLatency(LatencyConfig{Profile: hostif.Verbs()}, TransportRVMA)
+}
+
+func TestSetupCost(t *testing.T) {
+	prof := hostif.UCX()
+	small := SetupCost(prof, 4096, fabric.RouteStatic, 1)
+	big := SetupCost(prof, 1<<22, fabric.RouteStatic, 1)
+	if small <= 0 {
+		t.Fatal("setup cost must be positive")
+	}
+	if big <= small {
+		t.Fatalf("registering 4MiB (%v) must cost more than 4KiB (%v): page pinning", big, small)
+	}
+}
+
+func TestAmortization(t *testing.T) {
+	prof := hostif.UCX()
+	small := Amortization(prof, 64, TransportRDMAAdaptive, 0.03, 1)
+	big := Amortization(prof, 65536, TransportRDMAAdaptive, 0.03, 1)
+	if small.Exchanges < 10 {
+		t.Fatalf("small messages need many exchanges to amortize setup, got %d", small.Exchanges)
+	}
+	if big.Exchanges >= small.Exchanges {
+		t.Fatalf("amortization count must fall with size: %d @64B vs %d @64KiB",
+			small.Exchanges, big.Exchanges)
+	}
+	// Cross-check the formula: N-1 exchanges must NOT satisfy the bound.
+	n := small.Exchanges
+	overhead := func(k int) float64 {
+		return (small.SetupNanos + float64(k)*small.LatencyNanos) / (float64(k) * small.LatencyNanos)
+	}
+	if overhead(n) > 1.03 {
+		t.Fatalf("N=%d does not satisfy the 3%% bound", n)
+	}
+	if n > 1 && overhead(n-1) <= 1.03 {
+		t.Fatalf("N=%d is not minimal", n)
+	}
+}
+
+func TestAmortizationStaticNeedsMoreExchanges(t *testing.T) {
+	// Static-routing latency is lower, so the same setup cost takes MORE
+	// exchanges to amortize — the visible gap between Figure 6's curves.
+	prof := hostif.UCX()
+	st := Amortization(prof, 1024, TransportRDMAStatic, 0.03, 1)
+	ad := Amortization(prof, 1024, TransportRDMAAdaptive, 0.03, 1)
+	if st.Exchanges <= ad.Exchanges {
+		t.Fatalf("static N (%d) should exceed adaptive N (%d)", st.Exchanges, ad.Exchanges)
+	}
+}
+
+func TestAmortizationBadTolerancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero tolerance should panic")
+		}
+	}()
+	Amortization(hostif.UCX(), 64, TransportRVMA, 0, 1)
+}

@@ -1,0 +1,72 @@
+package motif
+
+import (
+	"fmt"
+
+	"rvma/internal/sim"
+)
+
+// IncastConfig parameterizes the many-to-one motif: every rank except the
+// server streams Messages messages of MsgBytes to rank 0. This is the
+// "many-to-one communication models such as those found in public
+// internet client-server situations" the paper's abstract motivates:
+// RDMA needs a dedicated negotiated buffer per client held for unbounded
+// time, while an RVMA server steers all clients into receiver-managed
+// mailboxes.
+type IncastConfig struct {
+	Messages int
+	MsgBytes int
+}
+
+// DefaultIncastConfig returns a modest client burst.
+func DefaultIncastConfig() IncastConfig {
+	return IncastConfig{Messages: 8, MsgBytes: 4096}
+}
+
+// RunIncast executes the motif and returns the simulated makespan (server
+// consumed every message).
+func RunIncast(c *Cluster, cfg IncastConfig) (sim.Time, error) {
+	ranks := len(c.Transports)
+	if ranks < 2 {
+		return 0, fmt.Errorf("incast: need at least 2 ranks")
+	}
+	if cfg.Messages <= 0 || cfg.MsgBytes <= 0 {
+		return 0, fmt.Errorf("incast: non-positive parameter")
+	}
+
+	var finished sim.Time
+	done := sim.NewGate(c.Eng, ranks)
+	done.Future().OnComplete(func() { finished = c.Eng.Now() })
+
+	server := c.Transports[0]
+	clients := make([]int, 0, ranks-1)
+	for r := 1; r < ranks; r++ {
+		clients = append(clients, r)
+	}
+	c.Eng.Spawn("incast-server", func(p *sim.Process) {
+		p.Wait(server.Prepare(clients, nil, cfg.MsgBytes))
+		// Consume messages round-robin across clients; per-pair FIFO makes
+		// this deterministic regardless of cross-client arrival order.
+		for m := 0; m < cfg.Messages; m++ {
+			for _, cl := range clients {
+				p.Wait(server.Recv(cl, cfg.MsgBytes))
+			}
+		}
+		done.Arrive(c.Eng)
+	})
+	for _, cl := range clients {
+		tp := c.Transports[cl]
+		c.Eng.Spawn(fmt.Sprintf("incast-c%d", cl), func(p *sim.Process) {
+			p.Wait(tp.Prepare(nil, []int{0}, cfg.MsgBytes))
+			for m := 0; m < cfg.Messages; m++ {
+				p.Wait(tp.Send(0, cfg.MsgBytes))
+			}
+			done.Arrive(c.Eng)
+		})
+	}
+	c.Eng.Run()
+	if !done.Future().Done() {
+		return 0, fmt.Errorf("incast: deadlock")
+	}
+	return finished, nil
+}

@@ -1,0 +1,180 @@
+package motif
+
+import (
+	"fmt"
+
+	"rvma/internal/rdma"
+	"rvma/internal/sim"
+)
+
+// creditQP is the control queue pair carrying buffer-reuse credits.
+const creditQP = 1
+
+// rdmaTransport is the baseline: each (sender, receiver) pair negotiates a
+// fixed set of buffers up front (Figure 1) and then must coordinate every
+// reuse. A sender holds one credit per negotiated buffer; each message
+// consumes a credit, and the receiver returns it (a 1-byte control send)
+// once the message has been consumed. Completion at the receiver follows
+// the routing mode: cumulative last-byte polling under static routing, or
+// the trailing send/recv fence under adaptive routing.
+//
+// This is the "tight coordination" the paper's Sweep3D discussion blames
+// for RDMA's slowdown: where RVMA's receiver-managed mailboxes let a
+// sender "simply send the data when it is available", the RDMA sender
+// must interlock with the receiver on every buffer reuse, and on adaptive
+// networks every message drags a completion send behind it (§V-B1).
+type rdmaTransport struct {
+	ep    *rdma.Endpoint
+	ranks int
+	// ordered reports whether the network preserves byte order (static
+	// routing), enabling last-byte completion; otherwise every put drags
+	// a send/recv fence.
+	ordered bool
+	nbufs   int
+	out     map[int]*sendState
+	in      map[int]*recvState
+}
+
+// sendState is the per-destination sender bookkeeping.
+type sendState struct {
+	dst     int
+	ready   bool // handshakes finished
+	bufs    []rdma.RemoteBuffer
+	rr      int // round-robin buffer cursor
+	credits int
+	queue   []*sendReq
+}
+
+type sendReq struct {
+	size int
+	done *sim.Future
+}
+
+// recvState is the per-source receiver bookkeeping.
+type recvState struct {
+	src      int
+	consumed uint64 // cumulative bytes of consumed messages (WaitBytes target)
+	pending  []*sim.Future
+}
+
+func newRDMATransport(ep *rdma.Endpoint, ranks int, ordered bool, nbufs int) *rdmaTransport {
+	return &rdmaTransport{
+		ep:      ep,
+		ranks:   ranks,
+		ordered: ordered,
+		nbufs:   nbufs,
+		out:     make(map[int]*sendState),
+		in:      make(map[int]*recvState),
+	}
+}
+
+// Rank implements Transport.
+func (t *rdmaTransport) Rank() int { return t.ep.Node() }
+
+// Ranks implements Transport.
+func (t *rdmaTransport) Ranks() int { return t.ranks }
+
+// Prepare implements Transport: run the Figure 1 handshake for every
+// out-neighbor (nbufs buffers each) before any data can move — the setup
+// RVMA does not have. In-neighbors need only local state.
+func (t *rdmaTransport) Prepare(inPeers, outPeers []int, maxMsg int) *sim.Future {
+	for _, src := range inPeers {
+		if _, ok := t.in[src]; !ok {
+			t.in[src] = &recvState{src: src}
+		}
+	}
+	eng := t.ep.Engine()
+	f := sim.NewFuture()
+	remaining := 0
+	for _, dst := range outPeers {
+		if _, ok := t.out[dst]; ok {
+			continue
+		}
+		st := &sendState{dst: dst, credits: t.nbufs}
+		t.out[dst] = st
+		for i := 0; i < t.nbufs; i++ {
+			remaining++
+			op := t.ep.RequestRemoteBuffer(dst, maxMsg)
+			op.Done.OnComplete(func() {
+				st.bufs = append(st.bufs, op.Done.Value().(rdma.RemoteBuffer))
+				remaining--
+				if remaining == 0 {
+					for _, s2 := range t.out {
+						s2.ready = true
+					}
+					f.Complete(eng, nil)
+					for _, s2 := range t.out {
+						t.drain(s2)
+					}
+				}
+			})
+		}
+	}
+	if remaining == 0 {
+		f.Complete(eng, nil)
+	}
+	return f
+}
+
+// Send implements Transport: queue the message; it goes to the wire when
+// a negotiated buffer credit is available.
+func (t *rdmaTransport) Send(dst, size int) *sim.Future {
+	st := t.out[dst]
+	if st == nil {
+		panic(fmt.Sprintf("motif: rank %d Send to unprepared dst %d", t.Rank(), dst))
+	}
+	req := &sendReq{size: size, done: sim.NewFuture()}
+	st.queue = append(st.queue, req)
+	t.drain(st)
+	return req.done
+}
+
+// drain issues queued sends while credits last.
+func (t *rdmaTransport) drain(st *sendState) {
+	for st.ready && st.credits > 0 && len(st.queue) > 0 {
+		req := st.queue[0]
+		st.queue = st.queue[1:]
+		st.credits--
+		rb := st.bufs[st.rr]
+		st.rr = (st.rr + 1) % len(st.bufs)
+
+		scheme := rdma.CompleteSendRecv
+		if t.ordered {
+			scheme = rdma.CompleteNone // receiver uses cumulative last-byte polling
+		}
+		op := t.ep.PutN(rb, 0, req.size, scheme)
+		done := req.done
+		op.Local.OnComplete(func() { done.Complete(t.ep.Engine(), nil) })
+
+		// Arm the credit return for this buffer.
+		credit := t.ep.PostRecv(st.dst, creditQP)
+		credit.Done.OnComplete(func() {
+			st.credits++
+			t.drain(st)
+		})
+	}
+}
+
+// Recv implements Transport: observe the next message from src per the
+// kind's completion scheme, then return the buffer credit.
+func (t *rdmaTransport) Recv(src, size int) *sim.Future {
+	st := t.in[src]
+	if st == nil {
+		panic(fmt.Sprintf("motif: rank %d Recv from unprepared src %d", t.Rank(), src))
+	}
+	var completed *sim.Future
+	if t.ordered {
+		st.consumed += uint64(size)
+		completed = t.ep.WaitBytes(src, st.consumed)
+	} else {
+		completed = t.ep.PostRecv(src, rdma.FenceQP).Done
+	}
+	f := sim.NewFuture()
+	eng := t.ep.Engine()
+	completed.OnComplete(func() {
+		// Message consumed: hand the buffer back to the sender.
+		t.ep.Send(src, creditQP, 1)
+		f.Complete(eng, nil)
+	})
+	return f
+}

@@ -1,0 +1,302 @@
+package mpirma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/nic"
+	"rvma/internal/pcie"
+	"rvma/internal/rvma"
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+)
+
+// newComm builds an n-rank communicator on a one-switch network.
+func newComm(t *testing.T, n int, seed uint64) *Comm {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net, err := fabric.New(eng, topology.NewSingleSwitch(n), fabric.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := nic.DefaultProfile()
+	eps := make([]*rvma.Endpoint, n)
+	cfg := rvma.DefaultConfig()
+	cfg.HistoryDepth = 8
+	for i := 0; i < n; i++ {
+		eps[i] = rvma.NewEndpoint(nic.New(eng, net, i, pcie.Gen4x16(), prof), cfg)
+	}
+	c, err := NewComm(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runRanks spawns body(rank) as one process per rank and runs to quiet.
+func runRanks(t *testing.T, c *Comm, body func(p *sim.Process, rank int)) {
+	t.Helper()
+	done := 0
+	for rank := 0; rank < c.Size(); rank++ {
+		rank := rank
+		c.Engine().Spawn("rank", func(p *sim.Process) {
+			body(p, rank)
+			done++
+		})
+	}
+	c.Engine().Run()
+	if done != c.Size() {
+		t.Fatalf("only %d of %d ranks finished (fence deadlock?)", done, c.Size())
+	}
+}
+
+func TestPutFenceVisibility(t *testing.T) {
+	c := newComm(t, 4, 1)
+	win, err := CreateWin(c, WinConfig{Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRanks(t, c, func(p *sim.Process, rank int) {
+		// Everyone writes its rank id into slot 8*rank of rank 0's window.
+		if rank != 0 {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(rank))
+			if _, err := win.Put(rank, 0, 8*rank, b[:]); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := win.Fence(p, rank); err != nil {
+			t.Errorf("rank %d fence: %v", rank, err)
+		}
+		if rank == 0 {
+			// After the fence, all puts of the epoch are visible — in the
+			// retired epoch's region (epoch regions are per-epoch buffers).
+			data, err := win.Rewind(0+rank, 1)
+			if err != nil {
+				t.Errorf("rewind: %v", err)
+				return
+			}
+			for r := 1; r < 4; r++ {
+				got := binary.LittleEndian.Uint64(data[8*r : 8*r+8])
+				if got != uint64(r) {
+					t.Errorf("slot %d = %d, want %d", r, got, r)
+				}
+			}
+		}
+	})
+}
+
+func TestMultipleEpochs(t *testing.T) {
+	c := newComm(t, 3, 2)
+	win, err := CreateWin(c, WinConfig{Size: 64, Shadows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 4
+	runRanks(t, c, func(p *sim.Process, rank int) {
+		for e := 1; e <= epochs; e++ {
+			// Ring pattern: each rank stamps (epoch, rank) into its right
+			// neighbor's window.
+			right := (rank + 1) % 3
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(e*100+rank))
+			if _, err := win.Put(rank, right, 0, b[:]); err != nil {
+				t.Error(err)
+			}
+			if err := win.Fence(p, rank); err != nil {
+				t.Errorf("rank %d epoch %d: %v", rank, e, err)
+				return
+			}
+			// The just-retired epoch holds the left neighbor's stamp.
+			left := (rank + 2) % 3
+			data, err := win.Rewind(rank, 1)
+			if err != nil {
+				t.Errorf("rank %d rewind: %v", rank, err)
+				return
+			}
+			got := binary.LittleEndian.Uint64(data[:8])
+			if got != uint64(e*100+left) {
+				t.Errorf("rank %d epoch %d: got stamp %d, want %d", rank, e, got, e*100+left)
+			}
+		}
+	})
+	for rank := 0; rank < 3; rank++ {
+		if win.Epoch(rank) != epochs {
+			t.Fatalf("rank %d epoch = %d, want %d", rank, win.Epoch(rank), epochs)
+		}
+	}
+}
+
+func TestRewindDepth(t *testing.T) {
+	c := newComm(t, 2, 3)
+	win, err := CreateWin(c, WinConfig{Size: 16, Shadows: 5}) // safe depth 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRanks(t, c, func(p *sim.Process, rank int) {
+		for e := 1; e <= 4; e++ {
+			if rank == 0 {
+				payload := bytes.Repeat([]byte{byte(e)}, 16)
+				if _, err := win.Put(0, 1, 0, payload); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := win.Fence(p, rank); err != nil {
+				t.Errorf("fence: %v", err)
+				return
+			}
+		}
+		if rank == 1 {
+			// Rewind(1..3) must return epochs 4, 3, 2 byte-exact.
+			for k := 1; k <= 3; k++ {
+				data, err := win.Rewind(1, k)
+				if err != nil {
+					t.Errorf("Rewind(%d): %v", k, err)
+					continue
+				}
+				want := byte(5 - k)
+				if data[0] != want {
+					t.Errorf("Rewind(%d) = epoch %d data, want %d", k, data[0], want)
+				}
+			}
+			// Depth 4 exceeds the shadow guarantee.
+			if _, err := win.Rewind(1, 4); err == nil {
+				t.Error("Rewind(4) should fail: region reused by rotation")
+			}
+		}
+	})
+}
+
+func TestGetThroughWindow(t *testing.T) {
+	c := newComm(t, 2, 4)
+	win, err := CreateWin(c, WinConfig{Size: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-load rank 1's active region directly (local initialization).
+	content := bytes.Repeat([]byte{0x5C}, 128)
+	r1 := win.ranks[1]
+	c.eps[1].Memory().Write(r1.shadows[r1.curShadow].Base, content)
+
+	runRanks(t, c, func(p *sim.Process, rank int) {
+		if rank == 0 {
+			f, err := win.Get(0, 1, 32, 64)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(f)
+			got := f.Value().([]byte)
+			if !bytes.Equal(got, content[32:96]) {
+				t.Error("get returned wrong bytes")
+			}
+		}
+	})
+}
+
+func TestFenceWithNoTraffic(t *testing.T) {
+	// A fence in an epoch with zero puts must still synchronize.
+	c := newComm(t, 4, 5)
+	win, err := CreateWin(c, WinConfig{Size: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRanks(t, c, func(p *sim.Process, rank int) {
+		for e := 0; e < 3; e++ {
+			if err := win.Fence(p, rank); err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
+		}
+	})
+}
+
+func TestSingleRankComm(t *testing.T) {
+	c := newComm(t, 1, 6)
+	win, err := CreateWin(c, WinConfig{Size: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRanks(t, c, func(p *sim.Process, rank int) {
+		if err := win.Fence(p, rank); err != nil {
+			t.Error(err)
+		}
+	})
+	if win.Epoch(0) != 1 {
+		t.Fatalf("epoch = %d", win.Epoch(0))
+	}
+}
+
+func TestManyPutsPerEpoch(t *testing.T) {
+	// Stress the count-report path: many puts from every rank to rank 0.
+	c := newComm(t, 4, 7)
+	win, err := CreateWin(c, WinConfig{Size: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const putsPerRank = 16
+	runRanks(t, c, func(p *sim.Process, rank int) {
+		if rank != 0 {
+			for i := 0; i < putsPerRank; i++ {
+				off := (rank-1)*putsPerRank*8 + i*8
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], uint64(rank*1000+i))
+				if _, err := win.Put(rank, 0, off, b[:]); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		if err := win.Fence(p, rank); err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	})
+	data, err := win.Rewind(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 1; rank < 4; rank++ {
+		for i := 0; i < putsPerRank; i++ {
+			off := (rank-1)*putsPerRank*8 + i*8
+			got := binary.LittleEndian.Uint64(data[off : off+8])
+			if got != uint64(rank*1000+i) {
+				t.Fatalf("slot (%d,%d) = %d", rank, i, got)
+			}
+		}
+	}
+}
+
+func TestWinValidation(t *testing.T) {
+	c := newComm(t, 2, 8)
+	if _, err := CreateWin(c, WinConfig{Size: 0}); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	if _, err := CreateWin(c, WinConfig{Size: 8, Shadows: 2}); err == nil {
+		t.Fatal("too few shadows should fail")
+	}
+	win, err := CreateWin(c, WinConfig{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := win.Put(0, 1, 4, make([]byte, 8)); err == nil {
+		t.Fatal("overflowing put should fail")
+	}
+	if _, err := win.Get(0, 1, 0, 9); err == nil {
+		t.Fatal("overflowing get should fail")
+	}
+}
+
+func TestNewCommValidation(t *testing.T) {
+	if _, err := NewComm(nil); err == nil {
+		t.Fatal("empty comm should fail")
+	}
+	eng := sim.NewEngine(1)
+	net, _ := fabric.New(eng, topology.NewSingleSwitch(2), fabric.DefaultConfig())
+	cfg := rvma.DefaultConfig()
+	cfg.CarryData = false
+	ep := rvma.NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), nic.DefaultProfile()), cfg)
+	if _, err := NewComm([]*rvma.Endpoint{ep}); err == nil {
+		t.Fatal("timing-only endpoints should fail")
+	}
+}

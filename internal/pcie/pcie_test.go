@@ -1,0 +1,109 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rvma/internal/sim"
+)
+
+func TestGenerations(t *testing.T) {
+	g4 := Gen4x16()
+	g6 := Gen6x16()
+	if g4.Latency != 150*sim.Nanosecond {
+		t.Fatalf("Gen4/5 latency = %v, want the paper's 150ns", g4.Latency)
+	}
+	if g6.Latency >= g4.Latency {
+		t.Fatal("Gen6 latency must be lower ('10 of ns vs 200 today')")
+	}
+	if g6.GBps <= g4.GBps {
+		t.Fatal("Gen6 bandwidth must exceed Gen4")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config should panic")
+		}
+	}()
+	New(Config{Latency: -1, GBps: 1})
+}
+
+func TestDoorbellCostsLatencyOnly(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := New(Gen4x16())
+	var done sim.Time
+	eng.Schedule(0, func() {
+		b.Transfer(eng, 0, func() { done = eng.Now() })
+	})
+	eng.Run()
+	if done != 150*sim.Nanosecond {
+		t.Fatalf("zero-byte transfer completed at %v, want 150ns", done)
+	}
+	if b.Transactions != 1 || b.Bytes != 0 {
+		t.Fatalf("stats: %d transactions, %d bytes", b.Transactions, b.Bytes)
+	}
+}
+
+func TestTransferBandwidthTerm(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := New(Config{Latency: 100 * sim.Nanosecond, GBps: 25})
+	var done sim.Time
+	eng.Schedule(0, func() {
+		// 25 GB/s = 200 Gbit/s; 250,000 bytes = 2,000,000 bits = 10 us.
+		b.Transfer(eng, 250000, func() { done = eng.Now() })
+	})
+	eng.Run()
+	want := 10*sim.Microsecond + 100*sim.Nanosecond
+	if done != want {
+		t.Fatalf("transfer completed at %v, want %v", done, want)
+	}
+}
+
+func TestBusSerializesTransfers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := New(Config{Latency: 10 * sim.Nanosecond, GBps: 1}) // 8 Gbit/s
+	var first, second sim.Time
+	eng.Schedule(0, func() {
+		b.Transfer(eng, 1000, func() { first = eng.Now() })  // 1us + 10ns
+		b.Transfer(eng, 1000, func() { second = eng.Now() }) // queued behind
+	})
+	eng.Run()
+	if first != sim.Microsecond+10*sim.Nanosecond {
+		t.Fatalf("first = %v", first)
+	}
+	if second != 2*sim.Microsecond+10*sim.Nanosecond {
+		t.Fatalf("second = %v, want data paths serialized", second)
+	}
+}
+
+func TestNegativeTransferPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := New(Gen4x16())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size should panic")
+		}
+	}()
+	b.Transfer(eng, -1, func() {})
+}
+
+// Property: Gen6 always completes a transfer no later than Gen4.
+func TestGen6NeverSlowerProperty(t *testing.T) {
+	run := func(cfg Config, size int) sim.Time {
+		eng := sim.NewEngine(1)
+		b := New(cfg)
+		var done sim.Time
+		eng.Schedule(0, func() { b.Transfer(eng, size, func() { done = eng.Now() }) })
+		eng.Run()
+		return done
+	}
+	f := func(sizeRaw uint16) bool {
+		size := int(sizeRaw)
+		return run(Gen6x16(), size) <= run(Gen4x16(), size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rvma/internal/fabric"
+	"rvma/internal/nic"
+	"rvma/internal/pcie"
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+)
+
+// TestPutPlacementMatchesOracle: any sequence of in-bounds RDMA puts lands
+// exactly where the carried physical addresses say, under static routing.
+func TestPutPlacementMatchesOracle(t *testing.T) {
+	type putSpec struct {
+		Off  uint16
+		Len  uint8
+		Seed uint8
+	}
+	f := func(specs []putSpec) bool {
+		const regionSize = 8192
+		eng := sim.NewEngine(3)
+		net, err := fabric.New(eng, topology.NewSingleSwitch(2), fabric.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		prof := nic.DefaultProfile()
+		a := NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), prof), DefaultConfig())
+		b := NewEndpoint(nic.New(eng, net, 1, pcie.Gen4x16(), prof), DefaultConfig())
+
+		op := a.RequestRemoteBuffer(1, regionSize)
+		eng.Run()
+		if !op.Done.Done() {
+			return false
+		}
+		rb := op.Done.Value().(RemoteBuffer)
+
+		oracle := make([]byte, regionSize)
+		eng.Schedule(0, func() {
+			for _, s := range specs {
+				off := int(s.Off) % (regionSize - 256)
+				n := int(s.Len) + 1
+				data := make([]byte, n)
+				for i := range data {
+					data[i] = byte(int(s.Seed) + i*3)
+				}
+				copy(oracle[off:], data)
+				a.Put(rb, off, data, CompleteNone)
+			}
+		})
+		eng.Run()
+		return bytes.Equal(b.Memory().Read(rb.Addr, regionSize), oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFenceNeverEarlyProperty: for any message size and jitter seed, a
+// fenced completion send is never delivered before its put's bytes —
+// the transport-resequencing guarantee, exercised under reordering.
+func TestFenceNeverEarlyProperty(t *testing.T) {
+	f := func(seed uint16, sizeRaw uint16) bool {
+		size := int(sizeRaw)%(96*1024) + 1024
+		eng := sim.NewEngine(uint64(seed) + 1)
+		fcfg := fabric.DefaultConfig()
+		fcfg.Routing = fabric.RouteAdaptive
+		fcfg.AdaptiveJitter = 0.9
+		fcfg.MTU = 512
+		topo := topology.NewFatTree(4)
+		net, err := fabric.New(eng, topo, fcfg)
+		if err != nil {
+			return false
+		}
+		prof := nic.DefaultProfile()
+		cfg := DefaultConfig()
+		cfg.CarryData = false
+		cfg.PipelinedFence = true // the racy variant; the fence must save it
+		a := NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), prof), cfg)
+		b := NewEndpoint(nic.New(eng, net, topo.NumNodes()-1, pcie.Gen4x16(), prof), cfg)
+
+		op := a.RequestRemoteBuffer(topo.NumNodes()-1, size)
+		eng.Run()
+		if !op.Done.Done() {
+			return false
+		}
+		rb := op.Done.Value().(RemoteBuffer)
+		mr := b.RegionByKey(rb.RKey)
+
+		sound := true
+		eng.Schedule(0, func() {
+			recv := b.PostRecv(0, FenceQP)
+			recv.Done.OnComplete(func() {
+				if mr.BytesReceived < size {
+					sound = false
+				}
+			})
+			a.PutN(rb, 0, size, CompleteSendRecv)
+		})
+		eng.Run()
+		return sound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistrationCostMonotone: registering more bytes never costs less.
+func TestRegistrationCostMonotone(t *testing.T) {
+	prof := nic.DefaultProfile()
+	f := func(aRaw, bRaw uint32) bool {
+		x, y := int(aRaw%(1<<24)), int(bRaw%(1<<24))
+		if x > y {
+			x, y = y, x
+		}
+		return prof.RegistrationTime(x+1) <= prof.RegistrationTime(y+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkRegistrationHandshake measures the Figure 1 setup path.
+func BenchmarkRegistrationHandshake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(1)
+		net, _ := fabric.New(eng, topology.NewSingleSwitch(2), fabric.DefaultConfig())
+		prof := nic.DefaultProfile()
+		a := NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), prof), DefaultConfig())
+		NewEndpoint(nic.New(eng, net, 1, pcie.Gen4x16(), prof), DefaultConfig())
+		a.RequestRemoteBuffer(1, 65536)
+		eng.Run()
+	}
+}

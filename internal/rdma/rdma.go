@@ -1,0 +1,285 @@
+// Package rdma models traditional RDMA as the paper's baseline: physical-
+// address windows owned by the initiator, a mandatory buffer-negotiation
+// handshake before any transfer (Figure 1), and target-side completion
+// that requires either byte-level network ordering (last-byte polling,
+// valid only on statically routed networks) or an extra ordered send/recv
+// after the data ("the InfiniBand specification states that no RDMA
+// operation can be considered complete until a later send/recv operation
+// has finished", §IV-D).
+//
+// The model runs on the same NIC/fabric/bus substrate as package rvma —
+// the paper's methodology requires both models to share "identical timing
+// for non-RDMA related traffic considerations" (§V-B) — so every
+// performance difference between the two packages is structural: the
+// handshake, the trailing completion message, and the receiver's inability
+// to manage its own buffers.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+
+	"rvma/internal/memory"
+	"rvma/internal/nic"
+	"rvma/internal/sim"
+)
+
+// Errors returned by the API.
+var (
+	ErrBadRKey     = errors.New("rdma: unknown or revoked rkey")
+	ErrOutOfBounds = errors.New("rdma: access outside registered region")
+	ErrTooLarge    = errors.New("rdma: payload exceeds immediate limit")
+	ErrBadArgument = errors.New("rdma: invalid argument")
+)
+
+// MaxImmediate is the largest payload a write-with-immediate may carry.
+// The paper notes such completion-generating commands have payloads
+// "typically under 64 bytes in size" (§I).
+const MaxImmediate = 64
+
+// CompletionScheme selects how the *target* learns a put finished.
+type CompletionScheme int
+
+const (
+	// CompleteNone delivers data with no target-side notification — the
+	// raw RDMA semantic.
+	CompleteNone CompletionScheme = iota
+	// CompleteLastByte has target software poll the final byte of the
+	// expected span. It is only correct on byte-ordered (statically
+	// routed) networks; on adaptive networks the last byte can land
+	// before earlier ones and the "completion" is premature (§IV-D).
+	CompleteLastByte
+	// CompleteSendRecv appends a 1-byte send after the put. Transport
+	// ordering guarantees the send is delivered only after all prior put
+	// bytes, making it the specification-compliant completion on
+	// adaptively routed networks — at the cost of an extra message.
+	CompleteSendRecv
+)
+
+// String returns the scheme's report name.
+func (s CompletionScheme) String() string {
+	switch s {
+	case CompleteNone:
+		return "none"
+	case CompleteLastByte:
+		return "last-byte-poll"
+	case CompleteSendRecv:
+		return "send-recv-fence"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Config parameterizes an RDMA endpoint.
+type Config struct {
+	// CarryData moves real bytes (tests); when false only timing flows.
+	CarryData bool
+	// PipelinedFence changes CompleteSendRecv behavior: when true the
+	// 1-byte completion send is posted immediately after the put and the
+	// *target* holds it until every put byte has landed (what an
+	// aggressive runtime like UCX's progress engine does); when false the
+	// initiator conservatively reaps the write's local completion — the
+	// responder ACK round trip — before posting the send (what a naive
+	// perftest modification does). Both are specification-compliant.
+	PipelinedFence bool
+}
+
+// DefaultConfig returns the configuration used by tests and benchmarks.
+func DefaultConfig() Config { return Config{CarryData: true} }
+
+// MemoryRegion is a locally registered, remotely accessible buffer.
+type MemoryRegion struct {
+	RKey   uint32
+	Region *memory.Region
+	// BytesReceived counts put payload bytes landed in this region (model
+	// bookkeeping; a real NIC has no such counter, which is the paper's
+	// entire point — see rvma).
+	BytesReceived int
+	revoked       bool
+}
+
+// RemoteBuffer is the initiator's handle to a remote registered region:
+// exactly the (address, length, key) triple Figure 1's handshake ships
+// back, which the initiator must retain for every subsequent operation.
+type RemoteBuffer struct {
+	Node int
+	RKey uint32
+	Addr memory.Addr
+	Size int
+}
+
+// Stats aggregates endpoint counters.
+type Stats struct {
+	Handshakes     uint64 // buffer negotiations served (target side)
+	AcksSent       uint64 // transport ACKs emitted (target side)
+	Registrations  uint64
+	PutsInitiated  uint64
+	PutsPlaced     uint64 // messages fully landed (target side)
+	BytesPlaced    uint64
+	SendsDelivered uint64
+	FencesHeld     uint64 // completion sends that had to wait for data
+	Drops          uint64
+	ReadsServed    uint64
+}
+
+// Endpoint is one node's RDMA instance (host verbs library + NIC model).
+type Endpoint struct {
+	nic *nic.NIC
+	cfg Config
+
+	mrs      map[uint32]*MemoryRegion
+	nextRKey uint32
+
+	nextMsgID uint64
+
+	// Initiator-side bookkeeping.
+	pendingRegs  map[uint64]*RegOp
+	pendingAcks  map[uint64]func() // put msgID -> action on transport ACK
+	pendingReads map[uint64]*ReadOp
+	readBuf      map[uint64][]byte
+	readAsm      *nic.Assembler
+	sentBytes    map[int]uint64 // per-destination cumulative put payload bytes
+
+	// Target-side bookkeeping. Receive queues are per (source node, QP
+	// index): InfiniBand receive queues belong to a queue pair, and
+	// applications commonly run several QPs per peer (e.g. one for data
+	// and fences, one for control credits).
+	recvBytes     map[int]uint64 // per-source cumulative put payload bytes landed
+	recvQueues    map[qpKey][]*RecvOp
+	pendingSends  map[qpKey][]*pendingSend
+	lastByteWaits []*LastByteWait
+	byteWaits     []*byteWait
+	asm           *nic.Assembler
+
+	Stats Stats
+}
+
+// qpKey identifies one queue pair: the peer node and a small application-
+// chosen QP index.
+type qpKey struct {
+	src int
+	qp  int
+}
+
+// FenceQP is the QP index put completion sends and immediates arrive on.
+const FenceQP = 0
+
+// pendingSend is a send whose fence (prior put bytes) is not yet satisfied
+// or which awaits a posted receive.
+type pendingSend struct {
+	src        int
+	fenceBytes uint64
+	size       int
+	imm        *immediateInfo
+}
+
+type immediateInfo struct {
+	rkey uint32
+}
+
+// NewEndpoint attaches an RDMA endpoint to the NIC.
+func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
+	ep := &Endpoint{
+		nic:          n,
+		cfg:          cfg,
+		mrs:          make(map[uint32]*MemoryRegion),
+		nextRKey:     1,
+		pendingRegs:  make(map[uint64]*RegOp),
+		pendingAcks:  make(map[uint64]func()),
+		pendingReads: make(map[uint64]*ReadOp),
+		readBuf:      make(map[uint64][]byte),
+		readAsm:      nic.NewAssembler(),
+		sentBytes:    make(map[int]uint64),
+		recvBytes:    make(map[int]uint64),
+		recvQueues:   make(map[qpKey][]*RecvOp),
+		pendingSends: make(map[qpKey][]*pendingSend),
+		asm:          nic.NewAssembler(),
+	}
+	n.SetHandler(ep.handlePacket)
+	return ep
+}
+
+// Node returns the endpoint's node id.
+func (ep *Endpoint) Node() int { return ep.nic.Node() }
+
+// NIC returns the underlying NIC model.
+func (ep *Endpoint) NIC() *nic.NIC { return ep.nic }
+
+// Memory returns the node's host memory.
+func (ep *Endpoint) Memory() *memory.Memory { return ep.nic.Memory() }
+
+// Engine returns the simulation engine.
+func (ep *Endpoint) Engine() *sim.Engine { return ep.nic.Engine() }
+
+// RegisterBuffer allocates and registers a region of the given size,
+// paying the profile's registration cost (syscall + page pinning). The
+// future resolves with the *MemoryRegion when registration completes.
+func (ep *Endpoint) RegisterBuffer(size int) *sim.Future {
+	if size <= 0 {
+		panic(fmt.Sprintf("rdma: register size %d", size))
+	}
+	f := sim.NewFuture()
+	eng := ep.Engine()
+	cost := ep.nic.Profile().RegistrationTime(size)
+	eng.Schedule(cost, func() {
+		mr := &MemoryRegion{RKey: ep.nextRKey, Region: ep.Memory().Alloc(size)}
+		ep.nextRKey++
+		ep.mrs[mr.RKey] = mr
+		ep.Stats.Registrations++
+		f.Complete(eng, mr)
+	})
+	return f
+}
+
+// RegionByKey returns the locally registered region with the given rkey,
+// or nil. Targets use it to find the region a negotiated handle refers to.
+func (ep *Endpoint) RegionByKey(rkey uint32) *MemoryRegion { return ep.mrs[rkey] }
+
+// Deregister revokes a region; subsequent remote accesses are dropped.
+// This is the "binary" resource control the paper critiques: a region is
+// either remotely accessible or not (§II).
+func (ep *Endpoint) Deregister(mr *MemoryRegion) {
+	mr.revoked = true
+	delete(ep.mrs, mr.RKey)
+}
+
+// wire opcodes.
+type opcode int
+
+const (
+	opRegRequest opcode = iota
+	opRegReply
+	opPutData
+	opPutAck
+	opSend
+	opReadReq
+	opReadReply
+)
+
+// command is the wire payload.
+type command struct {
+	op    opcode
+	msgID uint64
+
+	// registration
+	size int
+	rb   RemoteBuffer
+
+	// put
+	rkey      uint32
+	msgOffset int
+	pktOffset int
+	total     int
+	data      []byte
+	// wantAck asks the target NIC to emit a transport acknowledgment when
+	// the whole message has landed (RC write completion semantics).
+	wantAck bool
+
+	// qp is the queue-pair index a send belongs to.
+	qp int
+	// send fence: cumulative put bytes sent on this (src,dst) pair before
+	// this send was issued; the target may not deliver the send until that
+	// many bytes have landed (transport resequencing).
+	fenceBytes uint64
+	imm        *immediateInfo
+}

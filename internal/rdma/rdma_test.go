@@ -1,0 +1,491 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/memory"
+	"rvma/internal/nic"
+	"rvma/internal/pcie"
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+)
+
+// rdmaTestQP is the QP index tests exchange two-sided traffic on.
+const rdmaTestQP = FenceQP
+
+func pair(t *testing.T, cfg Config, fcfg fabric.Config, seed uint64) (*sim.Engine, *Endpoint, *Endpoint) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net, err := fabric.New(eng, topology.NewSingleSwitch(2), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := nic.DefaultProfile()
+	a := NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), prof), cfg)
+	b := NewEndpoint(nic.New(eng, net, 1, pcie.Gen4x16(), prof), cfg)
+	return eng, a, b
+}
+
+func defaultPair(t *testing.T) (*sim.Engine, *Endpoint, *Endpoint) {
+	return pair(t, DefaultConfig(), fabric.DefaultConfig(), 1)
+}
+
+// handshake performs the Figure 1 negotiation and returns the remote
+// buffer handle once the simulation settles it.
+func handshake(t *testing.T, eng *sim.Engine, initiator *Endpoint, dst, size int) RemoteBuffer {
+	return remoteHandshake(t, eng, initiator, dst, size)
+}
+
+func remoteHandshake(t *testing.T, eng *sim.Engine, initiator *Endpoint, dst, size int) RemoteBuffer {
+	t.Helper()
+	var rb RemoteBuffer
+	got := false
+	eng.Schedule(0, func() {
+		op := initiator.RequestRemoteBuffer(dst, size)
+		op.Done.OnComplete(func() {
+			rb = op.Done.Value().(RemoteBuffer)
+			got = true
+		})
+	})
+	eng.Run()
+	if !got {
+		t.Fatal("registration handshake never completed")
+	}
+	return rb
+}
+
+func TestRegistrationHandshake(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 4096)
+	if rb.Node != 1 || rb.Size != 4096 || rb.RKey == 0 {
+		t.Fatalf("remote buffer = %+v", rb)
+	}
+	if b.Stats.Handshakes != 1 || b.Stats.Registrations != 1 {
+		t.Fatalf("target stats: %+v", b.Stats)
+	}
+	// The handshake costs at least the registration time plus a round trip.
+	if eng.Now() < nic.DefaultProfile().RegistrationTime(4096) {
+		t.Fatalf("handshake finished implausibly fast: %v", eng.Now())
+	}
+}
+
+func TestHandshakeCostExceedsRVMASetup(t *testing.T) {
+	// RVMA needs no handshake at all; RDMA's setup is a full round trip
+	// plus registration. This asymmetry is the core of Figure 6.
+	eng, a, _ := defaultPair(t)
+	start := eng.Now()
+	handshake(t, eng, a, 1, 1<<20)
+	elapsed := eng.Now() - start
+	if elapsed < 2*sim.Microsecond {
+		t.Fatalf("1 MiB handshake took only %v; expected microseconds", elapsed)
+	}
+}
+
+func TestPutPlacesData(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 8192)
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	eng.Schedule(0, func() { a.Put(rb, 100, payload, CompleteNone) })
+	eng.Run()
+	got := b.Memory().Read(rb.Addr+memory.Addr(100), 5000)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload not placed at remote address")
+	}
+	if b.Stats.PutsPlaced != 1 || b.Stats.BytesPlaced != 5000 {
+		t.Fatalf("target stats: %+v", b.Stats)
+	}
+}
+
+func TestPutToRevokedRegionDrops(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 1024)
+	for _, mr := range b.mrs {
+		b.Deregister(mr)
+	}
+	eng.Schedule(0, func() { a.Put(rb, 0, make([]byte, 64), CompleteNone) })
+	eng.Run()
+	if b.Stats.Drops == 0 {
+		t.Fatal("put to revoked region should drop")
+	}
+}
+
+func TestLastBytePollCompletesOnStatic(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 64*1024)
+	var mr *MemoryRegion
+	for _, m := range b.mrs {
+		mr = m
+	}
+	const total = 60000
+	var complete bool
+	var doneAt sim.Time
+	eng.Schedule(0, func() {
+		w := b.WaitLastByte(mr, total)
+		w.Done.OnComplete(func() {
+			complete = w.Done.Value().(bool)
+			doneAt = eng.Now()
+		})
+		a.Put(rb, 0, make([]byte, total), CompleteLastByte)
+	})
+	eng.Run()
+	if doneAt == 0 {
+		t.Fatal("last-byte poll never completed")
+	}
+	if !complete {
+		t.Fatal("on a statically routed network, last-byte completion must be sound")
+	}
+}
+
+// multipathPair builds endpoints on the two most distant nodes of a small
+// fat-tree, where adaptive routing has real alternative paths and can
+// reorder data packets against each other.
+func multipathPair(t *testing.T, cfg Config, fcfg fabric.Config, seed uint64) (*sim.Engine, *Endpoint, *Endpoint, int) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	topo := topology.NewFatTree(4)
+	net, err := fabric.New(eng, topo, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := nic.DefaultProfile()
+	a := NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), prof), cfg)
+	b := NewEndpoint(nic.New(eng, net, topo.NumNodes()-1, pcie.Gen4x16(), prof), cfg)
+	return eng, a, b, topo.NumNodes() - 1
+}
+
+func TestLastBytePollPrematureOnAdaptive(t *testing.T) {
+	// The §IV-D hazard: under adaptive routing the final byte can land
+	// before earlier payload bytes, so polling it "completes" a buffer
+	// that is still full of holes. At least one seed must exhibit it.
+	sawPremature := false
+	for seed := uint64(1); seed <= 30 && !sawPremature; seed++ {
+		fcfg := fabric.DefaultConfig()
+		fcfg.Routing = fabric.RouteAdaptive
+		fcfg.AdaptiveJitter = 0.9
+		fcfg.MTU = 256 // small packets arrive close together, maximizing reorder
+		eng, a, b, dstNode := multipathPair(t, DefaultConfig(), fcfg, seed)
+		rb := remoteHandshake(t, eng, a, dstNode, 256*1024)
+		var mr *MemoryRegion
+		for _, m := range b.mrs {
+			mr = m
+		}
+		const total = 200 * 1024
+		eng.Schedule(0, func() {
+			w := b.WaitLastByte(mr, total)
+			w.Done.OnComplete(func() {
+				if !w.Done.Value().(bool) {
+					sawPremature = true
+				}
+			})
+			a.Put(rb, 0, make([]byte, total), CompleteLastByte)
+		})
+		eng.Run()
+	}
+	if !sawPremature {
+		t.Fatal("adaptive routing never produced a premature last-byte completion in 30 seeds")
+	}
+}
+
+func TestSendRecvFenceHoldsUntilDataLands(t *testing.T) {
+	// The completion send must never be delivered before all put bytes,
+	// even when adaptive routing delivers it early.
+	for seed := uint64(1); seed <= 10; seed++ {
+		fcfg := fabric.DefaultConfig()
+		fcfg.Routing = fabric.RouteAdaptive
+		fcfg.AdaptiveJitter = 0.9
+		eng, a, b := pair(t, DefaultConfig(), fcfg, seed)
+		rb := handshake(t, eng, a, 1, 256*1024)
+		var mr *MemoryRegion
+		for _, m := range b.mrs {
+			mr = m
+		}
+		const total = 100 * 1024
+		var bytesAtCompletion int
+		eng.Schedule(0, func() {
+			recv := b.PostRecv(0, rdmaTestQP)
+			recv.Done.OnComplete(func() { bytesAtCompletion = mr.BytesReceived })
+			a.Put(rb, 0, make([]byte, total), CompleteSendRecv)
+		})
+		eng.Run()
+		if bytesAtCompletion < total {
+			t.Fatalf("seed %d: recv completed with only %d/%d bytes landed", seed, bytesAtCompletion, total)
+		}
+	}
+}
+
+func TestSendRecvCostsMoreThanLastByte(t *testing.T) {
+	// The measured penalty of Figures 4/5: specification-compliant
+	// completion (trailing send/recv) is slower than last-byte polling.
+	oneWay := func(scheme CompletionScheme) sim.Time {
+		eng, a, b := defaultPair(t)
+		rb := handshake(t, eng, a, 1, 4096)
+		var mr *MemoryRegion
+		for _, m := range b.mrs {
+			mr = m
+		}
+		start := eng.Now()
+		var done sim.Time
+		eng.Schedule(0, func() {
+			switch scheme {
+			case CompleteLastByte:
+				w := b.WaitLastByte(mr, 1024)
+				w.Done.OnComplete(func() { done = eng.Now() })
+			case CompleteSendRecv:
+				r := b.PostRecv(0, rdmaTestQP)
+				r.Done.OnComplete(func() { done = eng.Now() })
+			}
+			a.Put(rb, 0, make([]byte, 1024), scheme)
+		})
+		eng.Run()
+		if done == 0 {
+			t.Fatal("completion never observed")
+		}
+		return done - start
+	}
+	lb := oneWay(CompleteLastByte)
+	sr := oneWay(CompleteSendRecv)
+	if sr <= lb {
+		t.Fatalf("send/recv completion (%v) must cost more than last-byte (%v)", sr, lb)
+	}
+}
+
+func TestTwoSidedSendRecv(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	var got int
+	eng.Schedule(0, func() {
+		r := b.PostRecv(0, rdmaTestQP)
+		r.Done.OnComplete(func() { got = r.Done.Value().(int) })
+		a.Send(1, rdmaTestQP, 3000)
+	})
+	eng.Run()
+	if got != 3000 {
+		t.Fatalf("recv completed with size %d, want 3000", got)
+	}
+	if b.Stats.SendsDelivered != 1 {
+		t.Fatalf("stats: %+v", b.Stats)
+	}
+}
+
+func TestSendWaitsForPostedRecv(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	var doneAt sim.Time
+	eng.Schedule(0, func() { a.Send(1, rdmaTestQP, 64) })
+	// Post the receive long after the send arrives.
+	eng.Schedule(sim.Millisecond, func() {
+		r := b.PostRecv(0, rdmaTestQP)
+		r.Done.OnComplete(func() { doneAt = eng.Now() })
+	})
+	eng.Run()
+	if doneAt < sim.Millisecond {
+		t.Fatalf("recv completed at %v, before it was posted", doneAt)
+	}
+}
+
+func TestSendsMatchRecvsInOrder(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	var order []int
+	eng.Schedule(0, func() {
+		for i := 1; i <= 3; i++ {
+			i := i
+			r := b.PostRecv(0, rdmaTestQP)
+			r.Done.OnComplete(func() { order = append(order, i) })
+		}
+		a.Send(1, rdmaTestQP, 100)
+		a.Send(1, rdmaTestQP, 200)
+		a.Send(1, rdmaTestQP, 300)
+	})
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("recv completion order = %v", order)
+	}
+}
+
+func TestPutWithImmediate(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 1024)
+	var got int
+	eng.Schedule(0, func() {
+		r := b.PostRecv(0, rdmaTestQP)
+		r.Done.OnComplete(func() { got = r.Done.Value().(int) })
+		if _, err := a.PutWithImmediate(rb, 0, bytes.Repeat([]byte{7}, 48)); err != nil {
+			t.Errorf("PutWithImmediate: %v", err)
+		}
+	})
+	eng.Run()
+	if got != 48 {
+		t.Fatalf("immediate completion size = %d, want 48", got)
+	}
+	if b.Memory().Read(rb.Addr, 1)[0] != 7 {
+		t.Fatal("immediate payload not placed")
+	}
+}
+
+func TestPutWithImmediateTooLarge(t *testing.T) {
+	eng, a, _ := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 1024)
+	if _, err := a.PutWithImmediate(rb, 0, make([]byte, MaxImmediate+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized immediate: %v, want ErrTooLarge", err)
+	}
+	if _, err := a.PutWithImmediate(rb, 1000, make([]byte, 64)); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("out-of-bounds immediate: %v, want ErrOutOfBounds", err)
+	}
+}
+
+func TestRDMARead(t *testing.T) {
+	eng, a, b := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 8192)
+	content := make([]byte, 8192)
+	for i := range content {
+		content[i] = byte(i ^ 0x5A)
+	}
+	var got []byte
+	eng.Schedule(0, func() {
+		b.Memory().Write(rb.Addr, content)
+		op := a.Read(rb, 512, 4096)
+		op.Done.OnComplete(func() { got = op.Done.Value().([]byte) })
+	})
+	eng.Run()
+	if got == nil {
+		t.Fatal("read never completed")
+	}
+	if !bytes.Equal(got, content[512:512+4096]) {
+		t.Fatal("read returned wrong bytes")
+	}
+	if b.Stats.ReadsServed != 1 {
+		t.Fatalf("stats: %+v", b.Stats)
+	}
+}
+
+func TestPutOutOfBoundsPanics(t *testing.T) {
+	eng, a, _ := defaultPair(t)
+	rb := handshake(t, eng, a, 1, 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds put should panic")
+		}
+	}()
+	a.Put(rb, 100, make([]byte, 64), CompleteNone)
+}
+
+func TestFenceStatsCount(t *testing.T) {
+	// Under heavy jitter the fence should actually hold sends sometimes.
+	held := uint64(0)
+	cfg := DefaultConfig()
+	cfg.PipelinedFence = true // only the pipelined path can race data
+	for seed := uint64(1); seed <= 10; seed++ {
+		fcfg := fabric.DefaultConfig()
+		fcfg.Routing = fabric.RouteAdaptive
+		fcfg.AdaptiveJitter = 0.9
+		eng, a, b := pair(t, cfg, fcfg, seed)
+		rb := handshake(t, eng, a, 1, 256*1024)
+		eng.Schedule(0, func() {
+			b.PostRecv(0, rdmaTestQP)
+			a.Put(rb, 0, make([]byte, 128*1024), CompleteSendRecv)
+		})
+		eng.Run()
+		held += b.Stats.FencesHeld
+	}
+	if held == 0 {
+		t.Fatal("fence was never exercised across 10 jittered seeds")
+	}
+}
+
+func TestTimingOnlyPut(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CarryData = false
+	eng, a, b := pair(t, cfg, fabric.DefaultConfig(), 1)
+	rb := handshake(t, eng, a, 1, 8192)
+	completed := false
+	eng.Schedule(0, func() {
+		r := b.PostRecv(0, rdmaTestQP)
+		r.Done.OnComplete(func() { completed = true })
+		a.PutN(rb, 0, 8192, CompleteSendRecv)
+	})
+	eng.Run()
+	if !completed {
+		t.Fatal("timing-only put with fence never completed")
+	}
+}
+
+// lossyHandshake retries the registration handshake until it survives the
+// failure injection (request or reply packets can be dropped too).
+func lossyHandshake(t *testing.T, eng *sim.Engine, initiator *Endpoint, dst, size int) (RemoteBuffer, bool) {
+	t.Helper()
+	for attempt := 0; attempt < 20; attempt++ {
+		op := initiator.RequestRemoteBuffer(dst, size)
+		eng.Run()
+		if op.Done.Done() {
+			return op.Done.Value().(RemoteBuffer), true
+		}
+	}
+	return RemoteBuffer{}, false
+}
+
+func TestLastBytePollFalselyCompletesUnderDrops(t *testing.T) {
+	// The failure-injection contrast to RVMA's hole-proof counting: if a
+	// middle packet is lost but the final one lands, last-byte polling
+	// reports completion over a holed buffer. At least one seed must show
+	// it (and rvma's TestDropsNeverFalselyComplete shows RVMA never does).
+	sawFalseComplete := false
+	for seed := uint64(1); seed <= 40 && !sawFalseComplete; seed++ {
+		fcfg := fabric.DefaultConfig()
+		fcfg.DropRate = 0.15
+		eng, a, b := pair(t, DefaultConfig(), fcfg, seed)
+		rb, ok := lossyHandshake(t, eng, a, 1, 64*1024)
+		if !ok {
+			continue
+		}
+		mr := b.RegionByKey(rb.RKey)
+		const total = 32 * 1024 // 16 packets
+		eng.Schedule(0, func() {
+			w := b.WaitLastByte(mr, total)
+			w.Done.OnComplete(func() {
+				if !w.Done.Value().(bool) {
+					sawFalseComplete = true
+				}
+			})
+			a.Put(rb, 0, make([]byte, total), CompleteLastByte)
+		})
+		eng.Run()
+	}
+	if !sawFalseComplete {
+		t.Fatal("expected at least one false last-byte completion across 40 lossy seeds")
+	}
+}
+
+func TestFenceSendNeverCompletesOnHoledBuffer(t *testing.T) {
+	// Spec-compliant completion stays safe under loss: if any data packet
+	// (or the fence itself) is dropped, the recv simply never completes —
+	// detectable by timeout — rather than reporting a holed buffer done.
+	for seed := uint64(1); seed <= 15; seed++ {
+		fcfg := fabric.DefaultConfig()
+		fcfg.DropRate = 0.1
+		eng, a, b := pair(t, DefaultConfig(), fcfg, seed)
+		rb, ok := lossyHandshake(t, eng, a, 1, 64*1024)
+		if !ok {
+			continue
+		}
+		mr := b.RegionByKey(rb.RKey)
+		const total = 32 * 1024
+		completedHoled := false
+		eng.Schedule(0, func() {
+			r := b.PostRecv(0, rdmaTestQP)
+			r.Done.OnComplete(func() {
+				if mr.BytesReceived < total {
+					completedHoled = true
+				}
+			})
+			a.Put(rb, 0, make([]byte, total), CompleteSendRecv)
+		})
+		eng.Run()
+		if completedHoled {
+			t.Fatalf("seed %d: fenced completion fired with a holed buffer", seed)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package rstream
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/nic"
+	"rvma/internal/pcie"
+	"rvma/internal/rvma"
+	"rvma/internal/sim"
+	"rvma/internal/topology"
+)
+
+// cluster builds n endpoints over a static-routed single switch.
+func cluster(t *testing.T, n int) (*sim.Engine, []*rvma.Endpoint) {
+	t.Helper()
+	eng := sim.NewEngine(17)
+	fcfg := fabric.DefaultConfig()
+	fcfg.Routing = fabric.RouteStatic
+	net, err := fabric.New(eng, topology.NewSingleSwitch(n), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := nic.DefaultProfile()
+	eps := make([]*rvma.Endpoint, n)
+	for i := range eps {
+		eps[i] = rvma.NewEndpoint(nic.New(eng, net, i, pcie.Gen4x16(), prof), rvma.DefaultConfig())
+	}
+	return eng, eps
+}
+
+func TestDialAcceptEcho(t *testing.T) {
+	eng, eps := cluster(t, 2)
+	lis, err := Listen(eps[1], 80, Config{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello over receiver-managed rvma")
+	var echoed []byte
+	eng.Spawn("client", func(p *sim.Process) {
+		f, err := Dial(eps[0], 1, 80, Config{SegmentBytes: 512})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(f)
+		conn, ok := f.Value().(*Conn)
+		if !ok {
+			t.Errorf("dial resolved with %v", f.Value())
+			return
+		}
+		conn.Write(msg)
+		rf, _ := conn.Read(len(msg))
+		p.Wait(rf)
+		echoed = rf.Value().([]byte)
+	})
+	eng.Spawn("server", func(p *sim.Process) {
+		af := lis.Accept()
+		p.Wait(af)
+		conn := af.Value().(*Conn)
+		rf, _ := conn.Read(len(msg))
+		p.Wait(rf)
+		conn.Write(rf.Value().([]byte))
+	})
+	eng.Run()
+	if !bytes.Equal(echoed, msg) {
+		t.Fatalf("echo = %q", echoed)
+	}
+}
+
+func TestManyClientsOneListener(t *testing.T) {
+	// The many-to-one scenario: one listener serves every client with no
+	// per-client negotiated buffers.
+	const clients = 8
+	eng, eps := cluster(t, clients+1)
+	lis, err := Listen(eps[clients], 443, Config{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	eng.Spawn("server", func(p *sim.Process) {
+		for i := 0; i < clients; i++ {
+			af := lis.Accept()
+			p.Wait(af)
+			conn := af.Value().(*Conn)
+			rf, _ := conn.Read(8)
+			p.Wait(rf)
+			conn.Write(append([]byte("ok:"), rf.Value().([]byte)...))
+			served++
+		}
+	})
+	okCount := 0
+	for c := 0; c < clients; c++ {
+		c := c
+		eng.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Process) {
+			f, err := Dial(eps[c], clients, 443, Config{SegmentBytes: 256})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(f)
+			conn := f.Value().(*Conn)
+			req := []byte(fmt.Sprintf("req-%04d", c))
+			conn.Write(req)
+			rf, _ := conn.Read(11)
+			p.Wait(rf)
+			if bytes.Equal(rf.Value().([]byte), append([]byte("ok:"), req...)) {
+				okCount++
+			}
+		})
+	}
+	eng.Run()
+	if served != clients || okCount != clients {
+		t.Fatalf("served %d, ok %d, want %d", served, okCount, clients)
+	}
+}
+
+func TestDialRefusedAfterClose(t *testing.T) {
+	eng, eps := cluster(t, 2)
+	lis, err := Listen(eps[1], 8080, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis.Close()
+	var result any
+	eng.Spawn("client", func(p *sim.Process) {
+		f, err := Dial(eps[0], 1, 8080, Config{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait(f)
+		result = f.Value()
+	})
+	eng.Run()
+	if _, isErr := result.(error); !isErr {
+		t.Fatalf("dial to closed listener resolved with %v, want error", result)
+	}
+}
+
+func TestAcceptBeforeDial(t *testing.T) {
+	eng, eps := cluster(t, 2)
+	lis, err := Listen(eps[1], 9, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := false
+	eng.Spawn("server", func(p *sim.Process) {
+		af := lis.Accept() // blocks until a client arrives
+		p.Wait(af)
+		if _, ok := af.Value().(*Conn); ok {
+			accepted = true
+		}
+	})
+	eng.Spawn("client", func(p *sim.Process) {
+		p.Sleep(10 * sim.Microsecond)
+		f, _ := Dial(eps[0], 1, 9, Config{})
+		p.Wait(f)
+	})
+	eng.Run()
+	if !accepted {
+		t.Fatal("accept posted before dial never resolved")
+	}
+}
+
+func TestListenRequiresOrderedNetwork(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fcfg := fabric.DefaultConfig()
+	fcfg.Routing = fabric.RouteAdaptive
+	net, _ := fabric.New(eng, topology.NewSingleSwitch(2), fcfg)
+	ep := rvma.NewEndpoint(nic.New(eng, net, 0, pcie.Gen4x16(), nic.DefaultProfile()), rvma.DefaultConfig())
+	if _, err := Listen(ep, 1, Config{}); err == nil {
+		t.Fatal("listen on adaptive network should fail")
+	}
+	if _, err := Dial(ep, 1, 1, Config{}); err == nil {
+		t.Fatal("dial on adaptive network should fail")
+	}
+}

@@ -1,0 +1,74 @@
+package rvma
+
+import (
+	"rvma/internal/memory"
+	"rvma/internal/sim"
+)
+
+// Notification is an armed observer of one buffer's completion pointer.
+// It models the two host-side mechanisms the paper contrasts (§IV-C):
+// Monitor/MWait (wake-on-write, ~one cycle) and memory polling (similar
+// latency, more energy — here, discretized to the poll interval).
+type Notification struct {
+	// Done completes when the host observes the completion-pointer write.
+	// Its value is the observed [2]uint64{head, length}.
+	Done *sim.Future
+
+	watcher *memory.Watcher
+	poller  *memory.Poller
+}
+
+// Cancel disarms the notification (e.g. the window was closed first).
+func (n *Notification) Cancel() {
+	if n.watcher != nil {
+		n.watcher.Cancel()
+		n.watcher = nil
+	}
+	if n.poller != nil {
+		n.poller.Stop()
+		n.poller = nil
+	}
+}
+
+// WatchBuffer arms host-side observation of buf's completion cell using
+// the endpoint's configured NotifyMode. The future resolves after the
+// NIC's completion write plus the mechanism's observation latency (MWait
+// wake or next poll tick) plus the host completion-processing overhead.
+//
+// Observing an already-completed buffer resolves after just the host
+// processing overhead, matching software that checks before arming.
+func (ep *Endpoint) WatchBuffer(buf *Buffer) *Notification {
+	n := &Notification{Done: sim.NewFuture()}
+	eng := ep.Engine()
+	prof := ep.nic.Profile()
+
+	resolve := func() {
+		head, length := buf.Cell.Get()
+		n.Done.Complete(eng, [2]uint64{uint64(head), uint64(length)})
+	}
+
+	if head, _ := buf.Cell.Get(); head != 0 {
+		eng.Schedule(prof.HostCompletionOverhead, resolve)
+		return n
+	}
+
+	switch ep.cfg.Notification {
+	case NotifyMWait:
+		n.watcher = ep.Memory().Watch(buf.Cell.Addr(), func(memory.Addr, int) {
+			n.watcher.Cancel()
+			n.watcher = nil
+			eng.Schedule(prof.MWaitWake+prof.HostCompletionOverhead, resolve)
+		})
+	case NotifyPoll:
+		n.poller = memory.StartPoller(eng, prof.PollInterval,
+			func() bool {
+				head, _ := buf.Cell.Get()
+				return head != 0
+			},
+			func() {
+				n.poller = nil
+				eng.Schedule(prof.HostCompletionOverhead, resolve)
+			})
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package rvma
+
+import (
+	"fmt"
+
+	"rvma/internal/sim"
+)
+
+// PutOp tracks one initiated put.
+type PutOp struct {
+	// Local completes when the initiating NIC has handed the last packet
+	// to the fabric (the local buffer is reusable).
+	Local *sim.Future
+	// Nack completes only if the target NACKed the operation (closed or
+	// unknown mailbox, buffer overrun); its value is the error. Puts to
+	// healthy mailboxes never resolve Nack — RVMA puts are unacknowledged,
+	// which is exactly why they need no return traffic on the critical
+	// path.
+	Nack *sim.Future
+
+	msgID uint64
+}
+
+// Put initiates a transfer of data to mailbox vaddr on node dst, placing
+// it at the given offset within the target's active buffer (the paper's
+// RVMA_Put; the offset is the mechanism that makes placement independent
+// of packet arrival order, §IV-D). No handshake precedes the put: the
+// initiator needs only (node, vaddr), never a physical address.
+//
+// Host software overhead (one post) is charged before the NIC pipeline.
+func (ep *Endpoint) Put(dst int, vaddr VAddr, offset int, data []byte) *PutOp {
+	return ep.put(dst, vaddr, offset, len(data), data)
+}
+
+// PutN is Put without payload bytes: only sizes and timing flow through
+// the simulation. Large-scale motif runs use it to avoid materializing
+// gigabytes of payload.
+func (ep *Endpoint) PutN(dst int, vaddr VAddr, offset, size int) *PutOp {
+	return ep.put(dst, vaddr, offset, size, nil)
+}
+
+func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *PutOp {
+	if size < 0 || offset < 0 {
+		panic(fmt.Sprintf("rvma: put with negative size %d or offset %d", size, offset))
+	}
+	ep.Stats.PutsInitiated++
+	op := &PutOp{Local: sim.NewFuture(), Nack: sim.NewFuture(), msgID: ep.nextMsgID}
+	ep.nextMsgID++
+	ep.pendingPuts[op.msgID] = op
+
+	eng := ep.Engine()
+	post := ep.nic.Profile().HostPostOverhead
+	eng.Schedule(post, func() {
+		f := ep.nic.SendMessage(dst, size, func(off, n int) any {
+			var chunk []byte
+			if data != nil && ep.cfg.CarryData {
+				chunk = data[off : off+n]
+			}
+			return &command{
+				op:        opPut,
+				msgID:     op.msgID,
+				vaddr:     vaddr,
+				msgOffset: offset,
+				pktOffset: off,
+				total:     size,
+				data:      chunk,
+			}
+		})
+		f.OnComplete(func() { op.Local.Complete(eng, nil) })
+	})
+	return op
+}
+
+// GetOp tracks one initiated get.
+type GetOp struct {
+	// Done completes when the full reply has arrived; in CarryData mode
+	// its value is the fetched []byte.
+	Done *sim.Future
+	// Nack completes if the target refused the get.
+	Nack *sim.Future
+
+	getID uint64
+}
+
+// Get fetches length bytes at offset from the *active* buffer of mailbox
+// vaddr on node dst. The paper names get/read as part of a comprehensive
+// RVMA specification (§III-C); like Put it needs no pre-negotiated
+// physical address. The target NIC reads the region over its bus and
+// streams a (possibly multi-packet) reply.
+func (ep *Endpoint) Get(dst int, vaddr VAddr, offset, length int) *GetOp {
+	if length <= 0 || offset < 0 {
+		panic(fmt.Sprintf("rvma: get with length %d offset %d", length, offset))
+	}
+	op := &GetOp{Done: sim.NewFuture(), Nack: sim.NewFuture(), getID: ep.nextMsgID}
+	ep.nextMsgID++
+	ep.pendingGets[op.getID] = op
+
+	eng := ep.Engine()
+	post := ep.nic.Profile().HostPostOverhead
+	eng.Schedule(post, func() {
+		ep.nic.SendMessage(dst, 0, func(off, n int) any {
+			return &command{
+				op:        opGetReq,
+				msgID:     op.getID,
+				vaddr:     vaddr,
+				msgOffset: offset,
+				length:    length,
+			}
+		})
+	})
+	return op
+}

@@ -1,0 +1,242 @@
+package rvma
+
+import (
+	"rvma/internal/fabric"
+	"rvma/internal/memory"
+	"rvma/internal/nic"
+)
+
+// handlePacket is the NIC-side receive path (Figure 3 of the paper): the
+// nic layer has already charged per-packet receive processing and the
+// single LUT lookup; this function performs translation, DMA placement,
+// counter update and the completion check.
+func (ep *Endpoint) handlePacket(pkt *fabric.Packet) {
+	cmd, ok := pkt.Payload.(*command)
+	if !ok {
+		panic("rvma: foreign payload on RVMA endpoint")
+	}
+	switch cmd.op {
+	case opPut:
+		ep.handlePut(pkt, cmd)
+	case opNack:
+		ep.handleNack(cmd)
+	case opGetReq:
+		ep.handleGetReq(pkt, cmd)
+	case opGetReply:
+		ep.handleGetReply(pkt, cmd)
+	default:
+		panic("rvma: unknown opcode")
+	}
+}
+
+// handlePut places one put packet. Steps follow Figure 3: (2) address
+// translation via the LUT, (3-4) DMA of the payload into the active
+// buffer at head+offset, then the completion check: bump the counter and,
+// at threshold, (5) write the completion pointer and rotate the buffer.
+func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
+	w := ep.lut[cmd.vaddr]
+	if w == nil || w.closed {
+		if ep.catchAll != nil && !ep.catchAll.closed {
+			ep.Stats.CatchAllHits++
+			w = ep.catchAll
+		} else {
+			ep.reject(pkt.Src, cmd, ErrNoWindow)
+			return
+		}
+	}
+	buf := w.Head()
+	if buf == nil {
+		ep.reject(pkt.Src, cmd, ErrNoBuffer)
+		return
+	}
+
+	size := pkt.Size
+	eng := ep.Engine()
+
+	// Issue the payload DMA. The bus resource is FIFO, so the completion
+	// write issued below (if any) is ordered after this data write, which
+	// is the PCIe ordering guarantee the completion pointer relies on.
+	// The steering decision, counter update and threshold check all happen
+	// now, in NIC pipeline (packet-arrival) order — only the data DMA and
+	// the completion-pointer write land later, in bus order. A hardware
+	// completion unit works the same way: it cannot let a packet's bus
+	// latency reorder its bookkeeping against the next packet's.
+	dmaDone := ep.nic.Bus().TransferTime(eng, size)
+
+	switch w.mode {
+	case Steered:
+		place := cmd.msgOffset + cmd.pktOffset
+		if place+size > buf.Region.Size() {
+			ep.reject(pkt.Src, cmd, ErrNoBuffer)
+			return
+		}
+		if ep.cfg.CarryData && cmd.data != nil {
+			data := cmd.data
+			base := buf.Region.Base + memory.Addr(place)
+			eng.At(dmaDone, func() { ep.Memory().Write(base, data) })
+		}
+		if end := place + size; end > buf.HighWater {
+			buf.HighWater = end
+		}
+		if w.etype == EpochBytes {
+			w.counter += int64(size)
+		}
+
+	case Managed:
+		// Stream placement: append at the fill pointer, splitting the
+		// packet across segment buffers when it straddles a boundary —
+		// the byte-counting NIC behavior §IV-B describes for sockets
+		// semantics. Completions rotate buffers mid-packet as thresholds
+		// are crossed.
+		remaining := size
+		dataOff := 0
+		for remaining > 0 {
+			head := w.Head()
+			if head == nil {
+				// Out of posted segments mid-packet: the tail is lost.
+				ep.reject(pkt.Src, cmd, ErrNoBuffer)
+				break
+			}
+			space := head.Region.Size() - head.Fill
+			if space <= 0 {
+				// A full-but-uncompleted segment means the threshold
+				// exceeds the buffer size; nothing can ever complete it.
+				ep.reject(pkt.Src, cmd, ErrNoBuffer)
+				break
+			}
+			take := remaining
+			if take > space {
+				take = space
+			}
+			if ep.cfg.CarryData && cmd.data != nil {
+				chunk := cmd.data[dataOff : dataOff+take]
+				base := head.Region.Base + memory.Addr(head.Fill)
+				eng.At(dmaDone, func() { ep.Memory().Write(base, chunk) })
+			}
+			head.Fill += take
+			if head.Fill > head.HighWater {
+				head.HighWater = head.Fill
+			}
+			if w.etype == EpochBytes {
+				w.counter += int64(take)
+			}
+			remaining -= take
+			dataOff += take
+			w.maybeComplete() // may rotate to the next segment
+		}
+	}
+
+	msgDone := ep.asm.Add(nic.MsgKey{Src: pkt.Src, MsgID: cmd.msgID}, size, cmd.total)
+	if w.etype == EpochOps && msgDone {
+		w.counter++
+	}
+	if msgDone {
+		ep.Stats.PutsPlaced++
+		ep.Stats.BytesPlaced += uint64(cmd.total)
+		w.MessagesPlaced++
+		w.BytesPlaced += uint64(cmd.total)
+	}
+	if !w.hwCounter {
+		ep.Stats.CounterSpills++
+	}
+	w.maybeComplete()
+}
+
+// reject drops a put/get and, when enabled, NACKs the initiator (§III-C:
+// operations on closed mailboxes "are automatically discarded and may
+// result in a NACK notification").
+func (ep *Endpoint) reject(src int, cmd *command, reason error) {
+	ep.Stats.Drops++
+	if !ep.cfg.NACKEnabled {
+		return
+	}
+	ep.Stats.Nacks++
+	msgID := cmd.msgID
+	op := cmd.op
+	ep.nic.SendMessage(src, 0, func(off, n int) any {
+		return &command{op: opNack, msgID: msgID, status: reason, length: int(op)}
+	})
+}
+
+// handleNack resolves the pending operation's Nack future.
+func (ep *Endpoint) handleNack(cmd *command) {
+	eng := ep.Engine()
+	if opcode(cmd.length) == opGetReq {
+		if op, ok := ep.pendingGets[cmd.msgID]; ok {
+			delete(ep.pendingGets, cmd.msgID)
+			op.Nack.Complete(eng, cmd.status)
+		}
+		return
+	}
+	if op, ok := ep.pendingPuts[cmd.msgID]; ok {
+		delete(ep.pendingPuts, cmd.msgID)
+		op.Nack.Complete(eng, cmd.status)
+	}
+}
+
+// handleGetReq serves a get: read the requested span of the active buffer
+// over the bus, then stream the reply.
+func (ep *Endpoint) handleGetReq(pkt *fabric.Packet, cmd *command) {
+	w := ep.lut[cmd.vaddr]
+	if w == nil || w.closed {
+		ep.reject(pkt.Src, cmd, ErrNoWindow)
+		return
+	}
+	buf := w.Head()
+	if buf == nil || cmd.msgOffset+cmd.length > buf.Region.Size() {
+		ep.reject(pkt.Src, cmd, ErrNoBuffer)
+		return
+	}
+	ep.Stats.GetsServed++
+	eng := ep.Engine()
+	var data []byte
+	if ep.cfg.CarryData {
+		data = ep.Memory().Read(buf.Region.Base+memory.Addr(cmd.msgOffset), cmd.length)
+	}
+	// Bus read of the payload, then reply through the send pipeline.
+	readDone := ep.nic.Bus().TransferTime(eng, cmd.length)
+	src := pkt.Src
+	getID := cmd.msgID
+	length := cmd.length
+	eng.At(readDone, func() {
+		ep.nic.SendMessage(src, length, func(off, n int) any {
+			var chunk []byte
+			if data != nil {
+				chunk = data[off : off+n]
+			}
+			return &command{
+				op:        opGetReply,
+				msgID:     getID,
+				pktOffset: off,
+				total:     length,
+				data:      chunk,
+			}
+		})
+	})
+}
+
+// handleGetReply assembles reply packets and resolves the get.
+func (ep *Endpoint) handleGetReply(pkt *fabric.Packet, cmd *command) {
+	op, ok := ep.pendingGets[cmd.msgID]
+	if !ok {
+		return // stale or duplicate
+	}
+	if ep.cfg.CarryData && cmd.data != nil {
+		buf := ep.getBuf[cmd.msgID]
+		if buf == nil {
+			buf = make([]byte, cmd.total)
+			ep.getBuf[cmd.msgID] = buf
+		}
+		copy(buf[cmd.pktOffset:], cmd.data)
+	}
+	if ep.getAsm.Add(nic.MsgKey{Src: pkt.Src, MsgID: cmd.msgID}, pkt.Size, cmd.total) ||
+		(cmd.total == 0) {
+		eng := ep.Engine()
+		data := ep.getBuf[cmd.msgID]
+		delete(ep.getBuf, cmd.msgID)
+		delete(ep.pendingGets, cmd.msgID)
+		// Landing the fetched bytes in host memory costs one bus transfer.
+		done := ep.nic.Bus().TransferTime(eng, cmd.total)
+		eng.At(done, func() { op.Done.Complete(eng, data) })
+	}
+}

@@ -1,0 +1,261 @@
+// Package rvma implements Remote Virtual Memory Access, the paper's
+// primary contribution: a NIC architecture and host API in which
+//
+//   - initiators address *mailboxes* (virtual addresses), never physical
+//     remote buffers, so no setup handshake is needed (§III-A, §IV-A);
+//   - receivers manage their own resources by posting queues of buffers
+//     ("buckets of buffers") to mailboxes (§IV-B);
+//   - the NIC counts bytes or operations against a per-window threshold
+//     and, when the threshold is reached, writes the completed buffer's
+//     head address and length to a cache-line-aligned completion pointer
+//     in host memory — the lightweight completion mechanism that works on
+//     adaptively routed (unordered) networks (§III-B, §IV-C, §IV-D);
+//   - completed buffers are retained per-epoch, enabling the first
+//     hardware-level fault-tolerant remote memory access via Rewind
+//     (§IV-E, §IV-F).
+//
+// The package models both the host-side API (the paper's §III-C calls,
+// with Go names: InitWindow, PostBuffer, Close, IncEpoch, Epoch,
+// GetBufPtrs, Put) and the NIC-side data path (lookup table, DMA
+// placement by offset, counter update, completion unit), with all timing
+// charged to the shared simulation substrate.
+package rvma
+
+import (
+	"errors"
+	"fmt"
+
+	"rvma/internal/memory"
+	"rvma/internal/nic"
+	"rvma/internal/sim"
+)
+
+// VAddr is an RVMA virtual address: a 64-bit mailbox identifier. It is
+// *not* a memory address; the target NIC translates it to the physical
+// head of the mailbox's currently active buffer (§III-B).
+type VAddr uint64
+
+// EpochType selects how the NIC counts toward a window's completion
+// threshold (the paper's epoch_type).
+type EpochType int
+
+const (
+	// EpochBytes counts payload bytes written into the active buffer.
+	EpochBytes EpochType = iota
+	// EpochOps counts completed put operations (a multi-packet put counts
+	// once, when its last packet has been placed).
+	EpochOps
+)
+
+// String returns the epoch type's report name.
+func (t EpochType) String() string {
+	switch t {
+	case EpochBytes:
+		return "EPOCH_BYTES"
+	case EpochOps:
+		return "EPOCH_OPS"
+	default:
+		return fmt.Sprintf("EpochType(%d)", int(t))
+	}
+}
+
+// Mode selects a window's placement discipline (§IV-B).
+type Mode int
+
+const (
+	// Steered is the paper's primary mode: every put carries an offset and
+	// the NIC places payload at buffer head + offset, independent of
+	// arrival order.
+	Steered Mode = iota
+	// Managed is the sockets-like alternative mode: the NIC appends
+	// arriving bytes at the buffer's current fill position, in arrival
+	// order (Receiver-Managed RVMA).
+	Managed
+)
+
+// String returns the mode's report name.
+func (m Mode) String() string {
+	if m == Managed {
+		return "managed"
+	}
+	return "steered"
+}
+
+// Errors returned by the host-side API.
+var (
+	ErrClosed      = errors.New("rvma: window closed")
+	ErrNoWindow    = errors.New("rvma: no window at virtual address")
+	ErrNoBuffer    = errors.New("rvma: no buffer posted")
+	ErrNoHistory   = errors.New("rvma: requested epoch not in history")
+	ErrBadArgument = errors.New("rvma: invalid argument")
+)
+
+// NotifyMode selects how host software observes the completion pointer.
+type NotifyMode int
+
+const (
+	// NotifyMWait arms a Monitor/MWait watcher on the completion cell's
+	// cache line and wakes within Profile.MWaitWake of the NIC's write.
+	NotifyMWait NotifyMode = iota
+	// NotifyPoll re-reads the completion cell every Profile.PollInterval.
+	NotifyPoll
+)
+
+// String returns the notify mode's report name.
+func (m NotifyMode) String() string {
+	if m == NotifyPoll {
+		return "poll"
+	}
+	return "mwait"
+}
+
+// Config parameterizes an RVMA endpoint (one node's NIC + host library).
+type Config struct {
+	// MaxHWCounters is the NIC's completion-counter capacity. Windows with
+	// posted buffers beyond this spill their counters to host memory,
+	// paying HostCounterPenalty per update (§III-B). Zero means unlimited.
+	MaxHWCounters int
+	// HostCounterPenalty is the extra per-update cost for spilled
+	// counters. Zero defaults to one bus round trip (2x PCIe latency) —
+	// "200 [ns] today" in the paper's terms; with a Gen 6 bus it shrinks
+	// to tens of nanoseconds, as §III-B anticipates.
+	HostCounterPenalty sim.Time
+	// NACKEnabled makes the NIC reply with a NACK when a put targets a
+	// closed or unknown mailbox; the paper permits disabling NACKs to shed
+	// DoS load (§III-C).
+	NACKEnabled bool
+	// HistoryDepth is how many completed buffers each window retains for
+	// Rewind. Zero disables fault-tolerance history.
+	HistoryDepth int
+	// Notification selects MWait or polling observation of completions.
+	Notification NotifyMode
+	// CarryData, when true, moves real payload bytes through the simulated
+	// memory system so tests can verify placement; when false only sizes
+	// and timing flow (used at motif scale).
+	CarryData bool
+}
+
+// DefaultConfig returns the configuration used by most experiments:
+// 256 hardware counters (the paper notes parity with RDMA QP counting
+// suffices), NACKs on, 4 epochs of history, MWait notification, and real
+// data movement.
+func DefaultConfig() Config {
+	return Config{
+		MaxHWCounters: 256,
+		NACKEnabled:   true,
+		HistoryDepth:  4,
+		Notification:  NotifyMWait,
+		CarryData:     true,
+	}
+}
+
+// Stats aggregates endpoint-level counters for reports and tests.
+type Stats struct {
+	PutsInitiated    uint64
+	PutsPlaced       uint64 // messages fully placed at this (target) endpoint
+	BytesPlaced      uint64
+	Completions      uint64 // buffer epochs completed by the completion unit
+	EarlyCompletions uint64 // completions forced by IncEpoch
+	Nacks            uint64 // NACKs this endpoint sent
+	Drops            uint64 // packets discarded (no window/buffer, overrun)
+	CatchAllHits     uint64
+	CounterSpills    uint64 // counter updates that paid the host-memory penalty
+	GetsServed       uint64
+}
+
+// Endpoint is one node's RVMA instance: the host library and the NIC
+// model, sharing the node's memory and bus.
+type Endpoint struct {
+	nic *nic.NIC
+	cfg Config
+
+	// lut is the NIC lookup table: mailbox virtual address -> window. The
+	// paper stresses this is a single-lookup structure with no wildcard
+	// support, unlike Portals matching (§III-A); a Go map models exactly
+	// that "item found or no item found" semantic.
+	lut      map[VAddr]*Window
+	catchAll *Window
+
+	asm       *nic.Assembler // op counting for EPOCH_OPS and managed mode
+	nextMsgID uint64
+
+	pendingPuts map[uint64]*PutOp // msgID -> op, for NACK correlation
+	pendingGets map[uint64]*GetOp // getID -> op
+	getAsm      *nic.Assembler    // reassembly of get replies
+	getBuf      map[uint64][]byte // partial get reply data (CarryData mode)
+	activeCtrs  int               // windows currently holding a HW counter
+
+	Stats Stats
+}
+
+// NewEndpoint attaches an RVMA endpoint to the given NIC. The NIC must not
+// already have a protocol handler.
+func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
+	if cfg.HostCounterPenalty == 0 {
+		cfg.HostCounterPenalty = 2 * n.Bus().Latency()
+	}
+	ep := &Endpoint{
+		nic:         n,
+		cfg:         cfg,
+		lut:         make(map[VAddr]*Window),
+		asm:         nic.NewAssembler(),
+		pendingPuts: make(map[uint64]*PutOp),
+		pendingGets: make(map[uint64]*GetOp),
+		getAsm:      nic.NewAssembler(),
+		getBuf:      make(map[uint64][]byte),
+	}
+	n.SetHandler(ep.handlePacket)
+	return ep
+}
+
+// Node returns the endpoint's node id.
+func (ep *Endpoint) Node() int { return ep.nic.Node() }
+
+// NIC returns the underlying NIC model.
+func (ep *Endpoint) NIC() *nic.NIC { return ep.nic }
+
+// Memory returns the node's host memory.
+func (ep *Endpoint) Memory() *memory.Memory { return ep.nic.Memory() }
+
+// Engine returns the simulation engine.
+func (ep *Endpoint) Engine() *sim.Engine { return ep.nic.Engine() }
+
+// Config returns the endpoint configuration.
+func (ep *Endpoint) Config() Config { return ep.cfg }
+
+// LUTSize returns the number of mailboxes currently in the lookup table
+// (diagnostics; the paper sizes LUT entries at 24 bytes each, §IV-A).
+func (ep *Endpoint) LUTSize() int { return len(ep.lut) }
+
+// SetCatchAll designates win as the endpoint's catch-all mailbox: puts
+// addressed to unknown or closed mailboxes are steered into it instead of
+// being dropped (§III-C mentions catch-all mailboxes as part of a full
+// RVMA specification).
+func (ep *Endpoint) SetCatchAll(win *Window) {
+	ep.catchAll = win
+}
+
+// wire opcodes.
+type opcode int
+
+const (
+	opPut opcode = iota
+	opNack
+	opGetReq
+	opGetReply
+)
+
+// command is the protocol payload carried in fabric packets.
+type command struct {
+	op        opcode
+	msgID     uint64
+	vaddr     VAddr
+	msgOffset int    // user offset of the whole message within the buffer
+	pktOffset int    // offset of this packet's payload within the message
+	total     int    // total message payload bytes
+	data      []byte // this packet's payload bytes (nil when !CarryData)
+
+	// get fields
+	length int
+	status error // NACK reason
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw kernel speed: schedule+execute of
+// self-rescheduling events (the inner loop of every simulation here).
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.Schedule(Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(0, tick)
+	e.Run()
+}
+
+// BenchmarkHeapChurn measures scheduling with a deep queue: N pending
+// events at all times, executing and replacing.
+func BenchmarkHeapChurn(b *testing.B) {
+	e := NewEngine(1)
+	const depth = 4096
+	executed := 0
+	var reload func()
+	reload = func() {
+		executed++
+		if executed < b.N {
+			e.Schedule(Time(executed%977)*Nanosecond, reload)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.Schedule(Time(i)*Nanosecond, reload)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcessContextSwitch measures the cooperative handoff cost of
+// the process API (one Sleep per iteration).
+func BenchmarkProcessContextSwitch(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("bench", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceAcquire measures the latency-rate server primitive.
+func BenchmarkResourceAcquire(b *testing.B) {
+	e := NewEngine(1)
+	r := NewResource("bench")
+	e.Schedule(0, func() {
+		for i := 0; i < b.N; i++ {
+			r.Acquire(e, Nanosecond)
+		}
+	})
+	e.Run()
+}
+
+// BenchmarkRNG measures the deterministic generator.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

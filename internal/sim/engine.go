@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are ordered by time, then priority
+// (lower runs first), then by the sequence number assigned at scheduling
+// time, which makes execution order fully deterministic.
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether the event was canceled before it ran.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Time returns the simulated time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; all model code runs on the engine goroutine (process
+// bodies spawned via Spawn are cooperatively scheduled so that exactly one
+// goroutine is ever runnable).
+type Engine struct {
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	executed  uint64
+	scheduled uint64
+	stopped   bool
+	rng       *RNG
+	running   bool
+	procs     int // live processes, for leak diagnostics
+}
+
+// NewEngine returns an engine at time zero with a deterministic RNG seeded
+// by seed. Two engines built with the same seed and fed the same model run
+// identically.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator. Model
+// components must use this generator (never the global math/rand) so runs
+// stay reproducible.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// EventsExecuted returns the number of events the engine has run.
+func (e *Engine) EventsExecuted() uint64 { return e.executed }
+
+// EventsScheduled returns the number of events scheduled so far.
+func (e *Engine) EventsScheduled() uint64 { return e.scheduled }
+
+// Schedule runs fn after delay d. A negative delay panics: causality in a
+// discrete-event simulation only moves forward.
+func (e *Engine) Schedule(d Time, fn func()) *Event {
+	return e.ScheduleP(d, 0, fn)
+}
+
+// ScheduleP runs fn after delay d with an explicit priority; among events
+// at the same timestamp, lower priorities run first. Priorities let models
+// enforce intra-timestep ordering (e.g. "deliver before poll").
+func (e *Engine) ScheduleP(d Time, priority int, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.at(e.now+d, priority, fn)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	return e.at(t, 0, fn)
+}
+
+func (e *Engine) at(t Time, priority int, fn func()) *Event {
+	ev := &Event{at: t, priority: priority, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	e.scheduled++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event so it never runs. Canceling an event that
+// already ran (or was already canceled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; Run may be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final simulated time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= limit (or until Stop). The
+// clock is left at min(limit, time of last executed event's successor).
+func (e *Engine) RunUntil(limit Time) Time {
+	if e.running {
+		panic("sim: Run re-entered from within an event")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one pending event and returns true, or returns
+// false if the queue is empty. It is intended for tests and debuggers.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of events waiting in the queue (including
+// canceled events not yet popped, which never execute).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// MaxTime if the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	for len(e.queue) > 0 {
+		if !e.queue[0].canceled {
+			return e.queue[0].at
+		}
+		heap.Pop(&e.queue)
+	}
+	return MaxTime
+}

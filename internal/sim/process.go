@@ -1,0 +1,189 @@
+package sim
+
+import "fmt"
+
+// Process is a cooperatively scheduled simulation actor, in the style of
+// process-oriented kernels (SimPy, OMNeT++ activities). A process body runs
+// on its own goroutine, but the engine guarantees that exactly one
+// goroutine — either the engine loop or one process — is runnable at any
+// instant, so process code needs no locking and the simulation stays
+// deterministic.
+//
+// Processes make protocol code read sequentially: a motif rank can write
+// "put; wait for completion; compute; next iteration" instead of a hand-
+// rolled state machine.
+type Process struct {
+	eng    *Engine
+	name   string
+	run    chan struct{} // engine -> process: resume
+	parked chan struct{} // process -> engine: parked or finished
+	done   bool
+	err    any // panic value captured from the body, re-raised on the engine
+}
+
+// Spawn starts a new process executing body at the current simulated time.
+// The body begins running when the engine reaches the spawn event; Spawn
+// itself returns immediately.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		run:    make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.run // wait for first activation
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = r
+				}
+			}()
+			body(p)
+		}()
+		p.done = true
+		p.eng.procs--
+		p.parked <- struct{}{}
+	}()
+	e.Schedule(0, func() { p.resume() })
+	return p
+}
+
+// resume hands control to the process goroutine and blocks the engine until
+// the process parks again (or finishes). It must only be called from the
+// engine goroutine, i.e. from inside an event.
+func (p *Process) resume() {
+	if p.done {
+		return
+	}
+	p.run <- struct{}{}
+	<-p.parked
+	if p.err != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.err))
+	}
+}
+
+// park suspends the process and returns control to the engine. The caller
+// must have arranged for a future event to call resume.
+func (p *Process) park() {
+	p.parked <- struct{}{}
+	<-p.run
+}
+
+// Name returns the name given at Spawn time, for diagnostics.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.Now() }
+
+// Sleep suspends the process for d simulated time.
+func (p *Process) Sleep(d Time) {
+	p.eng.Schedule(d, func() { p.resume() })
+	p.park()
+}
+
+// Wait suspends the process until the future completes. If the future is
+// already complete it returns immediately without yielding.
+func (p *Process) Wait(f *Future) {
+	if f.Done() {
+		return
+	}
+	f.OnComplete(func() { p.resume() })
+	p.park()
+}
+
+// WaitAll suspends the process until every future completes.
+func (p *Process) WaitAll(fs ...*Future) {
+	for _, f := range fs {
+		p.Wait(f)
+	}
+}
+
+// Future is a one-shot completion handle: it transitions from pending to
+// done exactly once and then invokes every registered callback, at the
+// simulated time of completion. Futures are how the NIC models hand
+// asynchronous completions (DMA done, message delivered, threshold reached)
+// back to host-side code.
+type Future struct {
+	done      bool
+	at        Time
+	value     any
+	callbacks []func()
+}
+
+// NewFuture returns a pending future.
+func NewFuture() *Future { return &Future{} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Value returns the value passed to Complete, or nil while pending.
+func (f *Future) Value() any { return f.value }
+
+// CompletedAt returns the simulated time Complete was called. It is only
+// meaningful once Done reports true.
+func (f *Future) CompletedAt() Time { return f.at }
+
+// Complete marks the future done with the given value and runs callbacks
+// synchronously (in registration order) at the current simulated time.
+// Completing an already-complete future panics: completions in the models
+// represent unique hardware events.
+func (f *Future) Complete(e *Engine, value any) {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	f.value = value
+	f.at = e.Now()
+	cbs := f.callbacks
+	f.callbacks = nil
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// OnComplete registers a callback to run when the future completes. If the
+// future is already done the callback runs immediately.
+func (f *Future) OnComplete(cb func()) {
+	if f.done {
+		cb()
+		return
+	}
+	f.callbacks = append(f.callbacks, cb)
+}
+
+// Gate is a counting barrier: it opens (completing its future) when Arrive
+// has been called count times. Motifs use gates to wait for "all neighbor
+// messages of this wavefront step".
+type Gate struct {
+	remaining int
+	f         *Future
+}
+
+// NewGate returns a gate expecting count arrivals. A gate with count <= 0
+// is already open.
+func NewGate(e *Engine, count int) *Gate {
+	g := &Gate{remaining: count, f: NewFuture()}
+	if count <= 0 {
+		g.f.Complete(e, nil)
+	}
+	return g
+}
+
+// Arrive records one arrival; the count-th arrival opens the gate.
+func (g *Gate) Arrive(e *Engine) {
+	if g.remaining <= 0 {
+		panic("sim: Gate.Arrive after gate opened")
+	}
+	g.remaining--
+	if g.remaining == 0 {
+		g.f.Complete(e, nil)
+	}
+}
+
+// Future returns the future that completes when the gate opens.
+func (g *Gate) Future() *Future { return g.f }

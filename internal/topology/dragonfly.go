@@ -1,0 +1,164 @@
+package topology
+
+import "fmt"
+
+// Dragonfly is the Kim/Dally dragonfly used by Cray Aries (the XC systems
+// the paper ran its SST simulations on) and most modern adaptive networks.
+// Groups of A routers are internally fully connected; each router carries P
+// terminal nodes and H global channels, giving G = A*H + 1 groups with
+// exactly one global channel between every pair of groups.
+//
+// Minimal routing is local -> global -> local (at most 3 switch-to-switch
+// hops). Non-minimal (Valiant) routing detours through a random
+// intermediate group and is what adaptive (UGAL-style) selection falls
+// back to under congestion; it is exposed via NonMinimalCandidates.
+type Dragonfly struct {
+	A, P, H int // routers/group, hosts/router, global channels/router
+	G       int // number of groups = A*H + 1
+	ports   [][]Port
+}
+
+// NewDragonfly builds a balanced dragonfly. All parameters must be >= 1.
+func NewDragonfly(a, p, h int) *Dragonfly {
+	if a < 1 || p < 1 || h < 1 {
+		panic("topology: invalid dragonfly parameters")
+	}
+	d := &Dragonfly{A: a, P: p, H: h, G: a*h + 1}
+	nsw := d.G * a
+	d.ports = make([][]Port, nsw)
+	for g := 0; g < d.G; g++ {
+		for r := 0; r < a; r++ {
+			sw := g*a + r
+			ports := make([]Port, p+(a-1)+h)
+			for i := 0; i < p; i++ {
+				ports[i] = Port{Kind: HostPort, Node: sw*p + i}
+			}
+			// Local full mesh: port p+idx reaches router r2 (skipping self).
+			for r2 := 0; r2 < a; r2++ {
+				if r2 == r {
+					continue
+				}
+				idx := r2
+				if r2 > r {
+					idx--
+				}
+				back := r
+				if r > r2 {
+					back--
+				}
+				ports[p+idx] = Port{Kind: SwitchPort, PeerSwitch: g*a + r2, PeerPort: p + back}
+			}
+			// Global channels: this router owns channels gc = r*h .. r*h+h-1
+			// of its group. Channel gc of group g connects to group
+			// dg = gc (if gc < g) else gc+1; the far side uses its channel
+			// gc' = g (if g < dg) else g-1, owned by router gc'/h at
+			// sub-index gc'%h.
+			for j := 0; j < h; j++ {
+				gc := r*h + j
+				dg := gc
+				if gc >= g {
+					dg = gc + 1
+				}
+				gcBack := g
+				if g > dg {
+					gcBack = g - 1
+				}
+				peerRouter := gcBack / h
+				peerSub := gcBack % h
+				ports[p+(a-1)+j] = Port{
+					Kind:       SwitchPort,
+					PeerSwitch: dg*a + peerRouter,
+					PeerPort:   p + (a - 1) + peerSub,
+				}
+			}
+			d.ports[sw] = ports
+		}
+	}
+	return d
+}
+
+// Name implements Topology.
+func (d *Dragonfly) Name() string {
+	return fmt.Sprintf("dragonfly(a=%d,p=%d,h=%d,g=%d)", d.A, d.P, d.H, d.G)
+}
+
+// NumNodes implements Topology.
+func (d *Dragonfly) NumNodes() int { return d.G * d.A * d.P }
+
+// NumSwitches implements Topology.
+func (d *Dragonfly) NumSwitches() int { return d.G * d.A }
+
+// Ports implements Topology.
+func (d *Dragonfly) Ports(sw int) []Port { return d.ports[sw] }
+
+// HostPort implements Topology.
+func (d *Dragonfly) HostPort(node int) (sw, port int) {
+	return node / d.P, node % d.P
+}
+
+// group and router decompose a switch id.
+func (d *Dragonfly) group(sw int) int  { return sw / d.A }
+func (d *Dragonfly) router(sw int) int { return sw % d.A }
+
+// localPort returns the port index on router r toward router r2 (same group).
+func (d *Dragonfly) localPort(r, r2 int) int {
+	idx := r2
+	if r2 > r {
+		idx--
+	}
+	return d.P + idx
+}
+
+// globalOwner returns, for a source group g targeting group dg, the router
+// index owning the g<->dg channel and that channel's port index.
+func (d *Dragonfly) globalOwner(g, dg int) (router, port int) {
+	gc := dg
+	if dg > g {
+		gc = dg - 1
+	}
+	return gc / d.H, d.P + (d.A - 1) + gc%d.H
+}
+
+// Candidates implements Topology with minimal local->global->local routing.
+func (d *Dragonfly) Candidates(sw, dst int, buf []int) []int {
+	dsw, hport := d.HostPort(dst)
+	if dsw == sw {
+		return append(buf, hport)
+	}
+	g, r := d.group(sw), d.router(sw)
+	dg, dr := d.group(dsw), d.router(dsw)
+	if g == dg {
+		return append(buf, d.localPort(r, dr))
+	}
+	owner, gport := d.globalOwner(g, dg)
+	if owner == r {
+		return append(buf, gport)
+	}
+	return append(buf, d.localPort(r, owner))
+}
+
+// NonMinimalCandidates implements NonMinimalRouter: ports that begin a
+// Valiant detour. From the source group these are this router's own global
+// channels to groups other than the destination (one hop starts the
+// detour); the fabric marks the packet as misrouted afterward so it
+// finishes minimally from the intermediate group.
+func (d *Dragonfly) NonMinimalCandidates(sw, dst int, buf []int) []int {
+	dsw, _ := d.HostPort(dst)
+	g := d.group(sw)
+	dg := d.group(dsw)
+	if g == dg {
+		return buf // already in destination group: no useful detour
+	}
+	base := d.P + (d.A - 1)
+	for j := 0; j < d.H; j++ {
+		port := d.ports[sw][base+j]
+		if port.Kind != SwitchPort {
+			continue
+		}
+		if d.group(port.PeerSwitch) == dg {
+			continue // that's the minimal channel, not a detour
+		}
+		buf = append(buf, base+j)
+	}
+	return buf
+}

@@ -1,0 +1,139 @@
+package topology
+
+import "fmt"
+
+// FatTree is the classic three-level k-ary fat-tree (Clos) with k pods,
+// k/2 edge and k/2 aggregation switches per pod, and (k/2)^2 core
+// switches, supporting k^3/4 terminal nodes at full bisection bandwidth.
+//
+// Deterministic routing hashes the destination onto a single up-path
+// (ECMP-style static routing); adaptive routing may choose any up port,
+// which is where fat-trees benefit from adaptivity. Down-paths are unique
+// and therefore always deterministic.
+type FatTree struct {
+	K     int // switch radix; must be even
+	half  int // k/2
+	ports [][]Port
+}
+
+// Switch id layout: edges [0, k*h), aggs [k*h, 2*k*h), cores [2*k*h, 2*k*h+h*h),
+// where h = k/2. Edge e of pod p is p*h+e; agg a of pod p is k*h + p*h+a;
+// core (i,j) is 2*k*h + i*h + j and connects to agg i of every pod via its
+// up-port j.
+
+// NewFatTree builds a k-ary fat-tree. k must be even and >= 2.
+func NewFatTree(k int) *FatTree {
+	if k < 2 || k%2 != 0 {
+		panic("topology: fat-tree arity must be even and >= 2")
+	}
+	h := k / 2
+	t := &FatTree{K: k, half: h}
+	nEdges := k * h
+	nAggs := k * h
+	nCores := h * h
+	t.ports = make([][]Port, nEdges+nAggs+nCores)
+
+	for p := 0; p < k; p++ {
+		for e := 0; e < h; e++ {
+			sw := p*h + e
+			ports := make([]Port, k)
+			for i := 0; i < h; i++ { // down: hosts
+				ports[i] = Port{Kind: HostPort, Node: sw*h + i}
+			}
+			for a := 0; a < h; a++ { // up: aggs in same pod
+				ports[h+a] = Port{Kind: SwitchPort, PeerSwitch: nEdges + p*h + a, PeerPort: e}
+			}
+			t.ports[sw] = ports
+		}
+		for a := 0; a < h; a++ {
+			sw := nEdges + p*h + a
+			ports := make([]Port, k)
+			for e := 0; e < h; e++ { // down: edges in same pod
+				ports[e] = Port{Kind: SwitchPort, PeerSwitch: p*h + e, PeerPort: h + a}
+			}
+			for j := 0; j < h; j++ { // up: core (a, j), whose port p faces this pod
+				ports[h+j] = Port{Kind: SwitchPort, PeerSwitch: nEdges + nAggs + a*h + j, PeerPort: p}
+			}
+			t.ports[sw] = ports
+		}
+	}
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			sw := nEdges + nAggs + i*h + j
+			ports := make([]Port, k)
+			for p := 0; p < k; p++ { // one port per pod, down to agg i
+				ports[p] = Port{Kind: SwitchPort, PeerSwitch: nEdges + p*h + i, PeerPort: h + j}
+			}
+			t.ports[sw] = ports
+		}
+	}
+	return t
+}
+
+// Name implements Topology.
+func (t *FatTree) Name() string { return fmt.Sprintf("fattree(k=%d)", t.K) }
+
+// NumNodes implements Topology.
+func (t *FatTree) NumNodes() int { return t.K * t.half * t.half }
+
+// NumSwitches implements Topology.
+func (t *FatTree) NumSwitches() int { return 2*t.K*t.half + t.half*t.half }
+
+// Ports implements Topology.
+func (t *FatTree) Ports(sw int) []Port { return t.ports[sw] }
+
+// HostPort implements Topology.
+func (t *FatTree) HostPort(node int) (sw, port int) {
+	return node / t.half, node % t.half
+}
+
+// level classifies a switch id as edge (0), agg (1) or core (2).
+func (t *FatTree) level(sw int) int {
+	kh := t.K * t.half
+	switch {
+	case sw < kh:
+		return 0
+	case sw < 2*kh:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Candidates implements Topology. Up-path candidates are all up ports with
+// the deterministic hash choice first; down paths have a single candidate.
+func (t *FatTree) Candidates(sw, dst int, buf []int) []int {
+	h := t.half
+	kh := t.K * h
+	dstEdge := dst / h
+	dstPod := dstEdge / h
+	switch t.level(sw) {
+	case 0: // edge
+		if sw == dstEdge {
+			return append(buf, dst%h)
+		}
+		pick := h + dst%h // hash destination across up ports
+		buf = append(buf, pick)
+		for a := 0; a < h; a++ {
+			if h+a != pick {
+				buf = append(buf, h+a)
+			}
+		}
+		return buf
+	case 1: // agg
+		pod := (sw - kh) / h
+		if pod == dstPod {
+			return append(buf, dstEdge%h)
+		}
+		pick := h + (dst/h)%h // hash across core up-ports
+		buf = append(buf, pick)
+		for j := 0; j < h; j++ {
+			if h+j != pick {
+				buf = append(buf, h+j)
+			}
+		}
+		return buf
+	default: // core: unique down port per pod
+		return append(buf, dstPod)
+	}
+}

@@ -1,0 +1,120 @@
+package topology
+
+import "fmt"
+
+// HyperX is a 2-D HyperX: switches sit on an N1 x N2 grid and every switch
+// links directly to all switches sharing either coordinate (each dimension
+// is a clique). The paper's Figure 8 calls out "HyperX Dimension Order
+// Routing" as the best Halo3D configuration, so DOR (dimension 1 then
+// dimension 2) is the deterministic route; minimal-adaptive may correct
+// either offending dimension first.
+type HyperX struct {
+	N1, N2         int
+	HostsPerSwitch int
+	ports          [][]Port
+}
+
+// NewHyperX builds an N1 x N2 HyperX with p hosts per switch.
+func NewHyperX(n1, n2, p int) *HyperX {
+	if n1 < 1 || n2 < 1 || p < 1 {
+		panic("topology: invalid hyperx parameters")
+	}
+	t := &HyperX{N1: n1, N2: n2, HostsPerSwitch: p}
+	nsw := n1 * n2
+	t.ports = make([][]Port, nsw)
+	for i := 0; i < n1; i++ {
+		for j := 0; j < n2; j++ {
+			sw := i*n2 + j
+			ports := make([]Port, p+(n1-1)+(n2-1))
+			for hp := 0; hp < p; hp++ {
+				ports[hp] = Port{Kind: HostPort, Node: sw*p + hp}
+			}
+			for i2 := 0; i2 < n1; i2++ { // dimension-1 clique (vary i)
+				if i2 == i {
+					continue
+				}
+				idx := i2
+				if i2 > i {
+					idx--
+				}
+				back := i
+				if i > i2 {
+					back--
+				}
+				ports[p+idx] = Port{Kind: SwitchPort, PeerSwitch: i2*n2 + j, PeerPort: p + back}
+			}
+			for j2 := 0; j2 < n2; j2++ { // dimension-2 clique (vary j)
+				if j2 == j {
+					continue
+				}
+				idx := j2
+				if j2 > j {
+					idx--
+				}
+				back := j
+				if j > j2 {
+					back--
+				}
+				ports[p+(n1-1)+idx] = Port{Kind: SwitchPort, PeerSwitch: i*n2 + j2, PeerPort: p + (n1 - 1) + back}
+			}
+			t.ports[sw] = ports
+		}
+	}
+	return t
+}
+
+// Name implements Topology.
+func (t *HyperX) Name() string {
+	return fmt.Sprintf("hyperx(%dx%d,p=%d)", t.N1, t.N2, t.HostsPerSwitch)
+}
+
+// NumNodes implements Topology.
+func (t *HyperX) NumNodes() int { return t.N1 * t.N2 * t.HostsPerSwitch }
+
+// NumSwitches implements Topology.
+func (t *HyperX) NumSwitches() int { return t.N1 * t.N2 }
+
+// Ports implements Topology.
+func (t *HyperX) Ports(sw int) []Port { return t.ports[sw] }
+
+// HostPort implements Topology.
+func (t *HyperX) HostPort(node int) (sw, port int) {
+	return node / t.HostsPerSwitch, node % t.HostsPerSwitch
+}
+
+// dim1Port returns the port index from row i toward row i2.
+func (t *HyperX) dim1Port(i, i2 int) int {
+	idx := i2
+	if i2 > i {
+		idx--
+	}
+	return t.HostsPerSwitch + idx
+}
+
+// dim2Port returns the port index from column j toward column j2.
+func (t *HyperX) dim2Port(j, j2 int) int {
+	idx := j2
+	if j2 > j {
+		idx--
+	}
+	return t.HostsPerSwitch + (t.N1 - 1) + idx
+}
+
+// Candidates implements Topology: DOR candidate first (correct dimension 1,
+// then dimension 2), with the other offending dimension as the adaptive
+// alternative.
+func (t *HyperX) Candidates(sw, dst int, buf []int) []int {
+	dsw, hport := t.HostPort(dst)
+	if dsw == sw {
+		return append(buf, hport)
+	}
+	i, j := sw/t.N2, sw%t.N2
+	di, dj := dsw/t.N2, dsw%t.N2
+	if i != di {
+		buf = append(buf, t.dim1Port(i, di))
+	}
+	if j != dj {
+		buf = append(buf, t.dim2Port(j, dj))
+	}
+	return buf
+}

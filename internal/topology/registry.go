@@ -1,0 +1,81 @@
+package topology
+
+import "fmt"
+
+// Kind names a topology family for registry construction.
+type Kind string
+
+// Topology families available to experiments and the CLI.
+const (
+	KindSingleSwitch Kind = "single"
+	KindTorus3D      Kind = "torus3d"
+	KindFatTree      Kind = "fattree"
+	KindDragonfly    Kind = "dragonfly"
+	KindHyperX       Kind = "hyperx"
+)
+
+// Kinds lists the registered families in a stable order.
+func Kinds() []Kind {
+	return []Kind{KindSingleSwitch, KindTorus3D, KindFatTree, KindDragonfly, KindHyperX}
+}
+
+// ForNodeCount constructs a topology of the given family sized to carry at
+// least n terminal nodes, scaling the family's natural parameters. It is
+// how the experiment harness sizes systems: the paper uses 8,192 nodes; the
+// benchmarks default smaller but use identical construction rules.
+func ForNodeCount(kind Kind, n int) (Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least one node, got %d", n)
+	}
+	switch kind {
+	case KindSingleSwitch:
+		return NewSingleSwitch(n), nil
+	case KindTorus3D:
+		// Grow a near-cubic torus with 4 hosts per switch.
+		const p = 4
+		dx, dy, dz := 1, 1, 1
+		for dx*dy*dz*p < n {
+			// Grow the smallest dimension to stay near-cubic.
+			switch {
+			case dx <= dy && dx <= dz:
+				dx *= 2
+			case dy <= dz:
+				dy *= 2
+			default:
+				dz *= 2
+			}
+		}
+		return NewTorus3D(dx, dy, dz, p), nil
+	case KindFatTree:
+		k := 2
+		for k*k*k/4 < n {
+			k += 2
+		}
+		return NewFatTree(k), nil
+	case KindDragonfly:
+		// Balanced dragonfly guideline: a = 2p = 2h. Grow p until it fits.
+		p := 1
+		for {
+			a, h := 2*p, p
+			g := a*h + 1
+			if g*a*p >= n {
+				return NewDragonfly(a, p, h), nil
+			}
+			p++
+		}
+	case KindHyperX:
+		// Square-ish HyperX with 4 hosts per switch.
+		const p = 4
+		n1, n2 := 1, 1
+		for n1*n2*p < n {
+			if n1 <= n2 {
+				n1 *= 2
+			} else {
+				n2 *= 2
+			}
+		}
+		return NewHyperX(n1, n2, p), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q", kind)
+	}
+}

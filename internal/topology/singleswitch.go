@@ -1,0 +1,43 @@
+package topology
+
+import "fmt"
+
+// SingleSwitch is the degenerate topology used by the paper's two-node
+// microbenchmark reproductions (Figures 4-6): every node hangs off one
+// switch, so end-to-end latency is NIC + link + switch crossing + link +
+// NIC, with no topology effects.
+type SingleSwitch struct {
+	ports []Port
+}
+
+// NewSingleSwitch returns a one-switch network with n attached nodes.
+func NewSingleSwitch(n int) *SingleSwitch {
+	if n < 1 {
+		panic("topology: SingleSwitch needs at least one node")
+	}
+	s := &SingleSwitch{ports: make([]Port, n)}
+	for i := 0; i < n; i++ {
+		s.ports[i] = Port{Kind: HostPort, Node: i}
+	}
+	return s
+}
+
+// Name implements Topology.
+func (s *SingleSwitch) Name() string { return fmt.Sprintf("single-switch(n=%d)", len(s.ports)) }
+
+// NumNodes implements Topology.
+func (s *SingleSwitch) NumNodes() int { return len(s.ports) }
+
+// NumSwitches implements Topology.
+func (s *SingleSwitch) NumSwitches() int { return 1 }
+
+// Ports implements Topology.
+func (s *SingleSwitch) Ports(sw int) []Port { return s.ports }
+
+// HostPort implements Topology.
+func (s *SingleSwitch) HostPort(node int) (sw, port int) { return 0, node }
+
+// Candidates implements Topology.
+func (s *SingleSwitch) Candidates(sw, dst int, buf []int) []int {
+	return append(buf, dst)
+}

@@ -1,0 +1,173 @@
+// Package topology describes the switch/link graphs the simulated network
+// runs over, together with their routing functions.
+//
+// The RVMA paper evaluates Sweep3D and Halo3D over "a variety of different
+// network topologies and routing strategies" (Figures 7 and 8), naming
+// adaptively routed dragonfly and HyperX with Dimension Order Routing
+// explicitly. This package provides dragonfly, three-level fat-tree,
+// 2-D HyperX and 3-D torus, plus a single-switch topology for the
+// two-node microbenchmarks, all behind one interface.
+//
+// A Topology is pure structure: switches, ports, and a routing oracle that
+// lists candidate output ports toward a destination. Queueing, bandwidth
+// and adaptive port *selection* live in package fabric; this split keeps
+// routing algorithms independently testable.
+package topology
+
+import "fmt"
+
+// PortKind discriminates what a switch port attaches to.
+type PortKind int
+
+const (
+	// Unused marks a port with no attachment (e.g. a torus dimension of
+	// size 1). Packets are never routed to unused ports.
+	Unused PortKind = iota
+	// HostPort attaches a terminal node (a NIC).
+	HostPort
+	// SwitchPort attaches another switch.
+	SwitchPort
+)
+
+// Port describes one switch port.
+type Port struct {
+	Kind PortKind
+	// Node is the attached terminal, valid when Kind == HostPort.
+	Node int
+	// PeerSwitch/PeerPort identify the far end, valid when Kind == SwitchPort.
+	PeerSwitch int
+	PeerPort   int
+}
+
+// Topology is a switch graph with an attached-routing oracle.
+type Topology interface {
+	// Name identifies the topology (and its parameters) in reports.
+	Name() string
+	// NumNodes returns the number of terminal nodes.
+	NumNodes() int
+	// NumSwitches returns the number of switches.
+	NumSwitches() int
+	// Ports returns switch sw's port table. Callers must not mutate it.
+	Ports(sw int) []Port
+	// HostPort returns the switch and port a node attaches to.
+	HostPort(node int) (sw, port int)
+	// Candidates appends to buf the output ports at switch sw that make
+	// minimal progress toward node dst and returns the result. The first
+	// candidate is the deterministic (static-routing) choice; the rest are
+	// equal-cost alternatives an adaptive router may pick instead. When dst
+	// attaches to sw the sole candidate is its host port.
+	Candidates(sw, dst int, buf []int) []int
+}
+
+// NonMinimalRouter is implemented by topologies that support Valiant-style
+// misrouting (dragonfly). NonMinimalCandidates appends output ports that
+// begin a non-minimal path toward dst; the fabric may take one when minimal
+// queues are congested, after which the packet must route minimally.
+type NonMinimalRouter interface {
+	NonMinimalCandidates(sw, dst int, buf []int) []int
+}
+
+// Validate checks structural invariants every topology must satisfy:
+// bidirectional port symmetry, host-port consistency, and in-range
+// candidates. It is used by the test suite over every topology.
+func Validate(t Topology) error {
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		ports := t.Ports(sw)
+		for pi, p := range ports {
+			switch p.Kind {
+			case SwitchPort:
+				if p.PeerSwitch < 0 || p.PeerSwitch >= t.NumSwitches() {
+					return fmt.Errorf("%s: switch %d port %d peers out-of-range switch %d",
+						t.Name(), sw, pi, p.PeerSwitch)
+				}
+				peer := t.Ports(p.PeerSwitch)
+				if p.PeerPort < 0 || p.PeerPort >= len(peer) {
+					return fmt.Errorf("%s: switch %d port %d peers out-of-range port %d of switch %d",
+						t.Name(), sw, pi, p.PeerPort, p.PeerSwitch)
+				}
+				back := peer[p.PeerPort]
+				if back.Kind != SwitchPort || back.PeerSwitch != sw || back.PeerPort != pi {
+					return fmt.Errorf("%s: link asymmetry: switch %d port %d -> switch %d port %d -> switch %d port %d",
+						t.Name(), sw, pi, p.PeerSwitch, p.PeerPort, back.PeerSwitch, back.PeerPort)
+				}
+			case HostPort:
+				hsw, hport := t.HostPort(p.Node)
+				if hsw != sw || hport != pi {
+					return fmt.Errorf("%s: node %d host-port mismatch: attached at (%d,%d), HostPort says (%d,%d)",
+						t.Name(), p.Node, sw, pi, hsw, hport)
+				}
+			}
+		}
+	}
+	for n := 0; n < t.NumNodes(); n++ {
+		sw, port := t.HostPort(n)
+		ports := t.Ports(sw)
+		if port < 0 || port >= len(ports) || ports[port].Kind != HostPort || ports[port].Node != n {
+			return fmt.Errorf("%s: node %d HostPort (%d,%d) does not attach it", t.Name(), n, sw, port)
+		}
+	}
+	return nil
+}
+
+// TraceRoute follows the deterministic (first-candidate) route from node
+// src to node dst and returns the sequence of switches visited. It errors
+// if the route exceeds maxHops, which would indicate a routing loop.
+func TraceRoute(t Topology, src, dst, maxHops int) ([]int, error) {
+	sw, _ := t.HostPort(src)
+	path := []int{sw}
+	var buf []int
+	for hops := 0; ; hops++ {
+		if hops > maxHops {
+			return path, fmt.Errorf("%s: route %d->%d exceeded %d hops (loop?)", t.Name(), src, dst, maxHops)
+		}
+		buf = t.Candidates(sw, dst, buf[:0])
+		if len(buf) == 0 {
+			return path, fmt.Errorf("%s: no candidates at switch %d toward node %d", t.Name(), sw, dst)
+		}
+		p := t.Ports(sw)[buf[0]]
+		switch p.Kind {
+		case HostPort:
+			if p.Node != dst {
+				return path, fmt.Errorf("%s: route %d->%d exited at node %d", t.Name(), src, dst, p.Node)
+			}
+			return path, nil
+		case SwitchPort:
+			sw = p.PeerSwitch
+			path = append(path, sw)
+		default:
+			return path, fmt.Errorf("%s: candidate is an unused port", t.Name())
+		}
+	}
+}
+
+// Diameter returns the maximum deterministic-route switch-hop count over a
+// sample of node pairs (all pairs when the node count is small). It is a
+// test/diagnostic helper.
+func Diameter(t Topology, maxPairs int) (int, error) {
+	n := t.NumNodes()
+	max := 0
+	step := 1
+	if n*n > maxPairs && maxPairs > 0 {
+		step = n * n / maxPairs
+		if step == 0 {
+			step = 1
+		}
+	}
+	idx := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			idx++
+			if s == d || idx%step != 0 {
+				continue
+			}
+			path, err := TraceRoute(t, s, d, 64)
+			if err != nil {
+				return 0, err
+			}
+			if h := len(path) - 1; h > max {
+				max = h
+			}
+		}
+	}
+	return max, nil
+}

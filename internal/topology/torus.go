@@ -1,0 +1,160 @@
+package topology
+
+import "fmt"
+
+// Torus3D is a 3-D torus (the Cray XC predecessor topology and the classic
+// statically routed HPC network). Switches form a DX x DY x DZ grid with
+// wraparound links in each dimension; each switch hosts HostsPerSwitch
+// terminal nodes.
+//
+// Deterministic routing is dimension-order (X then Y then Z) along the
+// shorter wrap direction; minimal-adaptive routing may correct any
+// still-offending dimension first.
+type Torus3D struct {
+	DX, DY, DZ     int
+	HostsPerSwitch int
+	ports          [][]Port
+}
+
+// Torus port layout: hosts first, then +x,-x,+y,-y,+z,-z.
+const (
+	torusXPlus = iota
+	torusXMinus
+	torusYPlus
+	torusYMinus
+	torusZPlus
+	torusZMinus
+)
+
+// NewTorus3D constructs a torus. Dimensions must be >= 1; a dimension of
+// size 1 has its links marked Unused.
+func NewTorus3D(dx, dy, dz, hostsPerSwitch int) *Torus3D {
+	if dx < 1 || dy < 1 || dz < 1 || hostsPerSwitch < 1 {
+		panic("topology: invalid torus parameters")
+	}
+	t := &Torus3D{DX: dx, DY: dy, DZ: dz, HostsPerSwitch: hostsPerSwitch}
+	nsw := dx * dy * dz
+	t.ports = make([][]Port, nsw)
+	for sw := 0; sw < nsw; sw++ {
+		x, y, z := t.coords(sw)
+		ports := make([]Port, hostsPerSwitch+6)
+		for i := 0; i < hostsPerSwitch; i++ {
+			ports[i] = Port{Kind: HostPort, Node: sw*hostsPerSwitch + i}
+		}
+		link := func(slot int, nx, ny, nz int, backSlot int) {
+			peer := t.switchAt(nx, ny, nz)
+			if peer == sw {
+				ports[hostsPerSwitch+slot] = Port{Kind: Unused}
+				return
+			}
+			ports[hostsPerSwitch+slot] = Port{
+				Kind:       SwitchPort,
+				PeerSwitch: peer,
+				PeerPort:   hostsPerSwitch + backSlot,
+			}
+		}
+		link(torusXPlus, (x+1)%dx, y, z, torusXMinus)
+		link(torusXMinus, (x-1+dx)%dx, y, z, torusXPlus)
+		link(torusYPlus, x, (y+1)%dy, z, torusYMinus)
+		link(torusYMinus, x, (y-1+dy)%dy, z, torusYPlus)
+		link(torusZPlus, x, y, (z+1)%dz, torusZMinus)
+		link(torusZMinus, x, y, (z-1+dz)%dz, torusZPlus)
+		t.ports[sw] = ports
+	}
+	// Dimension-of-size-2 special case: +d and -d reach the same switch; the
+	// construction above would give both endpoints' +/- ports inconsistent
+	// back-references. Rebuild those as paired parallel links.
+	t.fixSize2Dims()
+	return t
+}
+
+// fixSize2Dims repairs back-port references for dimensions of size 2,
+// where both wrap directions lead to the same neighbor. We keep both ports
+// as parallel links: switch A's plus-port pairs with B's minus-port and
+// vice versa, preserving port symmetry.
+func (t *Torus3D) fixSize2Dims() {
+	fix := func(plusSlot, minusSlot int, size int) {
+		if size != 2 {
+			return
+		}
+		for sw := range t.ports {
+			h := t.HostsPerSwitch
+			plus := &t.ports[sw][h+plusSlot]
+			minus := &t.ports[sw][h+minusSlot]
+			if plus.Kind == SwitchPort {
+				plus.PeerPort = h + minusSlot
+			}
+			if minus.Kind == SwitchPort {
+				minus.PeerPort = h + plusSlot
+			}
+		}
+	}
+	fix(torusXPlus, torusXMinus, t.DX)
+	fix(torusYPlus, torusYMinus, t.DY)
+	fix(torusZPlus, torusZMinus, t.DZ)
+}
+
+func (t *Torus3D) coords(sw int) (x, y, z int) {
+	x = sw % t.DX
+	y = (sw / t.DX) % t.DY
+	z = sw / (t.DX * t.DY)
+	return
+}
+
+func (t *Torus3D) switchAt(x, y, z int) int { return x + t.DX*(y+t.DY*z) }
+
+// Name implements Topology.
+func (t *Torus3D) Name() string {
+	return fmt.Sprintf("torus3d(%dx%dx%d,p=%d)", t.DX, t.DY, t.DZ, t.HostsPerSwitch)
+}
+
+// NumNodes implements Topology.
+func (t *Torus3D) NumNodes() int { return t.DX * t.DY * t.DZ * t.HostsPerSwitch }
+
+// NumSwitches implements Topology.
+func (t *Torus3D) NumSwitches() int { return t.DX * t.DY * t.DZ }
+
+// Ports implements Topology.
+func (t *Torus3D) Ports(sw int) []Port { return t.ports[sw] }
+
+// HostPort implements Topology.
+func (t *Torus3D) HostPort(node int) (sw, port int) {
+	return node / t.HostsPerSwitch, node % t.HostsPerSwitch
+}
+
+// dirPort returns the port slot moving coordinate cur toward want in a
+// dimension of the given size, following the shorter wrap (ties go to the
+// plus direction), or -1 if the coordinate already matches.
+func dirPort(cur, want, size, plusSlot, minusSlot int) int {
+	if cur == want {
+		return -1
+	}
+	fwd := (want - cur + size) % size
+	bwd := (cur - want + size) % size
+	if fwd <= bwd {
+		return plusSlot
+	}
+	return minusSlot
+}
+
+// Candidates implements Topology: dimension-order first candidate, then
+// any other productive dimension for minimal-adaptive selection.
+func (t *Torus3D) Candidates(sw, dst int, buf []int) []int {
+	dsw, hport := t.HostPort(dst)
+	if dsw == sw {
+		return append(buf, hport)
+	}
+	x, y, z := t.coords(sw)
+	dx, dy, dz := t.coords(dsw)
+	h := t.HostsPerSwitch
+	if p := dirPort(x, dx, t.DX, torusXPlus, torusXMinus); p >= 0 {
+		buf = append(buf, h+p)
+	}
+	if p := dirPort(y, dy, t.DY, torusYPlus, torusYMinus); p >= 0 {
+		buf = append(buf, h+p)
+	}
+	if p := dirPort(z, dz, t.DZ, torusZPlus, torusZMinus); p >= 0 {
+		buf = append(buf, h+p)
+	}
+	return buf
+}

@@ -1,0 +1,252 @@
+// Package trace provides lightweight observability for simulation runs:
+// categorized event logs (bounded ring), named counters, and time-bucketed
+// series. The fabric and NIC models emit into a Tracer when one is
+// attached; with no tracer attached the hooks cost one nil check.
+//
+// cmd/rvmasim -trace prints a run's trace summary; tests use tracers to
+// assert on internal behavior (detour counts, drop reasons) without
+// reaching into model state.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rvma/internal/sim"
+)
+
+// Category tags an event stream.
+type Category string
+
+// Categories emitted by the built-in models.
+const (
+	CatPacket Category = "packet" // injection, delivery, detour
+	CatNIC    Category = "nic"    // pipeline activity
+	CatRVMA   Category = "rvma"   // window lifecycle, completions, NACKs
+	CatRDMA   Category = "rdma"   // registration, fences, acks
+	CatApp    Category = "app"    // application-level marks
+)
+
+// Event is one trace record.
+type Event struct {
+	At  sim.Time
+	Cat Category
+	Msg string
+}
+
+// Series accumulates a value into fixed-width time buckets, producing a
+// time series (e.g. delivered bytes per 10 µs window).
+type Series struct {
+	Bucket  sim.Time
+	Sums    []float64
+	started bool
+}
+
+// add accumulates v at time at.
+func (s *Series) add(at sim.Time, v float64) {
+	if s.Bucket <= 0 {
+		return
+	}
+	idx := int(at / s.Bucket)
+	for len(s.Sums) <= idx {
+		s.Sums = append(s.Sums, 0)
+	}
+	s.Sums[idx] += v
+	s.started = true
+}
+
+// Tracer collects events, counters and series for one simulation.
+type Tracer struct {
+	eng     *sim.Engine
+	enabled map[Category]bool
+	all     bool
+
+	ring    []Event
+	next    int
+	wrapped bool
+	Dropped uint64 // events rejected because their category was disabled
+
+	counters map[string]uint64
+	series   map[string]*Series
+}
+
+// New returns a tracer bound to the engine with a bounded event ring.
+// No categories are enabled initially.
+func New(eng *sim.Engine, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{
+		eng:      eng,
+		enabled:  make(map[Category]bool),
+		ring:     make([]Event, 0, capacity),
+		counters: make(map[string]uint64),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Enable turns on event recording for the categories (or EnableAll).
+func (t *Tracer) Enable(cats ...Category) {
+	for _, c := range cats {
+		t.enabled[c] = true
+	}
+}
+
+// EnableAll records every category.
+func (t *Tracer) EnableAll() { t.all = true }
+
+// Enabled reports whether a category records events.
+func (t *Tracer) Enabled(c Category) bool { return t != nil && (t.all || t.enabled[c]) }
+
+// Eventf records a formatted event at the current simulated time.
+func (t *Tracer) Eventf(cat Category, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if !t.Enabled(cat) {
+		t.Dropped++
+		return
+	}
+	ev := Event{At: t.eng.Now(), Cat: cat, Msg: fmt.Sprintf(format, args...)}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		return
+	}
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % cap(t.ring)
+	t.wrapped = true
+}
+
+// Count adds delta to a named counter. Counters always record, independent
+// of category enablement — they are the cheap aggregate layer.
+func (t *Tracer) Count(name string, delta uint64) {
+	if t == nil {
+		return
+	}
+	t.counters[name] += delta
+}
+
+// Counter returns a named counter's value.
+func (t *Tracer) Counter(name string) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.counters[name]
+}
+
+// DefineSeries creates (or resets) a named time series with the given
+// bucket width.
+func (t *Tracer) DefineSeries(name string, bucket sim.Time) {
+	if t == nil {
+		return
+	}
+	t.series[name] = &Series{Bucket: bucket}
+}
+
+// Add accumulates v into a named series at the current simulated time.
+// Adding to an undefined series is a no-op.
+func (t *Tracer) Add(name string, v float64) {
+	if t == nil {
+		return
+	}
+	if s, ok := t.series[name]; ok {
+		s.add(t.eng.Now(), v)
+	}
+}
+
+// SeriesSums returns the bucket sums of a named series (nil if undefined).
+func (t *Tracer) SeriesSums(name string) []float64 {
+	if t == nil {
+		return nil
+	}
+	if s, ok := t.series[name]; ok {
+		return s.Sums
+	}
+	return nil
+}
+
+// Events returns the recorded events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump writes a human-readable summary: counters (sorted), series shapes,
+// then the event log.
+func (t *Tracer) Dump(w io.Writer) {
+	if t == nil {
+		return
+	}
+	names := make([]string, 0, len(t.counters))
+	for n := range t.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-32s %d\n", n, t.counters[n])
+		}
+	}
+	snames := make([]string, 0, len(t.series))
+	for n := range t.series {
+		snames = append(snames, n)
+	}
+	sort.Strings(snames)
+	for _, n := range snames {
+		s := t.series[n]
+		if !s.started {
+			continue
+		}
+		fmt.Fprintf(w, "series %s (bucket %v): %d buckets, peak %.4g\n",
+			n, s.Bucket, len(s.Sums), peak(s.Sums))
+	}
+	evs := t.Events()
+	if len(evs) > 0 {
+		fmt.Fprintf(w, "events (%d recorded%s):\n", len(evs), wrappedNote(t.wrapped))
+		for _, e := range evs {
+			fmt.Fprintf(w, "  [%v] %s: %s\n", e.At, e.Cat, e.Msg)
+		}
+	}
+}
+
+// WriteSeriesCSV emits a named series as (bucket_start_ns, value) rows.
+func (t *Tracer) WriteSeriesCSV(w io.Writer, name string) error {
+	s, ok := t.series[name]
+	if !ok {
+		return fmt.Errorf("trace: unknown series %q", name)
+	}
+	fmt.Fprintln(w, "bucket_start_ns,value")
+	for i, v := range s.Sums {
+		fmt.Fprintf(w, "%.0f,%g\n", (sim.Time(i) * s.Bucket).Nanoseconds(), v)
+	}
+	return nil
+}
+
+func peak(xs []float64) float64 {
+	p := 0.0
+	for _, x := range xs {
+		if x > p {
+			p = x
+		}
+	}
+	return p
+}
+
+func wrappedNote(wrapped bool) string {
+	if wrapped {
+		return ", ring wrapped: oldest dropped"
+	}
+	return ""
+}

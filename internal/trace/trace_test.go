@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rvma/internal/sim"
+)
+
+func TestEventRecording(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 10)
+	tr.Enable(CatPacket)
+	eng.Schedule(sim.Microsecond, func() { tr.Eventf(CatPacket, "hello %d", 42) })
+	eng.Schedule(sim.Microsecond, func() { tr.Eventf(CatNIC, "suppressed") })
+	eng.Run()
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1 (disabled category dropped)", len(evs))
+	}
+	if evs[0].At != sim.Microsecond || evs[0].Msg != "hello 42" || evs[0].Cat != CatPacket {
+		t.Fatalf("event = %+v", evs[0])
+	}
+	if tr.Dropped != 1 {
+		t.Fatalf("dropped = %d", tr.Dropped)
+	}
+}
+
+func TestEnableAll(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 4)
+	tr.EnableAll()
+	tr.Eventf(CatApp, "x")
+	tr.Eventf(CatRVMA, "y")
+	if len(tr.Events()) != 2 {
+		t.Fatal("EnableAll should record every category")
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 3)
+	tr.Enable(CatApp)
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.Schedule(sim.Time(i), func() { tr.Eventf(CatApp, "e%d", i) })
+	}
+	eng.Run()
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring should hold 3, got %d", len(evs))
+	}
+	// Oldest two dropped; order preserved.
+	if evs[0].Msg != "e2" || evs[2].Msg != "e4" {
+		t.Fatalf("wrapped order wrong: %v", evs)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	tr := New(sim.NewEngine(1), 1)
+	tr.Count("pkts", 3)
+	tr.Count("pkts", 4)
+	if tr.Counter("pkts") != 7 {
+		t.Fatalf("counter = %d", tr.Counter("pkts"))
+	}
+	if tr.Counter("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 1)
+	tr.DefineSeries("bw", 10*sim.Microsecond)
+	eng.Schedule(sim.Microsecond, func() { tr.Add("bw", 100) })
+	eng.Schedule(5*sim.Microsecond, func() { tr.Add("bw", 50) })
+	eng.Schedule(25*sim.Microsecond, func() { tr.Add("bw", 7) })
+	eng.Schedule(0, func() { tr.Add("undefined", 1) }) // no-op
+	eng.Run()
+	sums := tr.SeriesSums("bw")
+	if len(sums) != 3 || sums[0] != 150 || sums[1] != 0 || sums[2] != 7 {
+		t.Fatalf("series = %v", sums)
+	}
+	if tr.SeriesSums("undefined") != nil {
+		t.Fatal("undefined series should read nil")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Eventf(CatApp, "x")
+	tr.Count("c", 1)
+	tr.Add("s", 1)
+	tr.Dump(&strings.Builder{})
+	if tr.Counter("c") != 0 || tr.Events() != nil || tr.Enabled(CatApp) {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestDumpAndCSV(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 4)
+	tr.Enable(CatApp)
+	tr.Count("n", 2)
+	tr.DefineSeries("s", sim.Microsecond)
+	eng.Schedule(0, func() { tr.Add("s", 5); tr.Eventf(CatApp, "mark") })
+	eng.Run()
+	var sb strings.Builder
+	tr.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"counters:", "n", "series s", "mark"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := tr.WriteSeriesCSV(&sb, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0,5") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+	if err := tr.WriteSeriesCSV(&sb, "nope"); err == nil {
+		t.Fatal("unknown series should error")
+	}
+}
