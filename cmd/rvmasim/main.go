@@ -7,6 +7,20 @@
 //	        -routing adaptive -nodes 128 -gbps 400
 //
 // It prints the simulated makespan and fabric statistics.
+//
+// Observability flags:
+//
+//	-trace             attach a tracer to every layer (fabric, NIC,
+//	                   protocol endpoints) and print counters, series and
+//	                   the tail of the event log after the run
+//	-spans             track every message through its pipeline stages and
+//	                   print the per-stage latency table (count, mean, p50,
+//	                   p99, max)
+//	-metrics-out F     write the full metrics snapshot (counters, gauges,
+//	                   histograms) as indented JSON to F
+//	-perfetto-out F    write a Chrome trace-event timeline to F; open it at
+//	                   ui.perfetto.dev (each node renders as a process,
+//	                   each span scope as a thread)
 package main
 
 import (
@@ -16,6 +30,7 @@ import (
 
 	"rvma/internal/fabric"
 	"rvma/internal/harness"
+	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/sim"
 	"rvma/internal/topology"
@@ -33,7 +48,10 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		rdmaBufs  = flag.Int("rdma-buffers", 1, "negotiated buffers per pair (RDMA transport)")
 		rvmaDepth = flag.Int("rvma-depth", 4, "posted buffer depth per mailbox (RVMA transport)")
-		doTrace   = flag.Bool("trace", false, "collect and print fabric trace counters/series")
+		doTrace    = flag.Bool("trace", false, "collect and print trace counters/series from every layer")
+		doSpans    = flag.Bool("spans", false, "track per-message pipeline spans and print the latency table")
+		metricsOut = flag.String("metrics-out", "", "write metrics snapshot JSON to this file")
+		perfOut    = flag.String("perfetto-out", "", "write Chrome/Perfetto trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -81,8 +99,23 @@ func main() {
 	}
 	var tr *trace.Tracer
 	if *doTrace {
-		tr = trace.New(cluster.Eng, 32) // counters/series only; event ring small
-		cluster.Net.SetTracer(tr)
+		tr = trace.New(cluster.Eng, 64) // counters/series plus a small event ring
+		tr.EnableAll()
+		cluster.SetTracer(tr)
+	}
+	var reg *metrics.Registry
+	if *doSpans || *metricsOut != "" || *perfOut != "" {
+		reg = metrics.NewRegistry()
+		if *doSpans || *perfOut != "" {
+			reg.EnableSpans()
+		}
+		if *perfOut != "" {
+			reg.EnableTimeline(0)
+		}
+		cluster.SetMetrics(reg)
+		// Sample collector-backed gauges periodically so queue depths and
+		// utilization show their mid-run values, not just the final state.
+		cluster.Eng.SetHeartbeat(4096, reg.Collect)
 	}
 
 	var makespan sim.Time
@@ -111,6 +144,41 @@ func main() {
 		cluster.Net.MeanPacketLatency(), cluster.Net.MeanHops())
 	if st.ValiantDetours > 0 {
 		fmt.Printf("routing:    %d Valiant detours\n", st.ValiantDetours)
+	}
+	if *doSpans {
+		fmt.Println("\nper-message stage latency:")
+		reg.FprintSpans(os.Stdout)
+		if open := reg.OpenSpans(); open > 0 {
+			fmt.Printf("spans still open at end of run: %d\n", open)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := reg.WriteJSON(f, cluster.Eng.Now()); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("metrics:    snapshot written to %s\n", *metricsOut)
+	}
+	if *perfOut != "" {
+		f, err := os.Create(*perfOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := reg.Timeline().WritePerfetto(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		recorded, dropped := reg.Timeline().Events()
+		fmt.Printf("timeline:   %d events written to %s (%d dropped at cap); open at ui.perfetto.dev\n",
+			recorded, *perfOut, dropped)
 	}
 	if tr != nil {
 		fmt.Println("\ntrace:")

@@ -18,6 +18,7 @@ package fabric
 import (
 	"fmt"
 
+	"rvma/internal/metrics"
 	"rvma/internal/sim"
 	"rvma/internal/topology"
 	"rvma/internal/trace"
@@ -181,6 +182,14 @@ type Network struct {
 	nextID uint64
 	Stats  Stats
 	tracer *trace.Tracer
+
+	// Metric handles, resolved once at SetMetrics; all nil when no registry
+	// is attached, so the hot path pays one nil check per hook.
+	mLatency  *metrics.Histogram // injection-to-delivery, ns
+	mHops     *metrics.Histogram // switch hops per delivered packet
+	mDrops    *metrics.Counter
+	mDetours  *metrics.Counter
+	mTimeline *metrics.Timeline
 }
 
 // SetTracer attaches a tracer; packet-level events go to trace.CatPacket
@@ -191,6 +200,64 @@ func (n *Network) SetTracer(t *trace.Tracer) {
 	if t != nil {
 		t.DefineSeries("fabric.delivered_bytes", 10*sim.Microsecond)
 	}
+}
+
+// maxPerSwitchGauges caps per-switch gauge fan-out: beyond this many
+// switches the collector only keeps fabric-wide aggregates, so metrics on
+// a large topology don't drown the snapshot in per-switch series.
+const maxPerSwitchGauges = 64
+
+// SetMetrics attaches a metrics registry. Packet latency and hop-count
+// histograms plus drop/detour counters update per event; queue occupancy
+// and link utilization are sampled by a collector at snapshot time. A nil
+// registry detaches every hook.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		n.mLatency, n.mHops, n.mDrops, n.mDetours, n.mTimeline = nil, nil, nil, nil, nil
+		return
+	}
+	n.mLatency = reg.Histogram("fabric.packet_latency_ns")
+	n.mHops = reg.Histogram("fabric.packet_hops")
+	n.mDrops = reg.Counter("fabric.packets_dropped")
+	n.mDetours = reg.Counter("fabric.valiant_detours")
+	n.mTimeline = reg.Timeline()
+
+	perSwitch := n.topo.NumSwitches() <= maxPerSwitchGauges
+	reg.AddCollector(func() {
+		var busy, uses float64
+		var util, maxUtil float64
+		links := 0
+		for sw := range n.outPorts {
+			var backlog sim.Time
+			for _, p := range n.outPorts[sw] {
+				backlog += p.Backlog(n.eng)
+				u := p.Utilization(n.eng)
+				util += u
+				if u > maxUtil {
+					maxUtil = u
+				}
+				busy += p.BusyTime().Nanoseconds()
+				uses += float64(p.Uses())
+				links++
+			}
+			if perSwitch {
+				reg.Gauge(fmt.Sprintf("fabric.sw%d.queue_ns", sw)).Set(backlog.Nanoseconds())
+			}
+		}
+		if links > 0 {
+			reg.Gauge("fabric.link_util_mean").Set(util / float64(links))
+			reg.Gauge("fabric.link_util_max").Set(maxUtil)
+			reg.Gauge("fabric.link_busy_ns_total").Set(busy)
+			reg.Gauge("fabric.link_uses_total").Set(uses)
+		}
+		var hostUtil float64
+		for _, h := range n.hostTx {
+			hostUtil += h.Utilization(n.eng)
+		}
+		if len(n.hostTx) > 0 {
+			reg.Gauge("fabric.host_tx_util_mean").Set(hostUtil / float64(len(n.hostTx)))
+		}
+	})
 }
 
 // New builds a network over topo with the given config.
@@ -314,6 +381,7 @@ func (n *Network) selectPort(sw int, pkt *Packet) int {
 			if nm := n.nonMin.NonMinimalCandidates(sw, pkt.Dst, nil); len(nm) > 0 {
 				pkt.misrouted = true
 				n.Stats.ValiantDetours++
+				n.mDetours.Add(1)
 				return nm[n.eng.RNG().Intn(len(nm))]
 			}
 		}
@@ -335,6 +403,8 @@ func (n *Network) selectPort(sw int, pkt *Packet) int {
 					if 2*n.outPorts[sw][alt].Backlog(n.eng)+bias < minBacklog {
 						pkt.misrouted = true
 						n.Stats.ValiantDetours++
+						n.mDetours.Add(1)
+						n.mTimeline.Instant(pkt.Src, "fabric", "detour", n.eng.Now())
 						if n.tracer != nil {
 							n.tracer.Count("fabric.valiant_detours", 1)
 							n.tracer.Eventf(trace.CatPacket, "detour #%d at sw%d", pkt.ID, sw)
@@ -373,6 +443,8 @@ func (n *Network) deliver(node int, pkt *Packet) {
 	}
 	if n.cfg.DropRate > 0 && n.eng.RNG().Float64() < n.cfg.DropRate {
 		n.Stats.PacketsDropped++
+		n.mDrops.Add(1)
+		n.mTimeline.Instant(node, "fabric", "drop", n.eng.Now())
 		if n.tracer != nil {
 			n.tracer.Count("fabric.packets_dropped", 1)
 			n.tracer.Eventf(trace.CatPacket, "DROP #%d for node %d", pkt.ID, node)
@@ -383,6 +455,8 @@ func (n *Network) deliver(node int, pkt *Packet) {
 	n.Stats.BytesDelivered += uint64(pkt.Size)
 	n.Stats.TotalHops += uint64(pkt.Hops)
 	n.Stats.TotalLatency += n.eng.Now() - pkt.Injected
+	n.mLatency.ObserveTime(n.eng.Now() - pkt.Injected)
+	n.mHops.Observe(float64(pkt.Hops))
 	if n.tracer != nil {
 		n.tracer.Count("fabric.packets_delivered", 1)
 		n.tracer.Add("fabric.delivered_bytes", float64(pkt.Size))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rvma/internal/fabric"
+	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/pcie"
 	"rvma/internal/sim"
@@ -50,6 +51,14 @@ const (
 // RunMotifPoint runs one motif under one transport on one network
 // configuration and returns the simulated makespan.
 func RunMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes int, gbps float64, seed uint64) (sim.Time, error) {
+	return RunMotifPointInstrumented(m, kind, nc, nodes, gbps, seed, nil)
+}
+
+// RunMotifPointInstrumented is RunMotifPoint with a metrics registry
+// attached to every layer of the cluster before the run; the figure tables
+// use it (one registry per experiment cell, spans enabled) to report tail
+// latency next to the makespan. A nil registry runs uninstrumented.
+func RunMotifPointInstrumented(m MotifName, kind motif.TransportKind, nc NetConfig, nodes int, gbps float64, seed uint64, reg *metrics.Registry) (sim.Time, error) {
 	topo, err := topology.ForNodeCount(nc.Kind, nodes)
 	if err != nil {
 		return 0, err
@@ -63,6 +72,9 @@ func RunMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes in
 	if err != nil {
 		return 0, err
 	}
+	if reg != nil {
+		c.SetMetrics(reg)
+	}
 	switch m {
 	case MotifSweep3D:
 		return motif.RunSweep3D(c, motif.DefaultSweep3DConfig(topo.NumNodes()))
@@ -75,23 +87,47 @@ func RunMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes in
 	}
 }
 
+// newCellRegistry returns a registry with spans enabled, the per-cell
+// instrumentation the figure sweeps attach.
+func newCellRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.EnableSpans()
+	return reg
+}
+
+// putP99 reads the 99th-percentile end-to-end put latency a cell registry
+// accumulated ("-" when the transport recorded no puts).
+func putP99(reg *metrics.Registry, kind motif.TransportKind) string {
+	name := "span.rvma.put/total"
+	if kind == motif.KindRDMA {
+		name = "span.rdma.put/total"
+	}
+	h := reg.Histogram(name)
+	if h.Count() == 0 {
+		return "-"
+	}
+	return sim.FromNanos(h.Quantile(0.99)).String()
+}
+
 // motifFigure is the shared implementation of Figures 7 and 8.
 func motifFigure(o Options, m MotifName, figure string) *Table {
 	t := &Table{
 		Title:  fmt.Sprintf("%s: RVMA vs RDMA using %s (%d+ nodes)", figure, m, o.Nodes),
-		Header: []string{"network", "link", "RVMA", "RDMA", "speedup"},
+		Header: []string{"network", "link", "RVMA", "put p99", "RDMA", "put p99", "speedup"},
 	}
 	var speedups []float64
 	best := 0.0
 	bestAt := ""
 	for _, nc := range motifNetworks() {
 		for _, gbps := range o.LinkGbps {
-			rv, err := RunMotifPoint(m, motif.KindRVMA, nc, o.Nodes, gbps, o.Seed)
+			rvReg := newCellRegistry()
+			rv, err := RunMotifPointInstrumented(m, motif.KindRVMA, nc, o.Nodes, gbps, o.Seed, rvReg)
 			if err != nil {
 				t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
 				continue
 			}
-			rd, err := RunMotifPoint(m, motif.KindRDMA, nc, o.Nodes, gbps, o.Seed)
+			rdReg := newCellRegistry()
+			rd, err := RunMotifPointInstrumented(m, motif.KindRDMA, nc, o.Nodes, gbps, o.Seed, rdReg)
 			if err != nil {
 				t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
 				continue
@@ -102,7 +138,9 @@ func motifFigure(o Options, m MotifName, figure string) *Table {
 				best = sp
 				bestAt = fmt.Sprintf("%s @%s", nc.Name, stats.FormatGbps(gbps))
 			}
-			t.AddRow(nc.Name, stats.FormatGbps(gbps), rv.String(), rd.String(),
+			t.AddRow(nc.Name, stats.FormatGbps(gbps),
+				rv.String(), putP99(rvReg, motif.KindRVMA),
+				rd.String(), putP99(rdReg, motif.KindRDMA),
 				fmt.Sprintf("%.2fx", sp))
 		}
 	}

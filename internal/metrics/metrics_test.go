@@ -1,0 +1,309 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"rvma/internal/sim"
+)
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(5)
+	r.AddCollector(func() { t.Fatal("collector on nil registry ran") })
+	r.Collect()
+	r.EnableSpans()
+	r.EnableTimeline(10)
+	sp := r.BeginSpan(0, SpanKey{}, "x", 0)
+	if sp != nil {
+		t.Fatalf("BeginSpan on nil registry = %v, want nil", sp)
+	}
+	sp.Stage(1, "a")
+	sp.End(2)
+	if err := r.WriteJSON(&bytes.Buffer{}, 0); err == nil {
+		t.Fatal("WriteJSON on nil registry should error")
+	}
+	var tl *Timeline
+	tl.Slice(0, "s", "n", 0, 1)
+	tl.Counter(0, "c", 0, 1)
+	tl.Instant(0, "s", "n", 0)
+	if err := tl.WritePerfetto(&bytes.Buffer{}); err == nil {
+		t.Fatal("WritePerfetto on nil timeline should error")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sent")
+	c.Add(2)
+	c.Add(3)
+	if got := r.Counter("sent").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(-1)
+	g.Add(10)
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge value = %v, want 2", got)
+	}
+	if got := g.Max(); got != 13 {
+		t.Fatalf("gauge max = %v, want 13", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram stats should all be zero")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(700)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 700 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 700", q, got)
+		}
+	}
+	if h.Mean() != 700 || h.Min() != 700 || h.Max() != 700 {
+		t.Fatalf("single-sample stats = mean %v min %v max %v, want 700",
+			h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	big := overflowBound * 8
+	h.Observe(big)
+	h.Observe(big * 2)
+	if got := h.Quantile(0.99); got < big || got > big*2 {
+		t.Fatalf("overflow Quantile(0.99) = %v, want within [%v, %v] (clamped to observed range)", got, big, big*2)
+	}
+	if got := h.Quantile(1); got != big*2 {
+		t.Fatalf("overflow Quantile(1) = %v, want exact max %v", got, big*2)
+	}
+	if got := h.Quantile(0.25); got < big || got > big*2 {
+		t.Fatalf("overflow Quantile(0.25) = %v, want within [%v, %v]", got, big, big*2)
+	}
+	if h.Max() != big*2 {
+		t.Fatalf("overflow max = %v, want %v", h.Max(), big*2)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample should clamp to 0, got min %v max %v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantilesMonotone(t *testing.T) {
+	var h Histogram
+	for v := 1.0; v <= 4096; v *= 2 {
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v; quantiles must be monotone", q, got, prev)
+		}
+		if got < h.Min() || got > h.Max() {
+			t.Fatalf("Quantile(%v) = %v outside [min=%v, max=%v]", q, got, h.Min(), h.Max())
+		}
+		prev = got
+	}
+	if med := h.Quantile(0.5); med < 32 || med > 128 {
+		t.Fatalf("median of geometric samples = %v, want within [32, 128]", med)
+	}
+}
+
+func TestSpanStages(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSpans()
+	key := SpanKey{Node: 3, ID: 7}
+	sp := r.BeginSpan(sim.FromNanos(100), key, "rvma.put", 3)
+	if sp == nil {
+		t.Fatal("BeginSpan returned nil with spans enabled")
+	}
+	if r.Span(key) != sp {
+		t.Fatal("Span lookup did not find the open span")
+	}
+	if r.OpenSpans() != 1 {
+		t.Fatalf("OpenSpans = %d, want 1", r.OpenSpans())
+	}
+	sp.Stage(sim.FromNanos(150), "host_post")
+	sp.SetNode(5)
+	sp.Stage(sim.FromNanos(400), "wire")
+	sp.End(sim.FromNanos(400))
+	if r.OpenSpans() != 0 {
+		t.Fatalf("OpenSpans after End = %d, want 0", r.OpenSpans())
+	}
+	if r.Span(key) != nil {
+		t.Fatal("Span lookup after End should be nil")
+	}
+	if got := r.Histogram("span.rvma.put/host_post").Mean(); got != 50 {
+		t.Fatalf("host_post mean = %v ns, want 50", got)
+	}
+	if got := r.Histogram("span.rvma.put/wire").Mean(); got != 250 {
+		t.Fatalf("wire mean = %v ns, want 250", got)
+	}
+	if got := r.Histogram("span.rvma.put/total").Mean(); got != 300 {
+		t.Fatalf("total mean = %v ns, want 300", got)
+	}
+
+	var buf bytes.Buffer
+	r.FprintSpans(&buf)
+	out := buf.String()
+	for _, want := range []string{"span.rvma.put/host_post", "span.rvma.put/total", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FprintSpans output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpansDisabledByDefault(t *testing.T) {
+	r := NewRegistry()
+	if r.SpansEnabled() {
+		t.Fatal("spans should be disabled by default")
+	}
+	if sp := r.BeginSpan(0, SpanKey{ID: 1}, "x", 0); sp != nil {
+		t.Fatal("BeginSpan should return nil with spans disabled")
+	}
+}
+
+func TestWriteJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fabric.drops").Add(2)
+	r.Gauge("nic.occupancy").Set(1.5)
+	h := r.Histogram("lat")
+	h.Observe(10)
+	h.Observe(30)
+	collected := false
+	r.AddCollector(func() { collected = true; r.Gauge("sampled").Set(9) })
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, sim.FromNanos(500)); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !collected {
+		t.Fatal("WriteJSON did not run collectors")
+	}
+	var snap struct {
+		SimTimeNs float64            `json:"sim_time_ns"`
+		Counters  map[string]uint64  `json:"counters"`
+		Gauges    map[string]struct{ Value, Max float64 } `json:"gauges"`
+		Histograms map[string]struct {
+			Count    uint64
+			Mean     float64
+			P50, P99 float64
+			Min, Max float64
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.SimTimeNs != 500 {
+		t.Fatalf("sim_time_ns = %v, want 500", snap.SimTimeNs)
+	}
+	if snap.Counters["fabric.drops"] != 2 {
+		t.Fatalf("counters = %v, want fabric.drops=2", snap.Counters)
+	}
+	if snap.Gauges["sampled"].Value != 9 {
+		t.Fatalf("sampled gauge = %v, want 9", snap.Gauges["sampled"])
+	}
+	lat := snap.Histograms["lat"]
+	if lat.Count != 2 || lat.Mean != 20 || lat.Min != 10 || lat.Max != 30 {
+		t.Fatalf("lat histogram = %+v", lat)
+	}
+}
+
+func TestTimelinePerfetto(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSpans()
+	r.EnableTimeline(0)
+	sp := r.BeginSpan(sim.FromMicros(1), SpanKey{Node: 0, ID: 1}, "rvma.put", 0)
+	sp.Stage(sim.FromMicros(2), "host_post")
+	sp.SetNode(1)
+	sp.Stage(sim.FromMicros(5), "wire")
+	sp.End(sim.FromMicros(5))
+	r.Timeline().Counter(0, "queue_depth", sim.FromMicros(3), 4)
+	r.Timeline().Instant(1, "fabric", "drop", sim.FromMicros(4))
+
+	var buf bytes.Buffer
+	if err := r.Timeline().WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("traceEvents is empty")
+	}
+	var slices, meta, counters, instants int
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Name == "host_post" {
+				if ev.TS != 1 || ev.Dur != 1 || ev.PID != 0 {
+					t.Fatalf("host_post slice = %+v, want ts=1 dur=1 pid=0", ev)
+				}
+			}
+			if ev.Name == "wire" && ev.PID != 1 {
+				t.Fatalf("wire slice pid = %d, want 1 (after SetNode)", ev.PID)
+			}
+		case "M":
+			meta++
+		case "C":
+			counters++
+		case "i":
+			instants++
+		}
+	}
+	if slices != 2 || counters != 1 || instants != 1 || meta == 0 {
+		t.Fatalf("event mix: slices=%d meta=%d counters=%d instants=%d", slices, meta, counters, instants)
+	}
+}
+
+func TestTimelineCapDrops(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTimeline(3)
+	tl := r.Timeline()
+	for i := 0; i < 10; i++ {
+		tl.Counter(0, "x", sim.Time(i), float64(i))
+	}
+	rec, dropped := tl.Events()
+	if rec != 3 {
+		t.Fatalf("recorded = %d, want cap of 3", rec)
+	}
+	if dropped != 7 {
+		t.Fatalf("dropped = %d, want 7", dropped)
+	}
+}

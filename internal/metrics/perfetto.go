@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rvma/internal/sim"
+)
+
+// Timeline accumulates Chrome trace-event records ("traceEvents" JSON, the
+// format ui.perfetto.dev and chrome://tracing open) so one simulation run
+// renders as a per-node timeline: each simulated node is a Perfetto
+// process, each span scope a thread, each pipeline stage a slice, and
+// sampled values (event-queue depth, delivered bytes) counter tracks.
+//
+// Simulated picosecond time maps to trace microseconds; sub-microsecond
+// stages keep resolution because ts/dur are written as fractional µs.
+type Timeline struct {
+	events []traceEvent
+	cap    int
+	drops  uint64
+
+	tids    map[tidKey]int
+	nextTID int
+}
+
+type tidKey struct {
+	pid   int
+	track string
+}
+
+// traceEvent is one Chrome trace-event record. Only the fields the
+// timeline emits are declared.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// EnableTimeline attaches a Perfetto timeline holding at most maxEvents
+// records (excess events are counted as dropped, not recorded). Zero or
+// negative maxEvents selects the default of 1<<20.
+func (r *Registry) EnableTimeline(maxEvents int) {
+	if r == nil {
+		return
+	}
+	if maxEvents <= 0 {
+		maxEvents = 1 << 20
+	}
+	r.timeline = &Timeline{cap: maxEvents, tids: make(map[tidKey]int), nextTID: 1}
+}
+
+// Timeline returns the attached timeline (nil when disabled or when the
+// registry itself is nil).
+func (r *Registry) Timeline() *Timeline {
+	if r == nil {
+		return nil
+	}
+	return r.timeline
+}
+
+// tid returns the stable thread id for a (pid, track) pair, emitting the
+// thread_name metadata record on first use.
+func (t *Timeline) tid(pid int, track string) int {
+	k := tidKey{pid: pid, track: track}
+	if id, ok := t.tids[k]; ok {
+		return id
+	}
+	id := t.nextTID
+	t.nextTID++
+	t.tids[k] = id
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: id,
+		Args: map[string]any{"name": track},
+	})
+	t.events = append(t.events, traceEvent{
+		Name: "process_name", Ph: "M", PID: pid, TID: id,
+		Args: map[string]any{"name": fmt.Sprintf("node %d", pid)},
+	})
+	return id
+}
+
+// slice emits one complete ("X") event of duration d starting at from on
+// the node's track for the given scope. Nil-safe: a registry without a
+// timeline reaches here with t == nil.
+func (t *Timeline) slice(node int, scope, name string, from sim.Time, d sim.Time) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.cap {
+		t.drops++
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: scope, Ph: "X",
+		TS: from.Microseconds(), Dur: d.Microseconds(),
+		PID: node, TID: t.tid(node, scope),
+	})
+}
+
+// Slice records an explicit complete event; components use it for
+// activity that is not part of a message span (e.g. NIC pipeline busy
+// periods, fence waits).
+func (t *Timeline) Slice(node int, scope, name string, from, d sim.Time) {
+	t.slice(node, scope, name, from, d)
+}
+
+// Instant records a zero-duration instant ("i") event — drops, NACKs,
+// detours.
+func (t *Timeline) Instant(node int, scope, name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.cap {
+		t.drops++
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: scope, Ph: "i",
+		TS: at.Microseconds(),
+		PID: node, TID: t.tid(node, scope),
+		Args: map[string]any{"s": "t"}, // thread-scoped instant
+	})
+}
+
+// Counter records a counter ("C") sample, rendered by Perfetto as a
+// stacked-area counter track on the node's process.
+func (t *Timeline) Counter(node int, name string, at sim.Time, value float64) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.cap {
+		t.drops++
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: "C",
+		TS:  at.Microseconds(),
+		PID: node, TID: 0,
+		Args: map[string]any{"value": value},
+	})
+}
+
+// Events returns the number of recorded events and how many were dropped
+// at the cap.
+func (t *Timeline) Events() (recorded int, dropped uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return len(t.events), t.drops
+}
+
+// perfettoFile is the JSON object trace format: a traceEvents array plus
+// free-form metadata.
+type perfettoFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WritePerfetto writes the timeline as Chrome trace-event JSON, sorted by
+// timestamp (metadata first) as the JSON object-format spec recommends.
+func (t *Timeline) WritePerfetto(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("metrics: no timeline enabled")
+	}
+	evs := make([]traceEvent, len(t.events))
+	copy(evs, t.events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		mi, mj := evs[i].Ph == "M", evs[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return evs[i].TS < evs[j].TS
+	})
+	f := perfettoFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"source":         "rvmasim",
+			"dropped_events": t.drops,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"io"
+
+	"rvma/internal/sim"
+)
+
+// SpanKey identifies an in-flight message span across endpoints: the
+// initiating node plus the initiator's message id. All endpoints of one
+// cluster share one registry, so the target side of a transfer finds the
+// span its initiator opened.
+type SpanKey struct {
+	Node int
+	ID   uint64
+}
+
+// Span follows one message through its pipeline stages. Each Stage call
+// closes the stage that began at the previous mark, feeding the per-stage
+// latency histogram "span.<scope>/<stage>" and (when the timeline is
+// enabled) emitting one Perfetto slice on the node's track. End closes the
+// span and records "span.<scope>/total".
+//
+// Stages for the two transports:
+//
+//	rvma.put: host_post -> nic_tx -> wire -> place -> complete
+//	rdma.put: host_post -> nic_tx -> wire [-> fence_hold at the target]
+//
+// plus the standalone rdma.handshake and rdma.registration spans for the
+// setup path RVMA does not have.
+type Span struct {
+	reg   *Registry
+	key   SpanKey
+	scope string
+	node  int // node whose track current stages render on
+	start sim.Time
+	last  sim.Time
+}
+
+// EnableSpans turns on span tracking. With spans disabled BeginSpan
+// returns nil, so the per-message map traffic is only paid when asked for.
+func (r *Registry) EnableSpans() {
+	if r == nil {
+		return
+	}
+	r.spansEnabled = true
+}
+
+// SpansEnabled reports whether BeginSpan records anything.
+func (r *Registry) SpansEnabled() bool { return r != nil && r.spansEnabled }
+
+// BeginSpan opens a span for the message identified by key at time now.
+// scope names the histogram family (e.g. "rvma.put"); node is the
+// initiating node (the Perfetto track the first stages render on).
+// Returns nil when the registry is nil or spans are disabled.
+func (r *Registry) BeginSpan(now sim.Time, key SpanKey, scope string, node int) *Span {
+	if r == nil || !r.spansEnabled {
+		return nil
+	}
+	sp := &Span{reg: r, key: key, scope: scope, node: node, start: now, last: now}
+	r.spans[key] = sp
+	r.spansOpened++
+	return sp
+}
+
+// Span returns the open span for key, or nil if none (spans disabled, or
+// the message was never opened / already ended).
+func (r *Registry) Span(key SpanKey) *Span {
+	if r == nil || !r.spansEnabled {
+		return nil
+	}
+	return r.spans[key]
+}
+
+// OpenSpans returns the number of spans begun but not yet ended.
+func (r *Registry) OpenSpans() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.spansOpened - r.spansClosed
+}
+
+// Stage closes the stage that began at the previous mark, recording its
+// latency under "span.<scope>/<stage>".
+func (sp *Span) Stage(now sim.Time, stage string) {
+	if sp == nil {
+		return
+	}
+	d := now - sp.last
+	sp.reg.Histogram("span." + sp.scope + "/" + stage).ObserveTime(d)
+	sp.reg.timeline.slice(sp.node, sp.scope, stage, sp.last, d)
+	sp.last = now
+}
+
+// SetNode moves the span onto another node's Perfetto track — called when
+// a message crosses from initiator to target.
+func (sp *Span) SetNode(node int) {
+	if sp == nil {
+		return
+	}
+	sp.node = node
+}
+
+// End closes the span: records "span.<scope>/total" from the span's start
+// and removes it from the in-flight table. Calling Stage first to close
+// the final stage is the caller's job.
+func (sp *Span) End(now sim.Time) {
+	if sp == nil {
+		return
+	}
+	sp.reg.Histogram("span." + sp.scope + "/total").ObserveTime(now - sp.start)
+	delete(sp.reg.spans, sp.key)
+	sp.reg.spansClosed++
+}
+
+// FprintSpans writes the per-stage latency breakdown of every span
+// histogram (names under "span.") as a table.
+func (r *Registry) FprintSpans(w io.Writer) {
+	r.FprintHistograms(w, "span.")
+}

@@ -22,12 +22,14 @@ import (
 	"fmt"
 
 	"rvma/internal/fabric"
+	"rvma/internal/metrics"
 	"rvma/internal/nic"
 	"rvma/internal/pcie"
 	"rvma/internal/rdma"
 	"rvma/internal/rvma"
 	"rvma/internal/sim"
 	"rvma/internal/topology"
+	"rvma/internal/trace"
 )
 
 // TransportKind selects the communication model a motif runs on. The
@@ -89,6 +91,50 @@ type Cluster struct {
 	Net        *fabric.Network
 	Transports []Transport
 	Kind       TransportKind
+
+	// Component references retained for observability attachment.
+	nics    []*nic.NIC
+	rvmaEPs []*rvma.Endpoint
+	rdmaEPs []*rdma.Endpoint
+}
+
+// SetTracer attaches one tracer to every layer of the cluster: the fabric
+// (trace.CatPacket), each NIC (trace.CatNIC) and each protocol endpoint
+// (trace.CatRVMA / trace.CatRDMA). A nil tracer detaches all of them.
+func (c *Cluster) SetTracer(t *trace.Tracer) {
+	c.Net.SetTracer(t)
+	for _, n := range c.nics {
+		n.SetTracer(t)
+	}
+	for _, ep := range c.rvmaEPs {
+		ep.SetTracer(t)
+	}
+	for _, ep := range c.rdmaEPs {
+		ep.SetTracer(t)
+	}
+}
+
+// SetMetrics attaches one registry to every layer of the cluster, so one
+// snapshot holds fabric, NIC and protocol state for a run. Enable spans on
+// the registry before the run to get per-message stage latencies. A nil
+// registry detaches all hooks.
+func (c *Cluster) SetMetrics(reg *metrics.Registry) {
+	c.Net.SetMetrics(reg)
+	for _, n := range c.nics {
+		n.SetMetrics(reg)
+	}
+	for _, ep := range c.rvmaEPs {
+		ep.SetMetrics(reg)
+	}
+	for _, ep := range c.rdmaEPs {
+		ep.SetMetrics(reg)
+	}
+	if reg != nil {
+		reg.AddCollector(func() {
+			reg.Gauge("sim.queue_depth").Set(float64(c.Eng.Pending()))
+			reg.Gauge("sim.events_executed").Set(float64(c.Eng.EventsExecuted()))
+		})
+	}
 }
 
 // ClusterConfig parameterizes cluster construction.
@@ -188,17 +234,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{Eng: eng, Net: net, Kind: cfg.Kind, Transports: make([]Transport, n)}
 	for node := 0; node < n; node++ {
 		nc := nic.New(eng, net, node, cfg.PCIe, cfg.NIC)
+		c.nics = append(c.nics, nc)
 		switch cfg.Kind {
 		case KindRVMA:
 			rcfg := rvma.DefaultConfig()
 			rcfg.CarryData = false
 			rcfg.HistoryDepth = 0 // motifs don't rewind; avoid retaining buffers
-			c.Transports[node] = newRVMATransport(rvma.NewEndpoint(nc, rcfg), n, cfg.RVMADepth)
+			ep := rvma.NewEndpoint(nc, rcfg)
+			c.rvmaEPs = append(c.rvmaEPs, ep)
+			c.Transports[node] = newRVMATransport(ep, n, cfg.RVMADepth)
 		case KindRDMA:
 			dcfg := rdma.DefaultConfig()
 			dcfg.CarryData = false
 			lastByte := cfg.RDMALastBytePoll && cfg.Routing.Ordered()
-			c.Transports[node] = newRDMATransport(rdma.NewEndpoint(nc, dcfg), n, lastByte, cfg.RDMABuffers)
+			ep := rdma.NewEndpoint(nc, dcfg)
+			c.rdmaEPs = append(c.rdmaEPs, ep)
+			c.Transports[node] = newRDMATransport(ep, n, lastByte, cfg.RDMABuffers)
 		default:
 			return nil, fmt.Errorf("motif: unknown transport kind %v", cfg.Kind)
 		}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"rvma/internal/memory"
+	"rvma/internal/metrics"
 	"rvma/internal/rvma"
 	"rvma/internal/sim"
 )
@@ -83,6 +84,27 @@ type Win struct {
 	id   uint64
 
 	ranks []*winRank
+
+	// Metric handles (nil when no registry is attached).
+	mFence   *metrics.Histogram // per-rank fence latency, ns
+	mRewinds *metrics.Counter
+}
+
+// SetMetrics attaches a metrics registry to the window: fence latency
+// histogram, rewind counter, and a per-rank epoch gauge sampled at
+// snapshot time. A nil registry detaches.
+func (w *Win) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		w.mFence, w.mRewinds = nil, nil
+		return
+	}
+	w.mFence = reg.Histogram("mpirma.fence_ns")
+	w.mRewinds = reg.Counter("mpirma.rewinds")
+	reg.AddCollector(func() {
+		for _, r := range w.ranks {
+			reg.Gauge(fmt.Sprintf("mpirma.rank%d.epoch", r.rank)).Set(float64(r.epoch))
+		}
+	})
 }
 
 // winRank is one rank's local state.
@@ -275,6 +297,13 @@ func (w *Win) Get(origin, target, offset, n int) (*sim.Future, error) {
 //   - the epoch's region is retired to the NIC history (Rewind-able),
 //   - the next epoch's shadow region is exposed.
 func (w *Win) Fence(p *sim.Process, rank int) error {
+	start := w.comm.eng.Now()
+	err := w.fence(p, rank)
+	w.mFence.ObserveTime(w.comm.eng.Now() - start)
+	return err
+}
+
+func (w *Win) fence(p *sim.Process, rank int) error {
 	r := w.ranks[rank]
 	ep := w.comm.eps[rank]
 	n := w.comm.Size()
@@ -379,5 +408,6 @@ func (w *Win) Rewind(rank, k int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.mRewinds.Add(1)
 	return w.comm.eps[rank].Memory().Read(buf.Region.Base, buf.Region.Size()), nil
 }

@@ -16,8 +16,10 @@ import (
 
 	"rvma/internal/fabric"
 	"rvma/internal/memory"
+	"rvma/internal/metrics"
 	"rvma/internal/pcie"
 	"rvma/internal/sim"
+	"rvma/internal/trace"
 )
 
 // Profile holds host-software and NIC-pipeline timing parameters. The
@@ -103,6 +105,14 @@ type NIC struct {
 	recvPipe *sim.Resource
 	handler  Handler
 
+	tracer *trace.Tracer
+
+	// Metric handles (nil when no registry is attached).
+	mMsgs     *metrics.Counter
+	mPkts     *metrics.Counter
+	mBytes    *metrics.Counter
+	mCtrlPkts *metrics.Counter
+
 	// Stats.
 	MessagesSent    uint64
 	PacketsSent     uint64
@@ -147,6 +157,28 @@ func (n *NIC) Network() *fabric.Network { return n.net }
 // MTU returns the fabric's maximum payload per packet.
 func (n *NIC) MTU() int { return n.net.MTU() }
 
+// SetTracer attaches a tracer; send/receive pipeline activity goes to
+// trace.CatNIC. A nil tracer detaches.
+func (n *NIC) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// SetMetrics attaches a metrics registry. Message/packet/byte counters are
+// shared across every NIC on the registry; per-node pipeline occupancy is
+// sampled by a collector. A nil registry detaches the counters.
+func (n *NIC) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		n.mMsgs, n.mPkts, n.mBytes, n.mCtrlPkts = nil, nil, nil, nil
+		return
+	}
+	n.mMsgs = reg.Counter("nic.messages_sent")
+	n.mPkts = reg.Counter("nic.packets_sent")
+	n.mBytes = reg.Counter("nic.bytes_sent")
+	n.mCtrlPkts = reg.Counter("nic.control_packets_sent")
+	reg.AddCollector(func() {
+		reg.Gauge(fmt.Sprintf("nic%d.send_queue_ns", n.node)).Set(n.sendPipe.Backlog(n.eng).Nanoseconds())
+		reg.Gauge(fmt.Sprintf("nic%d.recv_queue_ns", n.node)).Set(n.recvPipe.Backlog(n.eng).Nanoseconds())
+	})
+}
+
 // SetHandler installs the protocol's receive dispatch. Exactly one protocol
 // owns a NIC.
 func (n *NIC) SetHandler(h Handler) {
@@ -160,6 +192,9 @@ func (n *NIC) SetHandler(h Handler) {
 // the packet to the protocol.
 func (n *NIC) deliver(pkt *fabric.Packet) {
 	n.PacketsReceived++
+	if n.tracer != nil {
+		n.tracer.Eventf(trace.CatNIC, "nic%d rx #%d from %d %dB", n.node, pkt.ID, pkt.Src, pkt.Size)
+	}
 	done := n.recvPipe.Acquire(n.eng, n.prof.RecvPacketProc+n.prof.LookupLatency)
 	n.eng.At(done, func() {
 		if n.handler == nil {
@@ -187,6 +222,11 @@ func (n *NIC) SendMessage(dst, total int, build func(off, size int) any) *sim.Fu
 	}
 	n.MessagesSent++
 	n.BytesSent += uint64(total)
+	n.mMsgs.Add(1)
+	n.mBytes.Add(uint64(total))
+	if n.tracer != nil {
+		n.tracer.Eventf(trace.CatNIC, "nic%d tx msg dst=%d %dB", n.node, dst, total)
+	}
 	f := sim.NewFuture()
 
 	// Doorbell: a small MMIO write crossing the bus.
@@ -209,6 +249,7 @@ func (n *NIC) SendMessage(dst, total int, build func(off, size int) any) *sim.Fu
 		procDone := n.sendPipe.AcquireAt(dmaDone, n.prof.SendPacketProc)
 		pkt := &fabric.Packet{Src: n.node, Dst: dst, Size: size, Payload: build(off, size)}
 		n.PacketsSent++
+		n.mPkts.Add(1)
 		n.eng.At(procDone, func() { n.net.Inject(pkt) })
 		if procDone > last {
 			last = procDone
@@ -228,6 +269,11 @@ func (n *NIC) SendMessage(dst, total int, build func(off, size int) any) *sim.Fu
 // host-posted messages.
 func (n *NIC) InjectControl(dst int, payload any) {
 	n.PacketsSent++
+	n.mPkts.Add(1)
+	n.mCtrlPkts.Add(1)
+	if n.tracer != nil {
+		n.tracer.Eventf(trace.CatNIC, "nic%d ctrl dst=%d", n.node, dst)
+	}
 	done := n.sendPipe.Acquire(n.eng, n.prof.SendPacketProc)
 	pkt := &fabric.Packet{Src: n.node, Dst: dst, Size: 0, Payload: payload}
 	n.eng.At(done, func() { n.net.Inject(pkt) })

@@ -3,6 +3,7 @@ package rdma
 import (
 	"fmt"
 
+	"rvma/internal/metrics"
 	"rvma/internal/sim"
 )
 
@@ -28,6 +29,10 @@ func (ep *Endpoint) RequestRemoteBuffer(dst, size int) *RegOp {
 	ep.pendingRegs[msgID] = op
 
 	eng := ep.Engine()
+	if ep.mHandshake != nil {
+		start := eng.Now()
+		op.Done.OnComplete(func() { ep.mHandshake.ObserveTime(eng.Now() - start) })
+	}
 	eng.Schedule(ep.nic.Profile().HostPostOverhead, func() {
 		ep.nic.SendMessage(dst, 0, func(off, n int) any {
 			return &command{op: opRegRequest, msgID: msgID, size: size}
@@ -68,7 +73,9 @@ func (ep *Endpoint) put(rb RemoteBuffer, offset, size int, data []byte, scheme C
 
 	eng := ep.Engine()
 	prof := ep.nic.Profile()
+	sp := ep.reg.BeginSpan(eng.Now(), metrics.SpanKey{Node: ep.Node(), ID: msgID}, "rdma.put", ep.Node())
 	eng.Schedule(prof.HostPostOverhead, func() {
+		sp.Stage(eng.Now(), "host_post")
 		wantAck := scheme == CompleteSendRecv && !ep.cfg.PipelinedFence
 		dataF := ep.nic.SendMessage(rb.Node, size, func(off, n int) any {
 			var chunk []byte
@@ -87,6 +94,7 @@ func (ep *Endpoint) put(rb RemoteBuffer, offset, size int, data []byte, scheme C
 			}
 		})
 		ep.sentBytes[rb.Node] += uint64(size)
+		dataF.OnComplete(func() { sp.Stage(eng.Now(), "nic_tx") })
 		if scheme != CompleteSendRecv {
 			dataF.OnComplete(func() { op.Local.Complete(eng, nil) })
 			return

@@ -20,8 +20,10 @@ import (
 	"fmt"
 
 	"rvma/internal/memory"
+	"rvma/internal/metrics"
 	"rvma/internal/nic"
 	"rvma/internal/sim"
+	"rvma/internal/trace"
 )
 
 // Errors returned by the API.
@@ -151,6 +153,18 @@ type Endpoint struct {
 	byteWaits     []*byteWait
 	asm           *nic.Assembler
 
+	tracer *trace.Tracer
+	reg    *metrics.Registry
+
+	// Metric handles (nil when no registry is attached).
+	mHandshakes *metrics.Counter
+	mFencesHeld *metrics.Counter
+	mDrops      *metrics.Counter
+	mAcks       *metrics.Counter
+	mHandshake  *metrics.Histogram // request -> RemoteBuffer in hand, ns
+	mRegMR      *metrics.Histogram // memory-registration cost, ns
+	mFenceHold  *metrics.Histogram // send enqueue -> fence satisfied, ns
+
 	Stats Stats
 }
 
@@ -171,6 +185,7 @@ type pendingSend struct {
 	fenceBytes uint64
 	size       int
 	imm        *immediateInfo
+	enq        sim.Time // when the send reached the target (fence-hold metric)
 }
 
 type immediateInfo struct {
@@ -199,6 +214,46 @@ func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
 	return ep
 }
 
+// SetTracer attaches a tracer; registration, fences and acks go to
+// trace.CatRDMA. A nil tracer detaches.
+func (ep *Endpoint) SetTracer(t *trace.Tracer) { ep.tracer = t }
+
+// SetMetrics attaches a metrics registry: handshake and registration
+// latency histograms, fence-hold distribution, drop/ack counters, and
+// (when spans are enabled) a per-put host_post -> nic_tx -> wire -> place
+// span mirroring the RVMA one, so the two transports' pipelines compare
+// stage by stage. A nil registry detaches everything.
+func (ep *Endpoint) SetMetrics(reg *metrics.Registry) {
+	ep.reg = reg
+	if reg == nil {
+		ep.mHandshakes, ep.mFencesHeld, ep.mDrops, ep.mAcks = nil, nil, nil, nil
+		ep.mHandshake, ep.mRegMR, ep.mFenceHold = nil, nil, nil
+		return
+	}
+	ep.mHandshakes = reg.Counter("rdma.handshakes")
+	ep.mFencesHeld = reg.Counter("rdma.fences_held")
+	ep.mDrops = reg.Counter("rdma.drops")
+	ep.mAcks = reg.Counter("rdma.acks_sent")
+	// Named like span histograms so FprintSpans shows the setup path RVMA
+	// does not have next to the per-put stages.
+	ep.mHandshake = reg.Histogram("span.rdma.handshake/total")
+	ep.mRegMR = reg.Histogram("span.rdma.registration/total")
+	ep.mFenceHold = reg.Histogram("span.rdma.put/fence_hold")
+	node := ep.Node()
+	reg.AddCollector(func() {
+		held, queued := 0, 0
+		for _, ps := range ep.pendingSends {
+			held += len(ps)
+		}
+		for _, rq := range ep.recvQueues {
+			queued += len(rq)
+		}
+		reg.Gauge(fmt.Sprintf("rdma%d.pending_sends", node)).Set(float64(held))
+		reg.Gauge(fmt.Sprintf("rdma%d.posted_recvs", node)).Set(float64(queued))
+		reg.Gauge(fmt.Sprintf("rdma%d.pending_asm", node)).Set(float64(ep.asm.Pending()))
+	})
+}
+
 // Node returns the endpoint's node id.
 func (ep *Endpoint) Node() int { return ep.nic.Node() }
 
@@ -221,6 +276,10 @@ func (ep *Endpoint) RegisterBuffer(size int) *sim.Future {
 	f := sim.NewFuture()
 	eng := ep.Engine()
 	cost := ep.nic.Profile().RegistrationTime(size)
+	ep.mRegMR.ObserveTime(cost)
+	if ep.tracer != nil {
+		ep.tracer.Eventf(trace.CatRDMA, "node %d register %dB (%v)", ep.Node(), size, cost)
+	}
 	eng.Schedule(cost, func() {
 		mr := &MemoryRegion{RKey: ep.nextRKey, Region: ep.Memory().Alloc(size)}
 		ep.nextRKey++

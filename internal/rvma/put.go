@@ -3,6 +3,7 @@ package rvma
 import (
 	"fmt"
 
+	"rvma/internal/metrics"
 	"rvma/internal/sim"
 )
 
@@ -49,8 +50,10 @@ func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *Pu
 	ep.pendingPuts[op.msgID] = op
 
 	eng := ep.Engine()
+	sp := ep.reg.BeginSpan(eng.Now(), metrics.SpanKey{Node: ep.Node(), ID: op.msgID}, "rvma.put", ep.Node())
 	post := ep.nic.Profile().HostPostOverhead
 	eng.Schedule(post, func() {
+		sp.Stage(eng.Now(), "host_post")
 		f := ep.nic.SendMessage(dst, size, func(off, n int) any {
 			var chunk []byte
 			if data != nil && ep.cfg.CarryData {
@@ -66,7 +69,10 @@ func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *Pu
 				data:      chunk,
 			}
 		})
-		f.OnComplete(func() { op.Local.Complete(eng, nil) })
+		f.OnComplete(func() {
+			sp.Stage(eng.Now(), "nic_tx")
+			op.Local.Complete(eng, nil)
+		})
 	})
 	return op
 }

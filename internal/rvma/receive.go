@@ -3,7 +3,9 @@ package rvma
 import (
 	"rvma/internal/fabric"
 	"rvma/internal/memory"
+	"rvma/internal/metrics"
 	"rvma/internal/nic"
+	"rvma/internal/trace"
 )
 
 // handlePacket is the NIC-side receive path (Figure 3 of the paper): the
@@ -135,9 +137,19 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 		ep.Stats.BytesPlaced += uint64(cmd.total)
 		w.MessagesPlaced++
 		w.BytesPlaced += uint64(cmd.total)
+		// The initiator's span crosses to this node: the wire stage ends at
+		// last-packet arrival, the place stage at the payload DMA; the
+		// completion unit ends the span when this window's epoch completes.
+		if sp := ep.reg.Span(metrics.SpanKey{Node: pkt.Src, ID: cmd.msgID}); sp != nil {
+			sp.SetNode(ep.Node())
+			sp.Stage(eng.Now(), "wire")
+			eng.At(dmaDone, func() { sp.Stage(eng.Now(), "place") })
+			w.pendingSpans = append(w.pendingSpans, sp)
+		}
 	}
 	if !w.hwCounter {
 		ep.Stats.CounterSpills++
+		ep.mSpills.Add(1)
 	}
 	w.maybeComplete()
 }
@@ -147,10 +159,19 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 // result in a NACK notification").
 func (ep *Endpoint) reject(src int, cmd *command, reason error) {
 	ep.Stats.Drops++
+	ep.mDrops.Add(1)
+	if reason == ErrNoBuffer {
+		ep.mBufExhaust.Add(1)
+	}
+	if ep.tracer != nil {
+		ep.tracer.Eventf(trace.CatRVMA, "node %d reject msg %d from %d: %v",
+			ep.Node(), cmd.msgID, src, reason)
+	}
 	if !ep.cfg.NACKEnabled {
 		return
 	}
 	ep.Stats.Nacks++
+	ep.mNacks.Add(1)
 	msgID := cmd.msgID
 	op := cmd.op
 	ep.nic.SendMessage(src, 0, func(off, n int) any {
@@ -170,6 +191,11 @@ func (ep *Endpoint) handleNack(cmd *command) {
 	}
 	if op, ok := ep.pendingPuts[cmd.msgID]; ok {
 		delete(ep.pendingPuts, cmd.msgID)
+		// A NACKed put never completes at the target; close its span here.
+		if sp := ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: cmd.msgID}); sp != nil {
+			sp.Stage(eng.Now(), "nack")
+			sp.End(eng.Now())
+		}
 		op.Nack.Complete(eng, cmd.status)
 	}
 }

@@ -26,8 +26,10 @@ import (
 	"fmt"
 
 	"rvma/internal/memory"
+	"rvma/internal/metrics"
 	"rvma/internal/nic"
 	"rvma/internal/sim"
+	"rvma/internal/trace"
 )
 
 // VAddr is an RVMA virtual address: a 64-bit mailbox identifier. It is
@@ -185,6 +187,18 @@ type Endpoint struct {
 	getBuf      map[uint64][]byte // partial get reply data (CarryData mode)
 	activeCtrs  int               // windows currently holding a HW counter
 
+	tracer *trace.Tracer
+	reg    *metrics.Registry // for span lookup; nil when metrics detached
+
+	// Metric handles (nil when no registry is attached).
+	mNacks       *metrics.Counter
+	mDrops       *metrics.Counter
+	mBufExhaust  *metrics.Counter // rejects caused by no posted buffer
+	mCompletions *metrics.Counter
+	mEarly       *metrics.Counter
+	mSpills      *metrics.Counter
+	mRewinds     *metrics.Counter
+
 	Stats Stats
 }
 
@@ -206,6 +220,43 @@ func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
 	}
 	n.SetHandler(ep.handlePacket)
 	return ep
+}
+
+// SetTracer attaches a tracer; window lifecycle, completions and NACKs go
+// to trace.CatRVMA. A nil tracer detaches.
+func (ep *Endpoint) SetTracer(t *trace.Tracer) { ep.tracer = t }
+
+// SetMetrics attaches a metrics registry: protocol counters update per
+// event, mailbox depth and LUT occupancy are sampled by a collector, and
+// (when the registry has spans enabled) each put is tracked through
+// host_post -> nic_tx -> wire -> place -> complete stages. Counter handles
+// are shared across every endpoint on the registry; the collector gauges
+// are per node. A nil registry detaches everything.
+func (ep *Endpoint) SetMetrics(reg *metrics.Registry) {
+	ep.reg = reg
+	if reg == nil {
+		ep.mNacks, ep.mDrops, ep.mBufExhaust = nil, nil, nil
+		ep.mCompletions, ep.mEarly, ep.mSpills, ep.mRewinds = nil, nil, nil, nil
+		return
+	}
+	ep.mNacks = reg.Counter("rvma.nacks")
+	ep.mDrops = reg.Counter("rvma.drops")
+	ep.mBufExhaust = reg.Counter("rvma.posted_buffer_exhaustion")
+	ep.mCompletions = reg.Counter("rvma.epoch_completions")
+	ep.mEarly = reg.Counter("rvma.early_completions")
+	ep.mSpills = reg.Counter("rvma.counter_spills")
+	ep.mRewinds = reg.Counter("rvma.rewinds")
+	node := ep.Node()
+	reg.AddCollector(func() {
+		depth := 0
+		for _, w := range ep.lut {
+			depth += len(w.queue)
+		}
+		reg.Gauge(fmt.Sprintf("rvma%d.mailbox_depth", node)).Set(float64(depth))
+		reg.Gauge(fmt.Sprintf("rvma%d.lut_size", node)).Set(float64(len(ep.lut)))
+		reg.Gauge(fmt.Sprintf("rvma%d.hw_counters", node)).Set(float64(ep.activeCtrs))
+		reg.Gauge(fmt.Sprintf("rvma%d.pending_asm", node)).Set(float64(ep.asm.Pending()))
+	})
 }
 
 // Node returns the endpoint's node id.

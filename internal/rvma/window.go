@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"rvma/internal/memory"
+	"rvma/internal/metrics"
 	"rvma/internal/sim"
+	"rvma/internal/trace"
 )
 
 // Buffer is one receive buffer attached to a window's mailbox. Every
@@ -73,6 +75,11 @@ type Window struct {
 	// back-to-back completions, so middleware that must see all epochs
 	// (e.g. keeping a constant number of buffers posted) uses it.
 	onCompletion func(*Buffer)
+
+	// pendingSpans are message spans whose final "complete" stage ends at
+	// this window's next epoch completion (several messages can share one
+	// EpochBytes completion).
+	pendingSpans []*metrics.Span
 
 	// Stats.
 	MessagesPlaced uint64
@@ -268,6 +275,11 @@ func (w *Window) IncEpoch() (*sim.Future, error) {
 			return
 		}
 		ep.Stats.EarlyCompletions++
+		ep.mEarly.Add(1)
+		if ep.tracer != nil {
+			ep.tracer.Eventf(trace.CatRVMA, "node %d win %#x inc_epoch at count %d",
+				ep.Node(), w.vaddr, w.counter)
+		}
 		buf := w.queue[0]
 		buf.completing = true
 		buf.Count = w.counter
@@ -328,6 +340,7 @@ func (w *Window) completeHead() *Buffer {
 	w.queue = w.queue[1:]
 	w.epoch++
 	ep.Stats.Completions++
+	ep.mCompletions.Add(1)
 
 	// Retire into bounded history for Rewind.
 	if ep.cfg.HistoryDepth > 0 {
@@ -351,10 +364,21 @@ func (w *Window) completeHead() *Buffer {
 	writeDone := ep.nic.Bus().TransferTime(eng, 16)
 	waiters := w.completionWaiters
 	w.completionWaiters = nil
+	spans := w.pendingSpans
+	w.pendingSpans = nil
+	epoch := w.epoch
 	eng.At(writeDone, func() {
 		buf.completed = true
 		buf.CompletedAt = eng.Now()
 		buf.Cell.Set(buf.Region.Base, length) // watchers (MWait) fire here
+		for _, sp := range spans {
+			sp.Stage(eng.Now(), "complete")
+			sp.End(eng.Now())
+		}
+		if ep.tracer != nil {
+			ep.tracer.Eventf(trace.CatRVMA, "node %d win %#x epoch %d complete len=%d",
+				ep.Node(), w.vaddr, epoch, length)
+		}
 		for _, f := range waiters {
 			if !f.Done() { // a bailed IncEpoch may have resolved its waiter
 				f.Complete(eng, buf)
@@ -406,6 +430,11 @@ func (w *Window) Rewind(k int) (*Buffer, error) {
 	}
 	if k > len(w.history) {
 		return nil, fmt.Errorf("%w: only %d epochs retained", ErrNoHistory, len(w.history))
+	}
+	w.ep.mRewinds.Add(1)
+	if w.ep.tracer != nil {
+		w.ep.tracer.Eventf(trace.CatRVMA, "node %d win %#x rewind k=%d",
+			w.ep.Node(), w.vaddr, k)
 	}
 	return w.history[len(w.history)-k], nil
 }

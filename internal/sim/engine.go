@@ -69,6 +69,9 @@ type Engine struct {
 	rng       *RNG
 	running   bool
 	procs     int // live processes, for leak diagnostics
+
+	hbEvery uint64 // heartbeat period in executed events; 0 = disabled
+	hbFn    func()
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG seeded
@@ -91,6 +94,20 @@ func (e *Engine) EventsExecuted() uint64 { return e.executed }
 
 // EventsScheduled returns the number of events scheduled so far.
 func (e *Engine) EventsScheduled() uint64 { return e.scheduled }
+
+// SetHeartbeat calls fn after every `every` executed events — the hook the
+// observability layer uses to sample queue depth and wall-clock event
+// rate without polluting model code. every == 0 (or fn == nil) disables
+// the heartbeat; the disabled hot path costs one comparison per event.
+// The callback runs on the engine goroutine and may read engine state but
+// must not call Run.
+func (e *Engine) SetHeartbeat(every uint64, fn func()) {
+	if every == 0 || fn == nil {
+		e.hbEvery, e.hbFn = 0, nil
+		return
+	}
+	e.hbEvery, e.hbFn = every, fn
+}
 
 // Schedule runs fn after delay d. A negative delay panics: causality in a
 // discrete-event simulation only moves forward.
@@ -167,6 +184,9 @@ func (e *Engine) RunUntil(limit Time) Time {
 		e.now = ev.at
 		e.executed++
 		ev.fn()
+		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
+			e.hbFn()
+		}
 	}
 	return e.now
 }
@@ -182,6 +202,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.executed++
 		ev.fn()
+		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
+			e.hbFn()
+		}
 		return true
 	}
 	return false

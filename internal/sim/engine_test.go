@@ -563,3 +563,31 @@ func TestProcessPanicPropagates(t *testing.T) {
 	}()
 	e.Run()
 }
+
+func TestHeartbeat(t *testing.T) {
+	e := NewEngine(1)
+	var beats int
+	var lastExecuted uint64
+	e.SetHeartbeat(3, func() {
+		beats++
+		lastExecuted = e.EventsExecuted()
+	})
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i)*Nanosecond, func() {})
+	}
+	e.Run()
+	if beats != 3 {
+		t.Fatalf("beats = %d, want 3 (10 events / every 3)", beats)
+	}
+	if lastExecuted != 9 {
+		t.Fatalf("last heartbeat at executed = %d, want 9", lastExecuted)
+	}
+	// Disabling stops further callbacks.
+	e.SetHeartbeat(0, nil)
+	e.Schedule(Nanosecond, func() {})
+	e.Schedule(Nanosecond, func() {})
+	e.Run()
+	if beats != 3 {
+		t.Fatalf("beats after disable = %d, want 3", beats)
+	}
+}

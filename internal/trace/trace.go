@@ -65,7 +65,13 @@ type Tracer struct {
 	ring    []Event
 	next    int
 	wrapped bool
-	Dropped uint64 // events rejected because their category was disabled
+
+	// Suppressed counts events rejected because their category was
+	// disabled; Overwritten counts events lost to ring wraparound. The
+	// former is expected noise, the latter means the ring was too small
+	// for the run.
+	Suppressed  uint64
+	Overwritten uint64
 
 	counters map[string]uint64
 	series   map[string]*Series
@@ -105,7 +111,7 @@ func (t *Tracer) Eventf(cat Category, format string, args ...any) {
 		return
 	}
 	if !t.Enabled(cat) {
-		t.Dropped++
+		t.Suppressed++
 		return
 	}
 	ev := Event{At: t.eng.Now(), Cat: cat, Msg: fmt.Sprintf(format, args...)}
@@ -116,6 +122,7 @@ func (t *Tracer) Eventf(cat Category, format string, args ...any) {
 	t.ring[t.next] = ev
 	t.next = (t.next + 1) % cap(t.ring)
 	t.wrapped = true
+	t.Overwritten++
 }
 
 // Count adds delta to a named counter. Counters always record, independent
@@ -219,10 +226,17 @@ func (t *Tracer) Dump(w io.Writer) {
 			fmt.Fprintf(w, "  [%v] %s: %s\n", e.At, e.Cat, e.Msg)
 		}
 	}
+	if t.Suppressed > 0 || t.Overwritten > 0 {
+		fmt.Fprintf(w, "suppressed (category disabled): %d, overwritten (ring full): %d\n",
+			t.Suppressed, t.Overwritten)
+	}
 }
 
 // WriteSeriesCSV emits a named series as (bucket_start_ns, value) rows.
 func (t *Tracer) WriteSeriesCSV(w io.Writer, name string) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil tracer")
+	}
 	s, ok := t.series[name]
 	if !ok {
 		return fmt.Errorf("trace: unknown series %q", name)

@@ -21,8 +21,11 @@ func TestEventRecording(t *testing.T) {
 	if evs[0].At != sim.Microsecond || evs[0].Msg != "hello 42" || evs[0].Cat != CatPacket {
 		t.Fatalf("event = %+v", evs[0])
 	}
-	if tr.Dropped != 1 {
-		t.Fatalf("dropped = %d", tr.Dropped)
+	if tr.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1", tr.Suppressed)
+	}
+	if tr.Overwritten != 0 {
+		t.Fatalf("overwritten = %d, want 0 (ring never filled)", tr.Overwritten)
 	}
 }
 
@@ -51,8 +54,36 @@ func TestRingWraps(t *testing.T) {
 		t.Fatalf("ring should hold 3, got %d", len(evs))
 	}
 	// Oldest two dropped; order preserved.
-	if evs[0].Msg != "e2" || evs[2].Msg != "e4" {
+	if evs[0].Msg != "e2" || evs[1].Msg != "e3" || evs[2].Msg != "e4" {
 		t.Fatalf("wrapped order wrong: %v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("wrapped events out of chronological order: %v", evs)
+		}
+	}
+	if tr.Overwritten != 2 {
+		t.Fatalf("overwritten = %d, want 2", tr.Overwritten)
+	}
+	if tr.Suppressed != 0 {
+		t.Fatalf("suppressed = %d, want 0", tr.Suppressed)
+	}
+}
+
+func TestDumpReportsSuppressedAndOverwritten(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 2)
+	tr.Enable(CatApp)
+	tr.Eventf(CatNIC, "suppressed")
+	for i := 0; i < 3; i++ {
+		tr.Eventf(CatApp, "e%d", i)
+	}
+	var sb strings.Builder
+	tr.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "suppressed (category disabled): 1") ||
+		!strings.Contains(out, "overwritten (ring full): 1") {
+		t.Fatalf("dump missing loss accounting:\n%s", out)
 	}
 }
 
@@ -95,6 +126,9 @@ func TestNilTracerSafe(t *testing.T) {
 	if tr.Counter("c") != 0 || tr.Events() != nil || tr.Enabled(CatApp) {
 		t.Fatal("nil tracer must be inert")
 	}
+	if err := tr.WriteSeriesCSV(&strings.Builder{}, "s"); err == nil {
+		t.Fatal("WriteSeriesCSV on nil tracer should return an error, not panic")
+	}
 }
 
 func TestDumpAndCSV(t *testing.T) {
@@ -117,10 +151,31 @@ func TestDumpAndCSV(t *testing.T) {
 	if err := tr.WriteSeriesCSV(&sb, "s"); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "0,5") {
-		t.Fatalf("csv = %q", sb.String())
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "bucket_start_ns,value" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 2 || lines[1] != "0,5" {
+		t.Fatalf("csv rows = %v", lines[1:])
 	}
 	if err := tr.WriteSeriesCSV(&sb, "nope"); err == nil {
 		t.Fatal("unknown series should error")
+	}
+}
+
+func TestWriteSeriesCSVMultiBucket(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 1)
+	tr.DefineSeries("bw", 10*sim.Microsecond)
+	eng.Schedule(sim.Microsecond, func() { tr.Add("bw", 100) })
+	eng.Schedule(25*sim.Microsecond, func() { tr.Add("bw", 7) })
+	eng.Run()
+	var sb strings.Builder
+	if err := tr.WriteSeriesCSV(&sb, "bw"); err != nil {
+		t.Fatal(err)
+	}
+	want := "bucket_start_ns,value\n0,100\n10000,0\n20000,7\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
 	}
 }
