@@ -1,0 +1,145 @@
+// Command rvmalint is the repository's determinism and protocol-
+// invariant linter (see internal/lint). It enforces the rules the
+// simulation kernel's reproducibility depends on: no wall-clock time or
+// ambient randomness in model packages, no order-sensitive work inside
+// map iteration, sim-time hygiene around Engine scheduling, and no
+// goroutines escaping the engine.
+//
+// Standalone (the common path):
+//
+//	go run ./cmd/rvmalint ./...
+//
+// As a vet tool (one package variant per invocation, driven by the go
+// command's unit-checker protocol):
+//
+//	go build -o /tmp/rvmalint ./cmd/rvmalint
+//	go vet -vettool=/tmp/rvmalint ./...
+//
+// Exit status is 1 when any diagnostic is reported. Only model packages
+// (lint.ModelPackages) are checked; host-side code (cmd/, harness) may
+// legitimately read the wall clock, e.g. to time real executions.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rvma/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Vet-tool protocol, part 1: the go command probes the tool's
+	// version to key its action cache.
+	if len(args) == 1 && args[0] == "-V=full" {
+		fmt.Println("rvmalint version v1.0.0")
+		return
+	}
+	// The go command also probes `-flags` for the tool's flag set, which
+	// it parses as JSON. This tool takes no vet-level flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Vet-tool protocol, part 2: a single *.cfg argument describes one
+	// package unit (files, import map, export data).
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		if !lint.IsModelPackage(pkg.PkgPath) {
+			continue
+		}
+		diags, err := lint.RunAnalyzers(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "rvmalint: %d violation(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the subset of the go command's unit-checker config this
+// tool consumes.
+type vetConfig struct {
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit handles one unit-checker invocation and returns the exit
+// code. The facts output file must exist even on the no-op paths or the
+// go command reports a tool failure.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rvmalint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		// This tool exports no facts; an empty file satisfies the driver.
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly || !lint.IsModelPackage(cfg.ImportPath) {
+		return 0
+	}
+	pkg, err := lint.CheckFiles(cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkg, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		// Relative paths read better in vet output.
+		if rel, err := filepath.Rel(cfg.Dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+package fabric
+
+import "rvma/internal/sim"
+
+// This file is the fabric's simdebug invariant layer; every call site is
+// guarded by `if sim.DebugEnabled`, so normal builds pay nothing.
+
+// debugCheckHop bounds a packet's switch-hop count. Minimal routes visit
+// at most every switch once and Valiant misrouting adds at most one more
+// traversal, so exceeding twice the switch count (plus injection slack)
+// means the routing function is cycling — a livelock that would
+// otherwise only show up as a simulation that never terminates.
+func (n *Network) debugCheckHop(sw int, pkt *Packet) {
+	limit := 2*len(n.xbars) + 2
+	sim.Assertf(pkt.Hops <= limit,
+		"fabric: packet #%d (%d->%d) reached %d hops at sw%d, limit %d — routing cycle?",
+		pkt.ID, pkt.Src, pkt.Dst, pkt.Hops, sw, limit)
+	sim.Assertf(pkt.Injected <= n.eng.Now(),
+		"fabric: packet #%d at sw%d before its injection time (%v > %v)",
+		pkt.ID, sw, pkt.Injected, n.eng.Now())
+}
+
+// debugCheckDeliver asserts packet conservation at the delivery point:
+// the fabric never delivers or drops more packets than were injected,
+// and no packet arrives before it was sent.
+func (n *Network) debugCheckDeliver(pkt *Packet) {
+	sim.Assertf(n.Stats.PacketsDelivered+n.Stats.PacketsDropped <= n.Stats.PacketsInjected,
+		"fabric: delivered %d + dropped %d exceeds injected %d",
+		n.Stats.PacketsDelivered, n.Stats.PacketsDropped, n.Stats.PacketsInjected)
+	sim.Assertf(n.eng.Now() >= pkt.Injected,
+		"fabric: packet #%d delivered at %v before injection at %v",
+		pkt.ID, n.eng.Now(), pkt.Injected)
+}

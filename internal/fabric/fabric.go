@@ -346,6 +346,9 @@ func (n *Network) linkDelay() sim.Time {
 // route selection, crossbar transit, output serialization, link traversal.
 func (n *Network) atSwitch(sw int, pkt *Packet) {
 	pkt.Hops++
+	if sim.DebugEnabled {
+		n.debugCheckHop(sw, pkt)
+	}
 	outPort := n.selectPort(sw, pkt)
 	ports := n.topo.Ports(sw)
 	port := ports[outPort]
@@ -453,6 +456,9 @@ func (n *Network) deliver(node int, pkt *Packet) {
 	}
 	n.Stats.PacketsDelivered++
 	n.Stats.BytesDelivered += uint64(pkt.Size)
+	if sim.DebugEnabled {
+		n.debugCheckDeliver(pkt)
+	}
 	n.Stats.TotalHops += uint64(pkt.Hops)
 	n.Stats.TotalLatency += n.eng.Now() - pkt.Injected
 	n.mLatency.ObserveTime(n.eng.Now() - pkt.Injected)

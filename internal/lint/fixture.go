@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FixturePkgPath is the import path fixtures are type-checked as. It
+// lies under rvma/internal/ so the analyzers treat fixture code exactly
+// like model code.
+const FixturePkgPath = "rvma/internal/lintfixture"
+
+// wantRE extracts the quoted regexes from a "// want `...`" comment.
+// Like analysistest, a line may carry several expectations:
+//
+//	time.Now() // want `wall clock` `second pattern`
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one // want annotation: a pattern that must be matched
+// by a diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunFixture type-checks the fixture directory and applies the
+// analyzers, then verifies the diagnostics against the fixture's
+// // want annotations. It returns an error per mismatch: a diagnostic
+// with no matching annotation, or an annotation no diagnostic matched.
+// Allow directives are honored, so fixtures can exercise them too.
+func RunFixture(dir string, analyzers []*Analyzer) []error {
+	deps, err := fixtureDeps(dir)
+	if err != nil {
+		return []error{err}
+	}
+	pkg, err := LoadDir(dir, FixturePkgPath, deps...)
+	if err != nil {
+		return []error{err}
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		return []error{err}
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		return []error{err}
+	}
+
+	var errs []error
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants {
+			if w.file == base && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Errorf("unexpected diagnostic at %s:%d: %s [%s]",
+				base, d.Pos.Line, d.Message, d.Analyzer))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				w.file, w.line, w.pattern))
+		}
+	}
+	return errs
+}
+
+// fixtureDeps lists the unique import paths of the fixture's files so
+// LoadDir can resolve their export data.
+func fixtureDeps(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				seen[path] = true
+			}
+		}
+	}
+	deps := make([]string, 0, len(seen))
+	for p := range seen {
+		deps = append(deps, p)
+	}
+	sort.Strings(deps)
+	return deps, nil
+}
+
+// parseWants scans the fixture files for // want annotations.
+func parseWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, m := range wantRE.FindAllStringSubmatch(line[idx:], -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, pattern: re})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureCases pairs each analyzer with its seeded-violation fixture.
+// Every fixture runs under ALL analyzers so a check firing outside its
+// own fixture (a cross-analyzer false positive) fails the test too.
+var fixtureCases = []struct {
+	name string
+	dir  string
+}{
+	{"wallclock", "wallclock"},
+	{"maprange", "maprange"},
+	{"simtime", "simtime"},
+	{"goroutine", "goroutine"},
+	{"clean", "clean"},
+}
+
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", tc.dir)
+			for _, err := range RunFixture(dir, All()) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestRepositoryIsClean is the acceptance gate: every model package in
+// this repository must produce zero diagnostics. CI additionally runs
+// cmd/rvmalint, but keeping the gate in `go test` means a violation
+// fails the ordinary test suite even where CI is not wired up.
+func TestRepositoryIsClean(t *testing.T) {
+	pkgs, err := Load("..", "rvma/...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		if !IsModelPackage(pkg.PkgPath) {
+			continue
+		}
+		checked++
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+	if checked != len(ModelPackages) {
+		t.Errorf("checked %d model packages, expected %d — did a package move without updating lint.ModelPackages?",
+			checked, len(ModelPackages))
+	}
+}
+
+// TestDirectiveRequiresAnalyzerName guards the directive parser: a
+// directive names specific analyzers, and an unknown name suppresses
+// nothing.
+func TestDirectiveMatchesOnlyNamedAnalyzer(t *testing.T) {
+	dir := filepath.Join("testdata", "wallclock")
+	// Running only the wallclock analyzer must still satisfy that
+	// fixture's wallclock expectations.
+	var errs []error
+	for _, err := range RunFixture(dir, []*Analyzer{Wallclock}) {
+		errs = append(errs, err)
+	}
+	for _, err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "wallclock", Message: "m"}
+	d.Pos.Filename = "f.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "f.go:3:7: m [wallclock]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestModelPackageSet(t *testing.T) {
+	for path := range ModelPackages {
+		if !strings.HasPrefix(path, "rvma/internal/") {
+			t.Errorf("model package %q outside rvma/internal/", path)
+		}
+	}
+	if IsModelPackage("rvma/internal/harness") {
+		t.Error("harness must stay host-side (it may time real executions)")
+	}
+}

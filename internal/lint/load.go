@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` on the patterns and decodes
+// the JSON stream. -export compiles export data for every package into
+// the build cache, which is what lets the type checker resolve imports
+// without golang.org/x/tools: the stdlib gc importer reads those files
+// directly.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the importer lookup function over the listed
+// packages' export files, honoring per-package vendor import maps.
+func exportLookup(pkgs []*listedPackage) func(path string) (io.ReadCloser, error) {
+	byPath := make(map[string]*listedPackage, len(pkgs))
+	importMap := make(map[string]string)
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		if real, ok := importMap[path]; ok {
+			path = real
+		}
+		p := byPath[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+}
+
+// Load type-checks the packages matched by patterns (relative to dir;
+// empty dir means the current directory) and returns them ready for
+// analysis. Standard-library packages and pure dependencies are consumed
+// as export data only, never re-parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks a single directory of Go files as the given import
+// path, resolving imports against the export data of deps (additional
+// `go list` patterns, typically "std"-ish paths plus rvma/...). The
+// fixture test harness uses it for testdata packages that `go list`
+// cannot see.
+func LoadDir(dir, asPath string, deps ...string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	listed, err := goList(dir, deps...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	return typeCheck(fset, imp, asPath, dir, files)
+}
+
+// CheckFiles type-checks an explicit file list using caller-supplied
+// import and export-file maps. This is the vet-tool path: the go command
+// hands the tool exactly one package unit per invocation, with export
+// data for every dependency already built.
+func CheckFiles(pkgPath, dir string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if real, ok := importMap[path]; ok {
+			path = real
+		}
+		file := packageFile[path]
+		if file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var names []string
+	for _, f := range goFiles {
+		if filepath.IsAbs(f) {
+			rel, err := filepath.Rel(dir, f)
+			if err != nil {
+				return nil, err
+			}
+			f = rel
+		}
+		names = append(names, f)
+	}
+	return typeCheck(fset, imp, pkgPath, dir, names)
+}
+
+// typeCheck parses and type-checks one package's files.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

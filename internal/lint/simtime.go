@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// SimTime enforces sim-time hygiene around the scheduling API:
+//
+//   - scheduling at a constant negative delay (the engine panics at run
+//     time; the linter catches it at review time);
+//   - delay expressions built from a bare subtraction, which underflow
+//     below zero the moment the minuend falls behind — use Engine.At
+//     with an absolute time, or clamp explicitly;
+//   - converting between sim.Time (picoseconds) and time.Duration
+//     (nanoseconds), or comparing the two: the 1000x unit mismatch
+//     silently corrupts every latency it touches.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc: "flag negative or underflow-prone delays passed to Engine.Schedule/ScheduleP/At " +
+		"and unit-unsafe mixing of sim.Time (ps) with time.Duration (ns)",
+	Run: runSimTime,
+}
+
+func runSimTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkScheduleDelay(pass, n)
+				checkTimeConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkTimeComparison(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkScheduleDelay inspects the delay argument of the scheduling
+// methods.
+func checkScheduleDelay(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if !isEngineMethod(f, "Schedule", "ScheduleP", "At") || len(call.Args) == 0 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+
+	// Constant negative delay: always a bug (the engine panics).
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		if constant.Sign(tv.Value) < 0 {
+			pass.Reportf(arg.Pos(),
+				"Engine.%s with constant negative delay %s; causality only moves forward",
+				f.Name(), tv.Value.ExactString())
+		}
+		return // a non-negative constant cannot underflow
+	}
+
+	// At takes an absolute time; subtraction there is not a delay and is
+	// routinely legitimate (e.g. deadline arithmetic feeding assertions).
+	if f.Name() == "At" {
+		return
+	}
+
+	// A top-level subtraction of non-constants: the canonical underflow,
+	// e.g. Schedule(deadline - eng.Now(), ...) after the deadline passed.
+	if bin, ok := arg.(*ast.BinaryExpr); ok && bin.Op == token.SUB {
+		pass.Reportf(arg.Pos(),
+			"delay passed to Engine.%s is a bare subtraction that can underflow below zero; use Engine.At with an absolute time or clamp the difference first",
+			f.Name())
+	}
+}
+
+// checkTimeConversion flags sim.Time <-> time.Duration conversions.
+func checkTimeConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isNamed(dst, simPkgPath, "Time") && isNamed(src, "time", "Duration"):
+		pass.Reportf(call.Pos(),
+			"converting time.Duration (nanoseconds) directly to sim.Time (picoseconds) drops the 1000x unit factor; scale via sim.Nanosecond")
+	case isNamed(dst, "time", "Duration") && isNamed(src, simPkgPath, "Time"):
+		pass.Reportf(call.Pos(),
+			"converting sim.Time (picoseconds) directly to time.Duration (nanoseconds) drops the 1000x unit factor; scale via sim.Nanosecond")
+	}
+}
+
+// comparisonOps are the operators whose operands must share units.
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.GTR: true,
+	token.LEQ: true, token.GEQ: true,
+}
+
+// checkTimeComparison flags comparisons whose operands mix sim.Time and
+// time.Duration after integer laundering (e.g. int64(a) < int64(b) never
+// reaches here, but a direct mix — legal only through untyped constants
+// or conversion chains — does).
+func checkTimeComparison(pass *Pass, bin *ast.BinaryExpr) {
+	if !comparisonOps[bin.Op] {
+		return
+	}
+	xt := pass.TypesInfo.TypeOf(bin.X)
+	yt := pass.TypesInfo.TypeOf(bin.Y)
+	if xt == nil || yt == nil {
+		return
+	}
+	mixed := (isNamed(xt, simPkgPath, "Time") && isNamed(yt, "time", "Duration")) ||
+		(isNamed(xt, "time", "Duration") && isNamed(yt, simPkgPath, "Time"))
+	if mixed {
+		pass.Reportf(bin.Pos(),
+			"comparing sim.Time (picoseconds) against time.Duration (nanoseconds); the units differ by 1000x")
+	}
+}

@@ -1,0 +1,39 @@
+// Package fixture seeds wallclock violations for the analyzer test.
+package fixture
+
+import (
+	_ "crypto/rand" // want `import of "crypto/rand" is forbidden in model packages`
+	"math/rand"     // want `import of "math/rand" is forbidden in model packages`
+	"time"
+
+	"rvma/internal/sim"
+)
+
+// clock exercises the banned time functions. Benign uses of package time
+// (the Duration type, unit constants) are deliberately present and must
+// not be flagged.
+func clock(e *sim.Engine) time.Time {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the host wall clock`
+	var d time.Duration = time.Microsecond
+	_ = d
+	_ = e.Now()
+	return time.Now() // want `time.Now reads the host wall clock`
+}
+
+// elapsed exercises time.Since and a reference (not a call) to time.Now.
+func elapsed(start time.Time) time.Duration {
+	f := time.Now // want `time.Now reads the host wall clock`
+	_ = f
+	return time.Since(start) // want `time.Since reads the host wall clock`
+}
+
+// roll exercises the global math/rand source; the import diagnostic
+// covers it, calls are not re-flagged.
+func roll() int { return rand.Intn(6) }
+
+// allowedBenchmark shows the escape hatch: a directive on the preceding
+// line suppresses the diagnostic.
+func allowedBenchmark() time.Time {
+	//rvmalint:allow wallclock -- fixture: exercising the allow directive
+	return time.Now()
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simPkgPath is where the deterministic kernel lives; the analyzers
+// recognize its Engine and Time types by identity, not by name matching,
+// so aliasing or shadowing cannot fool them.
+const simPkgPath = "rvma/internal/sim"
+
+// modelPathPrefix marks packages whose functions run on the engine; any
+// call into them can schedule events or mutate simulation state.
+const modelPathPrefix = "rvma/"
+
+// calleeFunc resolves a call expression to the function or method it
+// invokes, or nil for builtins, conversions and indirect calls through
+// function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isNamed reports whether t (after pointer unwrapping) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isEngineMethod reports whether f is one of the named methods on
+// sim.Engine.
+func isEngineMethod(f *types.Func, names ...string) bool {
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if !isNamed(sig.Recv().Type(), simPkgPath, "Engine") {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// funcPkgPath returns the import path of the package f is declared in,
+// or "" when unknown.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// pkgNameOf resolves an identifier to the package it names (for
+// selector expressions like time.Now), or nil.
+func pkgNameOf(info *types.Info, x ast.Expr) *types.PkgName {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}

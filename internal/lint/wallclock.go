@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// bannedTimeFuncs are the package-level functions of "time" that read or
+// block on the host's wall clock. Referencing one from model code makes
+// behavior depend on when and where the simulation runs; model code must
+// use sim.Time and the engine's clock exclusively. (Pure types and
+// constants like time.Duration or time.Nanosecond are not banned — the
+// simtime analyzer separately flags mixing them with sim.Time.)
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// bannedImports are packages model code may never import: any use of the
+// global math/rand source (seeded or not) or crypto/rand breaks seeded
+// reproducibility. The engine's RNG (sim.RNG) is the only permitted
+// randomness.
+var bannedImports = map[string]string{
+	"math/rand":    "use the engine's deterministic RNG (sim.Engine.RNG) instead",
+	"math/rand/v2": "use the engine's deterministic RNG (sim.Engine.RNG) instead",
+	"crypto/rand":  "cryptographic randomness is never deterministic; use sim.Engine.RNG",
+}
+
+// Wallclock bans wall-clock time and ambient randomness in model packages.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Sleep/Since and math/rand / crypto/rand in model packages; " +
+		"simulated components must take time from sim.Engine and randomness from sim.RNG " +
+		"so that a seed reproduces a run exactly",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := bannedImports[path]; banned {
+				pass.Reportf(imp.Pos(), "import of %q is forbidden in model packages: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.TypesInfo, sel.X)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the host wall clock; model code must use the engine's simulated clock (sim.Engine.Now)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -289,3 +289,40 @@ func TestPollerZeroIntervalPanics(t *testing.T) {
 	}()
 	StartPoller(e, 0, func() bool { return true }, func() {})
 }
+
+// TestWatcherNotifyOrderDeterministic pins the notify ordering contract:
+// a write spanning several cache lines fires watchers in ascending line
+// order, and within one line in registration order. Wake-up order is
+// observable model behavior (a waiter may schedule events from its
+// callback), so it must not depend on map iteration or any other
+// randomized order.
+func TestWatcherNotifyOrderDeterministic(t *testing.T) {
+	m := New()
+	r := m.Alloc(4 * CacheLineSize)
+
+	var fired []int
+	watch := func(id int, line Addr) {
+		m.Watch(r.Base+line*CacheLineSize, func(Addr, int) {
+			fired = append(fired, id)
+		})
+	}
+	// Register out of line order, with two watchers on line 1.
+	watch(0, 2)
+	watch(1, 0)
+	watch(2, 3)
+	watch(3, 1)
+	watch(4, 1)
+
+	// One write covering all four lines.
+	m.Write(r.Base, make([]byte, 4*CacheLineSize))
+
+	want := []int{1, 3, 4, 0, 2} // line 0, line 1 (reg order), line 2, line 3
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package metrics
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -314,13 +315,47 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
-// snapshot is the JSON export shape.
+// snapshot is the JSON export shape. The name-keyed sections are
+// pre-marshaled with explicitly sorted keys: snapshot bytes are compared
+// verbatim by the same-seed determinism regression test, so stable
+// ordering is a guarantee of this exporter, not an accident of how
+// encoding/json happens to serialize maps.
 type snapshot struct {
-	SimTimeNs  float64                  `json:"sim_time_ns"`
-	Counters   map[string]uint64        `json:"counters"`
-	Gauges     map[string]gaugeJSON     `json:"gauges"`
-	Histograms map[string]histogramJSON `json:"histograms"`
-	SpansOpen  uint64                   `json:"spans_open"`
+	SimTimeNs  float64         `json:"sim_time_ns"`
+	Counters   json.RawMessage `json:"counters"`
+	Gauges     json.RawMessage `json:"gauges"`
+	Histograms json.RawMessage `json:"histograms"`
+	SpansOpen  uint64          `json:"spans_open"`
+}
+
+// sortedObject marshals m as a JSON object with its keys in ascending
+// order.
+func sortedObject[V any](m map[string]V) (json.RawMessage, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
 }
 
 type gaugeJSON struct {
@@ -346,25 +381,35 @@ func (r *Registry) WriteJSON(w io.Writer, now sim.Time) error {
 		return fmt.Errorf("metrics: nil registry")
 	}
 	r.Collect()
-	s := snapshot{
-		SimTimeNs:  now.Nanoseconds(),
-		Counters:   make(map[string]uint64, len(r.counters)),
-		Gauges:     make(map[string]gaugeJSON, len(r.gauges)),
-		Histograms: make(map[string]histogramJSON, len(r.hists)),
-		SpansOpen:  r.spansOpened - r.spansClosed,
-	}
+	counters := make(map[string]uint64, len(r.counters))
 	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+		counters[name] = c.Value()
 	}
+	gauges := make(map[string]gaugeJSON, len(r.gauges))
 	for name, g := range r.gauges {
-		s.Gauges[name] = gaugeJSON{Value: g.Value(), Max: g.Max()}
+		gauges[name] = gaugeJSON{Value: g.Value(), Max: g.Max()}
 	}
+	hists := make(map[string]histogramJSON, len(r.hists))
 	for name, h := range r.hists {
-		s.Histograms[name] = histogramJSON{
+		hists[name] = histogramJSON{
 			Count: h.Count(), Mean: h.Mean(),
 			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
 			Min: h.Min(), Max: h.Max(), Sum: h.sum,
 		}
+	}
+	s := snapshot{
+		SimTimeNs: now.Nanoseconds(),
+		SpansOpen: r.spansOpened - r.spansClosed,
+	}
+	var err error
+	if s.Counters, err = sortedObject(counters); err != nil {
+		return err
+	}
+	if s.Gauges, err = sortedObject(gauges); err != nil {
+		return err
+	}
+	if s.Histograms, err = sortedObject(hists); err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -307,3 +307,52 @@ func TestTimelineCapDrops(t *testing.T) {
 		t.Fatalf("dropped = %d, want 7", dropped)
 	}
 }
+
+// TestWriteJSONSortedStable pins the exporter's byte-stability contract:
+// keys appear in ascending order regardless of insertion order, and two
+// writes of the same registry produce identical bytes. The same-seed
+// determinism test in internal/harness compares snapshots verbatim, so
+// this ordering is load-bearing, not cosmetic.
+func TestWriteJSONSortedStable(t *testing.T) {
+	r := NewRegistry()
+	// Scrambled insertion order on purpose.
+	r.Counter("zeta").Add(1)
+	r.Counter("alpha").Add(2)
+	r.Counter("mid").Add(3)
+	r.Gauge("z.g").Set(1)
+	r.Gauge("a.g").Set(2)
+	r.Histogram("z.h").Observe(5)
+	r.Histogram("a.h").Observe(7)
+
+	var first, second bytes.Buffer
+	if err := r.WriteJSON(&first, sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&second, sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("two snapshots of the same registry differ")
+	}
+
+	out := first.String()
+	for _, ordered := range [][2]string{
+		{`"alpha"`, `"mid"`}, {`"mid"`, `"zeta"`},
+		{`"a.g"`, `"z.g"`}, {`"a.h"`, `"z.h"`},
+	} {
+		if strings.Index(out, ordered[0]) >= strings.Index(out, ordered[1]) {
+			t.Errorf("%s should appear before %s in snapshot:\n%s", ordered[0], ordered[1], out)
+		}
+	}
+
+	// The export must remain parseable JSON with the documented sections.
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(first.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"sim_time_ns", "counters", "gauges", "histograms", "spans_open"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing %q section", key)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package motif
 
 import (
 	"fmt"
+	"sort"
 
 	"rvma/internal/rdma"
 	"rvma/internal/sim"
@@ -99,12 +100,19 @@ func (t *rdmaTransport) Prepare(inPeers, outPeers []int, maxMsg int) *sim.Future
 				st.bufs = append(st.bufs, op.Done.Value().(rdma.RemoteBuffer))
 				remaining--
 				if remaining == 0 {
-					for _, s2 := range t.out {
+					// Drain in sorted-destination order: drain schedules
+					// wire events, and map-range order would make the event
+					// sequence (and thus tie-breaking downstream) depend on
+					// Go's map iteration randomization.
+					dsts := make([]int, 0, len(t.out))
+					for d, s2 := range t.out {
 						s2.ready = true
+						dsts = append(dsts, d)
 					}
+					sort.Ints(dsts)
 					f.Complete(eng, nil)
-					for _, s2 := range t.out {
-						t.drain(s2)
+					for _, d := range dsts {
+						t.drain(t.out[d])
 					}
 				}
 			})

@@ -105,7 +105,11 @@ func TestPutPlacesData(t *testing.T) {
 func TestPutToRevokedRegionDrops(t *testing.T) {
 	eng, a, b := defaultPair(t)
 	rb := handshake(t, eng, a, 1, 1024)
+	regions := make([]*MemoryRegion, 0, len(b.mrs))
 	for _, mr := range b.mrs {
+		regions = append(regions, mr)
+	}
+	for _, mr := range regions {
 		b.Deregister(mr)
 	}
 	eng.Schedule(0, func() { a.Put(rb, 0, make([]byte, 64), CompleteNone) })

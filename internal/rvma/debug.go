@@ -1,0 +1,48 @@
+package rvma
+
+import "rvma/internal/sim"
+
+// This file is the endpoint's simdebug invariant layer. The accounting
+// fields live on Endpoint in every build, but every update and every
+// check is guarded by `if sim.DebugEnabled`, so without the simdebug
+// build tag the whole layer compiles to nothing.
+
+// debugAccounting tracks put-payload byte conservation on the receive
+// path: every byte that arrives in a put packet must end up either
+// placed into a posted buffer or explicitly dropped — bytes can neither
+// vanish nor be invented by the placement logic.
+type debugAccounting struct {
+	putBytesArrived uint64 // payload bytes of put packets entering handlePut
+	putBytesPlaced  uint64 // bytes steered or appended into buffers
+	putBytesDropped uint64 // bytes discarded by rejects (including lost tails)
+}
+
+// debugCheckEndpoint asserts the endpoint-level conservation laws after
+// each received packet has been fully handled:
+//
+//   - put-byte conservation: arrived == placed + dropped
+//   - a NACK is only ever sent for a drop: Nacks <= Drops
+//   - per window: the completion counter never goes negative, and no
+//     buffer claims more bytes than its region holds
+func (ep *Endpoint) debugCheckEndpoint() {
+	sim.Assertf(ep.dbg.putBytesArrived == ep.dbg.putBytesPlaced+ep.dbg.putBytesDropped,
+		"rvma node %d put-byte conservation: arrived %d != placed %d + dropped %d",
+		ep.Node(), ep.dbg.putBytesArrived, ep.dbg.putBytesPlaced, ep.dbg.putBytesDropped)
+	sim.Assertf(ep.Stats.Nacks <= ep.Stats.Drops,
+		"rvma node %d sent %d NACKs for only %d drops", ep.Node(), ep.Stats.Nacks, ep.Stats.Drops)
+	//rvmalint:allow maprange -- order-independent assertions, no state writes
+	for vaddr, w := range ep.lut {
+		sim.Assertf(w.counter >= 0,
+			"rvma node %d win %#x completion counter went negative: %d", ep.Node(), vaddr, w.counter)
+		sim.Assertf(w.epoch >= 0,
+			"rvma node %d win %#x epoch went negative: %d", ep.Node(), vaddr, w.epoch)
+		for _, b := range w.queue {
+			sim.Assertf(b.HighWater <= b.Region.Size(),
+				"rvma node %d win %#x buffer high-water %d exceeds region size %d",
+				ep.Node(), vaddr, b.HighWater, b.Region.Size())
+			sim.Assertf(b.Fill <= b.Region.Size(),
+				"rvma node %d win %#x buffer fill %d exceeds region size %d",
+				ep.Node(), vaddr, b.Fill, b.Region.Size())
+		}
+	}
+}

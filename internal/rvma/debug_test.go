@@ -1,0 +1,77 @@
+//go:build simdebug
+
+package rvma
+
+import (
+	"strings"
+	"testing"
+)
+
+// debugEndpoint builds a minimal endpoint for invariant tests (no
+// fabric traffic needed; the checks read local state).
+func debugEndpoint(t *testing.T) *Endpoint {
+	t.Helper()
+	_, ep, _ := defaultPair(t)
+	return ep
+}
+
+func expectInvariantPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic = %v, want simdebug message containing %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestDebugCatchesByteLeak(t *testing.T) {
+	ep := debugEndpoint(t)
+	// Bytes that arrived but were neither placed nor dropped: the
+	// conservation check must fail.
+	ep.dbg.putBytesArrived = 100
+	ep.dbg.putBytesPlaced = 40
+	ep.dbg.putBytesDropped = 10
+	expectInvariantPanic(t, "put-byte conservation", func() { ep.debugCheckEndpoint() })
+}
+
+func TestDebugCatchesPhantomNack(t *testing.T) {
+	ep := debugEndpoint(t)
+	ep.Stats.Nacks = 2
+	ep.Stats.Drops = 1
+	expectInvariantPanic(t, "NACKs", func() { ep.debugCheckEndpoint() })
+}
+
+func TestDebugCatchesCounterUnderflow(t *testing.T) {
+	ep := debugEndpoint(t)
+	w, err := ep.InitWindow(0x1000, 64, EpochBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.counter = -1
+	expectInvariantPanic(t, "counter went negative", func() { ep.debugCheckEndpoint() })
+}
+
+func TestDebugCatchesHighWaterOverrun(t *testing.T) {
+	ep := debugEndpoint(t)
+	w, err := ep.InitWindow(0x1000, 64, EpochBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := w.PostBuffer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.HighWater = 65
+	expectInvariantPanic(t, "high-water", func() { ep.debugCheckEndpoint() })
+}
+
+func TestDebugCleanEndpointPasses(t *testing.T) {
+	ep := debugEndpoint(t)
+	if _, err := ep.InitWindow(0x1000, 64, EpochBytes); err != nil {
+		t.Fatal(err)
+	}
+	ep.debugCheckEndpoint() // must not panic
+}

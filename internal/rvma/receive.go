@@ -5,6 +5,7 @@ import (
 	"rvma/internal/memory"
 	"rvma/internal/metrics"
 	"rvma/internal/nic"
+	"rvma/internal/sim"
 	"rvma/internal/trace"
 )
 
@@ -29,6 +30,9 @@ func (ep *Endpoint) handlePacket(pkt *fabric.Packet) {
 	default:
 		panic("rvma: unknown opcode")
 	}
+	if sim.DebugEnabled {
+		ep.debugCheckEndpoint()
+	}
 }
 
 // handlePut places one put packet. Steps follow Figure 3: (2) address
@@ -36,18 +40,27 @@ func (ep *Endpoint) handlePacket(pkt *fabric.Packet) {
 // buffer at head+offset, then the completion check: bump the counter and,
 // at threshold, (5) write the completion pointer and rotate the buffer.
 func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
+	if sim.DebugEnabled {
+		ep.dbg.putBytesArrived += uint64(pkt.Size)
+	}
 	w := ep.lut[cmd.vaddr]
 	if w == nil || w.closed {
 		if ep.catchAll != nil && !ep.catchAll.closed {
 			ep.Stats.CatchAllHits++
 			w = ep.catchAll
 		} else {
+			if sim.DebugEnabled {
+				ep.dbg.putBytesDropped += uint64(pkt.Size)
+			}
 			ep.reject(pkt.Src, cmd, ErrNoWindow)
 			return
 		}
 	}
 	buf := w.Head()
 	if buf == nil {
+		if sim.DebugEnabled {
+			ep.dbg.putBytesDropped += uint64(pkt.Size)
+		}
 		ep.reject(pkt.Src, cmd, ErrNoBuffer)
 		return
 	}
@@ -69,8 +82,14 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 	case Steered:
 		place := cmd.msgOffset + cmd.pktOffset
 		if place+size > buf.Region.Size() {
+			if sim.DebugEnabled {
+				ep.dbg.putBytesDropped += uint64(size)
+			}
 			ep.reject(pkt.Src, cmd, ErrNoBuffer)
 			return
+		}
+		if sim.DebugEnabled {
+			ep.dbg.putBytesPlaced += uint64(size)
 		}
 		if ep.cfg.CarryData && cmd.data != nil {
 			data := cmd.data
@@ -96,6 +115,9 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 			head := w.Head()
 			if head == nil {
 				// Out of posted segments mid-packet: the tail is lost.
+				if sim.DebugEnabled {
+					ep.dbg.putBytesDropped += uint64(remaining)
+				}
 				ep.reject(pkt.Src, cmd, ErrNoBuffer)
 				break
 			}
@@ -103,12 +125,18 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 			if space <= 0 {
 				// A full-but-uncompleted segment means the threshold
 				// exceeds the buffer size; nothing can ever complete it.
+				if sim.DebugEnabled {
+					ep.dbg.putBytesDropped += uint64(remaining)
+				}
 				ep.reject(pkt.Src, cmd, ErrNoBuffer)
 				break
 			}
 			take := remaining
 			if take > space {
 				take = space
+			}
+			if sim.DebugEnabled {
+				ep.dbg.putBytesPlaced += uint64(take)
 			}
 			if ep.cfg.CarryData && cmd.data != nil {
 				chunk := cmd.data[dataOff : dataOff+take]

@@ -200,6 +200,10 @@ type Endpoint struct {
 	mRewinds     *metrics.Counter
 
 	Stats Stats
+
+	// dbg holds simdebug conservation accounting; updated and checked
+	// only when sim.DebugEnabled (see debug.go).
+	dbg debugAccounting
 }
 
 // NewEndpoint attaches an RVMA endpoint to the given NIC. The NIC must not

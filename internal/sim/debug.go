@@ -1,0 +1,69 @@
+package sim
+
+import "fmt"
+
+// This file holds the simdebug invariant helpers. The functions exist in
+// every build; callers guard them with `if DebugEnabled { ... }` so the
+// checks (and their argument evaluation) vanish from normal builds.
+
+// Assertf panics with a simdebug-prefixed message when cond is false.
+// Model packages use it for their own invariants (conservation laws,
+// non-negative resources) so every violation reports uniformly.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("simdebug: invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// debugHeapCheckEvery bounds the cost of full heap verification: the
+// cheap per-pop checks run on every event, the O(n) structural sweep
+// only once per this many executed events.
+const debugHeapCheckEvery = 1 << 10
+
+// debugCheckPop validates the two event-ordering invariants the whole
+// simulation rests on, at the moment an event is popped for execution:
+//
+//  1. Monotonic clock: the popped event's timestamp is never earlier
+//     than the current simulated time.
+//  2. Heap order: the new head (the next event to run) does not sort
+//     before the event just popped under (time, priority, seq) order.
+func (e *Engine) debugCheckPop(ev *Event) {
+	Assertf(ev.at >= e.now,
+		"event time %v precedes engine clock %v (causality runs backward)", ev.at, e.now)
+	if len(e.queue) > 0 {
+		head := e.queue[0]
+		Assertf(!eventLess(head, ev),
+			"heap order: next event (t=%v pri=%d seq=%d) sorts before popped event (t=%v pri=%d seq=%d)",
+			head.at, head.priority, head.seq, ev.at, ev.priority, ev.seq)
+	}
+	if e.executed%debugHeapCheckEvery == 0 {
+		e.debugVerifyHeap()
+	}
+}
+
+// debugVerifyHeap sweeps the whole queue checking the binary-heap
+// property under the event ordering, plus index bookkeeping.
+func (e *Engine) debugVerifyHeap() {
+	for i := range e.queue {
+		Assertf(e.queue[i].index == i,
+			"heap index bookkeeping: queue[%d].index = %d", i, e.queue[i].index)
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < len(e.queue) {
+				Assertf(!eventLess(e.queue[child], e.queue[i]),
+					"heap property violated at parent %d / child %d", i, child)
+			}
+		}
+	}
+}
+
+// eventLess mirrors eventHeap.Less on event values so the debug checks
+// compare with exactly the ordering the queue uses.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}

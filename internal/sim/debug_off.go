@@ -1,0 +1,8 @@
+//go:build !simdebug
+
+package sim
+
+// DebugEnabled is false in normal builds: every `if sim.DebugEnabled`
+// guard is a compile-time-false branch the compiler deletes, so the
+// invariant layer costs nothing unless the simdebug tag is set.
+const DebugEnabled = false

@@ -1,0 +1,16 @@
+//go:build simdebug
+
+package sim
+
+// DebugEnabled reports whether the simdebug runtime invariant layer is
+// compiled in. It is a constant so that guarded checks are dead-code
+// eliminated entirely in normal builds:
+//
+//	if sim.DebugEnabled {
+//		sim.Assertf(cond, "...", args...)
+//	}
+//
+// Build with `go test -tags simdebug ./...` (or any -tags simdebug
+// build) to enable every invariant check in the kernel and the model
+// packages layered on top of it.
+const DebugEnabled = true

@@ -1,0 +1,59 @@
+//go:build simdebug
+
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests only build under the simdebug tag; they prove the
+// invariant layer detects corruption rather than merely existing.
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a simdebug panic containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic = %v, want message containing %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestAssertfPanicsWithPrefix(t *testing.T) {
+	mustPanic(t, "simdebug: invariant violated: count 3", func() {
+		Assertf(false, "count %d", 3)
+	})
+	Assertf(true, "never evaluated")
+}
+
+func TestDebugCatchesClockCorruption(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*Nanosecond, func() {})
+	// Force the clock past the pending event: the pop check must see
+	// causality running backward.
+	e.now = 20 * Nanosecond
+	mustPanic(t, "precedes engine clock", func() { e.Step() })
+}
+
+func TestDebugCatchesHeapCorruption(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 8; i++ {
+		e.Schedule(Time(i)*Nanosecond, func() {})
+	}
+	// Swap two events without fixing their indices: the structural sweep
+	// must notice the broken bookkeeping.
+	e.queue[0], e.queue[len(e.queue)-1] = e.queue[len(e.queue)-1], e.queue[0]
+	mustPanic(t, "heap", func() { e.debugVerifyHeap() })
+}
+
+func TestDebugEnabledUnderTag(t *testing.T) {
+	if !DebugEnabled {
+		t.Fatal("DebugEnabled must be true when built with -tags simdebug")
+	}
+}

@@ -25,16 +25,8 @@ func (e *Event) Time() Time { return e.at }
 
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].priority != h[j].priority {
-		return h[i].priority < h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -181,6 +173,9 @@ func (e *Engine) RunUntil(limit Time) Time {
 		if ev.canceled {
 			continue
 		}
+		if DebugEnabled {
+			e.debugCheckPop(ev)
+		}
 		e.now = ev.at
 		e.executed++
 		ev.fn()
@@ -198,6 +193,9 @@ func (e *Engine) Step() bool {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
 			continue
+		}
+		if DebugEnabled {
+			e.debugCheckPop(ev)
 		}
 		e.now = ev.at
 		e.executed++

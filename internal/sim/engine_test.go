@@ -192,6 +192,7 @@ func TestEngineNegativeDelayPanics(t *testing.T) {
 			t.Fatal("negative delay should panic")
 		}
 	}()
+	//rvmalint:allow simtime -- deliberately negative to test the panic
 	NewEngine(1).Schedule(-1, func() {})
 }
 

@@ -32,6 +32,10 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		parked: make(chan struct{}),
 	}
 	e.procs++
+	// The process body runs on its own goroutine, but only ever while the
+	// engine goroutine is parked on the run/parked channel handshake, so
+	// simulated time stays sequential.
+	//rvmalint:allow goroutine -- kernel-internal coroutine handshake
 	go func() {
 		<-p.run // wait for first activation
 		func() {
