@@ -14,6 +14,8 @@
 //	rvmabench -nodes 1024 fig7
 //	rvmabench -paper all        # paper-scale settings (slow)
 //	rvmabench -csv fig6 > fig6.csv
+//	rvmabench -json-out BENCH_sim.json fig7   # per-cell perf trajectory
+//	rvmabench -telemetry-dir ts/ fig7         # per-cell time-series CSVs
 package main
 
 import (
@@ -30,8 +32,10 @@ func main() {
 		iters = flag.Int("iters", 0, "ping-pong iterations per run (0 = default 200)")
 		runs  = flag.Int("runs", 0, "independent runs per latency point (0 = default 10)")
 		seed  = flag.Uint64("seed", 0, "simulation seed (0 = default 42)")
-		paper = flag.Bool("paper", false, "use paper-scale settings (8192 nodes, 1000 iterations; slow)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		paper   = flag.Bool("paper", false, "use paper-scale settings (8192 nodes, 1000 iterations; slow)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.String("json-out", "", "write per-cell perf records (wall time, sim time, events/sec) as JSON to this file")
+		telDir  = flag.String("telemetry-dir", "", "write one in-sim time-series CSV per motif cell into this directory")
 	)
 	flag.Parse()
 
@@ -50,6 +54,16 @@ func main() {
 	}
 	if *seed > 0 {
 		opt.Seed = *seed
+	}
+	if *telDir != "" {
+		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rvmabench: %v\n", err)
+			os.Exit(1)
+		}
+		opt.TelemetryDir = *telDir
+	}
+	if *jsonOut != "" {
+		opt.Bench = &harness.BenchLog{}
 	}
 
 	experiments := flag.Args()
@@ -110,5 +124,24 @@ func main() {
 		if !run(name) {
 			os.Exit(2)
 		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvmabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opt.Bench.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "rvmabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rvmabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rvmabench: wrote %d cell records to %s\n",
+			len(opt.Bench.Records), *jsonOut)
 	}
 }

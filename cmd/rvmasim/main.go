@@ -21,18 +21,34 @@
 //	-perfetto-out F    write a Chrome trace-event timeline to F; open it at
 //	                   ui.perfetto.dev (each node renders as a process,
 //	                   each span scope as a thread)
+//
+// Time-resolved telemetry flags:
+//
+//	-timeseries-out F  attach the in-sim sampler and write the columnar
+//	                   time-series CSV (one row per sample, sorted columns)
+//	-heatmap-out F     write the per-switch × time utilization matrix CSV
+//	-sample-interval D sampler cadence in sim time (default 10µs); the
+//	                   interval doubles automatically if the row cap is hit
+//	-flight-recorder N keep a causal ring of the last N model events and
+//	                   dump it to stderr when a simdebug invariant trips, a
+//	                   NACK burst exceeds -nack-burst, or the run is
+//	                   interrupted (SIGINT)
+//	-nack-burst N      NACK-burst dump threshold per sample window
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"rvma/internal/fabric"
 	"rvma/internal/harness"
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/sim"
+	"rvma/internal/telemetry"
 	"rvma/internal/topology"
 	"rvma/internal/trace"
 )
@@ -52,6 +68,11 @@ func main() {
 		doSpans    = flag.Bool("spans", false, "track per-message pipeline spans and print the latency table")
 		metricsOut = flag.String("metrics-out", "", "write metrics snapshot JSON to this file")
 		perfOut    = flag.String("perfetto-out", "", "write Chrome/Perfetto trace-event JSON to this file")
+		tsOut      = flag.String("timeseries-out", "", "write sampled time-series CSV to this file")
+		heatOut    = flag.String("heatmap-out", "", "write per-switch × time utilization matrix CSV to this file")
+		sampleIvl  = flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval (sim time)")
+		recDepth   = flag.Int("flight-recorder", 256, "flight recorder depth in events (0 disables)")
+		nackBurst  = flag.Float64("nack-burst", 0, "dump flight recorder when NACKs per sample window reach this (0 disables)")
 	)
 	flag.Parse()
 
@@ -102,6 +123,45 @@ func main() {
 		tr = trace.New(cluster.Eng, 64) // counters/series plus a small event ring
 		tr.EnableAll()
 		cluster.SetTracer(tr)
+	}
+
+	// Flight recorder: a bounded causal ring of recent model events, dumped
+	// with context when the run fails. It reuses the trace layer; with
+	// -trace also set the explicit tracer doubles as the recorder ring.
+	var rec *telemetry.FlightRecorder
+	if *recDepth > 0 {
+		rtr := tr
+		if rtr == nil {
+			rtr = trace.New(cluster.Eng, *recDepth)
+			rtr.EnableAll()
+			cluster.SetTracer(rtr)
+		}
+		rec = telemetry.NewFlightRecorder(rtr, os.Stderr)
+		rec.Arm() // dump on any simdebug invariant violation
+		defer rec.Disarm()
+	}
+
+	// In-sim sampler: a deterministic telemetry process on the engine.
+	var sampler *telemetry.Sampler
+	if *tsOut != "" || *heatOut != "" || (*nackBurst > 0 && rec != nil) {
+		sampler = telemetry.New(cluster.Eng, sim.FromNanos(float64(sampleIvl.Nanoseconds())))
+		cluster.RegisterTelemetry(sampler)
+		if *nackBurst > 0 && rec != nil {
+			rec.WatchNACKBurst(sampler, func() float64 { return float64(cluster.NACKTotal()) }, *nackBurst)
+		}
+		sampler.Start()
+	}
+
+	// A cancelled run still yields its recent history: dump the recorder
+	// on SIGINT, then exit with the conventional interrupted status.
+	if rec != nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt)
+		go func() {
+			<-sigc
+			rec.Dump("run cancelled (SIGINT)")
+			os.Exit(130)
+		}()
 	}
 	var reg *metrics.Registry
 	if *doSpans || *metricsOut != "" || *perfOut != "" {
@@ -179,6 +239,33 @@ func main() {
 		recorded, dropped := reg.Timeline().Events()
 		fmt.Printf("timeline:   %d events written to %s (%d dropped at cap); open at ui.perfetto.dev\n",
 			recorded, *perfOut, dropped)
+	}
+	if *tsOut != "" {
+		f, err := os.Create(*tsOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := sampler.WriteCSV(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("telemetry:  %d samples x %d columns written to %s (interval %v, %d rows downsampled)\n",
+			sampler.Samples(), len(sampler.Columns()), *tsOut, sampler.Interval(), sampler.Dropped())
+	}
+	if *heatOut != "" {
+		f, err := os.Create(*heatOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := sampler.WriteHeatmapCSV(f, fabric.TelemetryHeatmapPrefix); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("heatmap:    per-switch utilization matrix written to %s\n", *heatOut)
 	}
 	if tr != nil {
 		fmt.Println("\ntrace:")

@@ -20,6 +20,7 @@ import (
 
 	"rvma/internal/metrics"
 	"rvma/internal/sim"
+	"rvma/internal/telemetry"
 	"rvma/internal/topology"
 	"rvma/internal/trace"
 )
@@ -258,6 +259,77 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 			reg.Gauge("fabric.host_tx_util_mean").Set(hostUtil / float64(len(n.hostTx)))
 		}
 	})
+}
+
+// TelemetryHeatmapPrefix selects the per-switch utilization columns the
+// congestion heatmap is built from (Sampler.WriteHeatmapCSV prefix).
+const TelemetryHeatmapPrefix = "fabric.util.sw"
+
+// RegisterTelemetry registers the fabric's time-series probes on s:
+// fabric-wide output-queue depth and link-utilization aggregates always,
+// plus — up to the same per-switch cap the metrics collector uses — one
+// windowed-utilization and one queue-depth column per switch. Per-switch
+// utilization is computed over the sample window (busy-time delta divided
+// by elapsed time, averaged over the switch's ports), which is what a
+// congestion heatmap wants; the window state lives in the probe closures,
+// never in model state.
+func (n *Network) RegisterTelemetry(s *telemetry.Sampler) {
+	if s == nil {
+		return
+	}
+	s.Register("fabric.queue_ns_total", func() float64 {
+		var backlog sim.Time
+		for sw := range n.outPorts {
+			for _, p := range n.outPorts[sw] {
+				backlog += p.Backlog(n.eng)
+			}
+		}
+		return backlog.Nanoseconds()
+	})
+	s.Register("fabric.queue_ns_max", func() float64 {
+		var worst sim.Time
+		for sw := range n.outPorts {
+			for _, p := range n.outPorts[sw] {
+				if b := p.Backlog(n.eng); b > worst {
+					worst = b
+				}
+			}
+		}
+		return worst.Nanoseconds()
+	})
+	s.Register("fabric.packets_delivered", func() float64 {
+		return float64(n.Stats.PacketsDelivered)
+	})
+	s.Register("fabric.valiant_detours", func() float64 {
+		return float64(n.Stats.ValiantDetours)
+	})
+	if len(n.outPorts) > maxPerSwitchGauges {
+		return
+	}
+	for sw := range n.outPorts {
+		ports := n.outPorts[sw]
+		s.Register(fmt.Sprintf("fabric.queue_ns.sw%03d", sw), func() float64 {
+			var backlog sim.Time
+			for _, p := range ports {
+				backlog += p.Backlog(n.eng)
+			}
+			return backlog.Nanoseconds()
+		})
+		var prevBusy, prevAt sim.Time
+		s.Register(fmt.Sprintf("%s%03d", TelemetryHeatmapPrefix, sw), func() float64 {
+			var busy sim.Time
+			for _, p := range ports {
+				busy += p.BusyTime()
+			}
+			now := n.eng.Now()
+			dt, db := now-prevAt, busy-prevBusy
+			prevBusy, prevAt = busy, now
+			if dt <= 0 || len(ports) == 0 {
+				return 0
+			}
+			return float64(db) / float64(dt) / float64(len(ports))
+		})
+	}
 }
 
 // New builds a network over topo with the given config.

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"rvma/internal/sim"
+)
+
+// BenchRecord is one experiment cell's performance sample: how much
+// simulated time the cell covered, how long it took on the wall clock, and
+// the resulting event throughput. Future PRs compare these against a saved
+// BENCH_sim.json to track simulator performance.
+type BenchRecord struct {
+	// Cell identifies the experiment point: "motif|network|transport|gbps".
+	Cell string `json:"cell"`
+	// WallMS is the host wall-clock run time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SimNS is the simulated makespan in nanoseconds.
+	SimNS float64 `json:"sim_ns"`
+	// Events is the number of simulation events executed.
+	Events uint64 `json:"events"`
+	// EventsPerSec is Events divided by wall seconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// BenchLog accumulates BenchRecords across a harness invocation. The
+// harness is host-side code (exempt from the determinism lint), so it may
+// read the wall clock; records never feed back into any simulation.
+type BenchLog struct {
+	Records []BenchRecord
+}
+
+// Record appends one cell sample.
+func (b *BenchLog) Record(cell string, wall time.Duration, simT sim.Time, events uint64) {
+	if b == nil {
+		return
+	}
+	r := BenchRecord{
+		Cell:   cell,
+		WallMS: float64(wall.Nanoseconds()) / 1e6,
+		SimNS:  simT.Nanoseconds(),
+		Events: events,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		r.EventsPerSec = float64(events) / secs
+	}
+	b.Records = append(b.Records, r)
+}
+
+// WriteJSON emits the log as indented JSON: {"records": [...]}. The format
+// is documented in EXPERIMENTS.md ("Simulator performance log").
+func (b *BenchLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Records []BenchRecord `json:"records"`
+	}{Records: b.Records})
+}

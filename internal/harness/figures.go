@@ -27,6 +27,13 @@ type Options struct {
 	Seed uint64
 	// RunNoise produces error bars (stddev of per-run overhead scale).
 	RunNoise float64
+	// TelemetryDir, when non-empty, makes the motif figures attach an
+	// in-sim sampler to every report cell and write one time-series CSV
+	// per cell into the directory (see internal/telemetry).
+	TelemetryDir string
+	// Bench, when non-nil, records wall time / simulated time / event
+	// throughput for every motif cell run (rvmabench -json-out).
+	Bench *BenchLog
 }
 
 // DefaultOptions returns the quick-turnaround configuration.

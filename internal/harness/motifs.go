@@ -2,6 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"rvma/internal/fabric"
 	"rvma/internal/metrics"
@@ -9,6 +13,7 @@ import (
 	"rvma/internal/pcie"
 	"rvma/internal/sim"
 	"rvma/internal/stats"
+	"rvma/internal/telemetry"
 	"rvma/internal/topology"
 )
 
@@ -59,6 +64,23 @@ func RunMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes in
 // use it (one registry per experiment cell, spans enabled) to report tail
 // latency next to the makespan. A nil registry runs uninstrumented.
 func RunMotifPointInstrumented(m MotifName, kind motif.TransportKind, nc NetConfig, nodes int, gbps float64, seed uint64, reg *metrics.Registry) (sim.Time, error) {
+	return runMotifPoint(m, kind, nc, nodes, gbps, seed, cellInstr{reg: reg})
+}
+
+// cellInstr bundles the optional per-cell instrumentation runMotifPoint
+// attaches before a run: a metrics registry, an in-sim sampler (already
+// holding any extra probes; the cluster's are registered here), and a
+// bench log for wall-clock throughput records.
+type cellInstr struct {
+	reg     *metrics.Registry
+	sampler *telemetry.Sampler
+	bench   *BenchLog
+	cell    string // bench/telemetry label: "motif|network|transport|gbps"
+}
+
+// runMotifPoint is the shared cell runner behind the exported entry points
+// and the figure sweeps.
+func runMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes int, gbps float64, seed uint64, inst cellInstr) (sim.Time, error) {
 	topo, err := topology.ForNodeCount(nc.Kind, nodes)
 	if err != nil {
 		return 0, err
@@ -72,19 +94,53 @@ func RunMotifPointInstrumented(m MotifName, kind motif.TransportKind, nc NetConf
 	if err != nil {
 		return 0, err
 	}
-	if reg != nil {
-		c.SetMetrics(reg)
+	if inst.reg != nil {
+		c.SetMetrics(inst.reg)
 	}
+	if inst.sampler != nil {
+		c.RegisterTelemetry(inst.sampler)
+		inst.sampler.Start()
+	}
+	start := time.Now()
+	var makespan sim.Time
 	switch m {
 	case MotifSweep3D:
-		return motif.RunSweep3D(c, motif.DefaultSweep3DConfig(topo.NumNodes()))
+		makespan, err = motif.RunSweep3D(c, motif.DefaultSweep3DConfig(topo.NumNodes()))
 	case MotifHalo3D:
-		return motif.RunHalo3D(c, motif.DefaultHalo3DConfig(topo.NumNodes()))
+		makespan, err = motif.RunHalo3D(c, motif.DefaultHalo3DConfig(topo.NumNodes()))
 	case MotifIncast:
-		return motif.RunIncast(c, motif.DefaultIncastConfig())
+		makespan, err = motif.RunIncast(c, motif.DefaultIncastConfig())
 	default:
 		return 0, fmt.Errorf("harness: unknown motif %q", m)
 	}
+	if err != nil {
+		return 0, err
+	}
+	if inst.bench != nil {
+		inst.bench.Record(inst.cell, time.Since(start), makespan, c.Eng.EventsExecuted())
+	}
+	return makespan, nil
+}
+
+// cellName labels one experiment cell for bench records and telemetry
+// file names.
+func cellName(m MotifName, nc NetConfig, kind motif.TransportKind, gbps float64) string {
+	return fmt.Sprintf("%s|%s|%s|%gGbps", m, nc.Name, kind, gbps)
+}
+
+// writeCellTimeseries dumps a cell sampler's time-series CSV into dir,
+// with the cell name flattened into a file name.
+func writeCellTimeseries(dir string, cell string, s *telemetry.Sampler) error {
+	name := strings.NewReplacer("/", "-", "|", "_").Replace(cell) + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // newCellRegistry returns a registry with spans enabled, the per-cell
@@ -109,6 +165,31 @@ func putP99(reg *metrics.Registry, kind motif.TransportKind) string {
 	return sim.FromNanos(h.Quantile(0.99)).String()
 }
 
+// cellSampleInterval is the sampling cadence for per-cell time-series in
+// the figure sweeps (Options.TelemetryDir).
+const cellSampleInterval = 10 * sim.Microsecond
+
+// runFigureCell runs one (motif, network, transport, link-speed) cell with
+// the figure instrumentation: span registry always, plus a fresh sampler
+// (flushed to TelemetryDir after the run) and a bench record when the
+// options ask for them.
+func runFigureCell(o Options, m MotifName, kind motif.TransportKind, nc NetConfig, gbps float64, reg *metrics.Registry) (sim.Time, error) {
+	inst := cellInstr{reg: reg, bench: o.Bench, cell: cellName(m, nc, kind, gbps)}
+	if o.TelemetryDir != "" {
+		inst.sampler = telemetry.NewUnbound(cellSampleInterval)
+	}
+	makespan, err := runMotifPoint(m, kind, nc, o.Nodes, gbps, o.Seed, inst)
+	if err != nil {
+		return 0, err
+	}
+	if inst.sampler != nil {
+		if werr := writeCellTimeseries(o.TelemetryDir, inst.cell, inst.sampler); werr != nil {
+			return 0, werr
+		}
+	}
+	return makespan, nil
+}
+
 // motifFigure is the shared implementation of Figures 7 and 8.
 func motifFigure(o Options, m MotifName, figure string) *Table {
 	t := &Table{
@@ -121,13 +202,13 @@ func motifFigure(o Options, m MotifName, figure string) *Table {
 	for _, nc := range motifNetworks() {
 		for _, gbps := range o.LinkGbps {
 			rvReg := newCellRegistry()
-			rv, err := RunMotifPointInstrumented(m, motif.KindRVMA, nc, o.Nodes, gbps, o.Seed, rvReg)
+			rv, err := runFigureCell(o, m, motif.KindRVMA, nc, gbps, rvReg)
 			if err != nil {
 				t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
 				continue
 			}
 			rdReg := newCellRegistry()
-			rd, err := RunMotifPointInstrumented(m, motif.KindRDMA, nc, o.Nodes, gbps, o.Seed, rdReg)
+			rd, err := runFigureCell(o, m, motif.KindRDMA, nc, gbps, rdReg)
 			if err != nil {
 				t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
 				continue

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/metrics"
+	"rvma/internal/motif"
+	"rvma/internal/sim"
+	"rvma/internal/telemetry"
+	"rvma/internal/topology"
+)
+
+// telemetryTestNet is the Figure-7 cell the telemetry tests run: the
+// adaptively routed dragonfly exercises the engine RNG (jitter, detours),
+// the hardest case for sampler invisibility.
+func telemetryTestNet() NetConfig {
+	return NetConfig{"dragonfly/adaptive", topology.KindDragonfly, fabric.RouteAdaptive}
+}
+
+// TestSamplingPreservesDeterminism is the tentpole acceptance gate:
+// attaching the in-sim sampler must not perturb the model. One Figure-7
+// cell runs with sampling disabled and at two different cadences; the
+// makespan and the full metrics snapshot must be byte-identical in all
+// three configurations, for both transports.
+func TestSamplingPreservesDeterminism(t *testing.T) {
+	nc := telemetryTestNet()
+	for _, kind := range []motif.TransportKind{motif.KindRVMA, motif.KindRDMA} {
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func(interval sim.Time) []byte {
+				reg := metrics.NewRegistry()
+				reg.EnableSpans()
+				inst := cellInstr{reg: reg}
+				if interval > 0 {
+					inst.sampler = telemetry.NewUnbound(interval)
+				}
+				mk, err := runMotifPoint(MotifSweep3D, kind, nc, 64, 100, 42, inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if interval > 0 && inst.sampler.Samples() == 0 {
+					t.Fatal("sampler attached but recorded no rows")
+				}
+				var buf bytes.Buffer
+				fmt.Fprintf(&buf, "makespan_ns=%v\n", mk.Nanoseconds())
+				if err := reg.WriteJSON(&buf, mk); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			unsampled := run(0)
+			for _, interval := range []sim.Time{10 * sim.Microsecond, 3 * sim.Microsecond} {
+				if got := run(interval); !bytes.Equal(unsampled, got) {
+					t.Errorf("sampling at %v changed the run:\n--- unsampled ---\n%s\n--- sampled ---\n%s",
+						interval, firstDiffContext(unsampled, got), firstDiffContext(got, unsampled))
+				}
+			}
+		})
+	}
+}
+
+// TestRunFigureCellWritesTimeseries checks the per-cell CSV emission the
+// figure sweeps do under Options.TelemetryDir: the file exists, has the
+// expected header shape with sorted columns, carries data rows, and two
+// identical runs produce byte-identical files.
+func TestRunFigureCellWritesTimeseries(t *testing.T) {
+	o := DefaultOptions()
+	o.Nodes = 64
+	o.TelemetryDir = t.TempDir()
+	nc := telemetryTestNet()
+
+	runOnce := func() []byte {
+		reg := newCellRegistry()
+		if _, err := runFigureCell(o, MotifSweep3D, motif.KindRVMA, nc, 100, reg); err != nil {
+			t.Fatal(err)
+		}
+		name := strings.NewReplacer("/", "-", "|", "_").
+			Replace(cellName(MotifSweep3D, nc, motif.KindRVMA, 100)) + ".csv"
+		data, err := os.ReadFile(filepath.Join(o.TelemetryDir, name))
+		if err != nil {
+			t.Fatalf("cell time-series not written: %v", err)
+		}
+		return data
+	}
+
+	first := runOnce()
+	lines := strings.Split(strings.TrimRight(string(first), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("cell time-series has no data rows:\n%s", first)
+	}
+	cols := strings.Split(lines[0], ",")
+	if cols[0] != "time_ns" {
+		t.Fatalf("header starts with %q, want time_ns", cols[0])
+	}
+	for i := 2; i < len(cols); i++ {
+		if cols[i-1] >= cols[i] {
+			t.Fatalf("columns not sorted: %q before %q", cols[i-1], cols[i])
+		}
+	}
+	for _, want := range []string{"fabric.util.sw", "rvma.posted_buffers_total", "sim.queue_depth"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("header missing probe %q:\n%s", want, lines[0])
+		}
+	}
+
+	if second := runOnce(); !bytes.Equal(first, second) {
+		t.Error("same-seed cell time-series differ between runs")
+	}
+}
+
+// TestBenchLogRecordsCells checks the rvmabench -json-out plumbing: a cell
+// run under Options.Bench appends one record with the cell label and
+// plausible fields, and WriteJSON round-trips.
+func TestBenchLogRecordsCells(t *testing.T) {
+	o := DefaultOptions()
+	o.Nodes = 64
+	o.Bench = &BenchLog{}
+	nc := telemetryTestNet()
+	if _, err := runFigureCell(o, MotifSweep3D, motif.KindRVMA, nc, 100, newCellRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Bench.Records) != 1 {
+		t.Fatalf("bench log has %d records, want 1", len(o.Bench.Records))
+	}
+	rec := o.Bench.Records[0]
+	if want := cellName(MotifSweep3D, nc, motif.KindRVMA, 100); rec.Cell != want {
+		t.Errorf("cell = %q, want %q", rec.Cell, want)
+	}
+	if rec.SimNS <= 0 || rec.Events == 0 || rec.EventsPerSec <= 0 {
+		t.Errorf("implausible record: %+v", rec)
+	}
+
+	var buf bytes.Buffer
+	if err := o.Bench.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Records []struct {
+			Cell   string  `json:"cell"`
+			SimNS  float64 `json:"sim_ns"`
+			Events uint64  `json:"events"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("bench JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(parsed.Records) != 1 || parsed.Records[0].Cell != rec.Cell ||
+		parsed.Records[0].Events != rec.Events {
+		t.Fatalf("bench JSON round-trip mismatch: %+v vs %+v", parsed.Records, rec)
+	}
+}

@@ -103,6 +103,9 @@ var ModelPackages = map[string]bool{
 	"rvma/internal/pcie":       true,
 	"rvma/internal/hostif":     true,
 	"rvma/internal/collective": true,
+	// telemetry schedules its sampler ticks on the engine, so it must obey
+	// the same determinism rules as the models it observes.
+	"rvma/internal/telemetry": true,
 }
 
 // IsModelPackage reports whether the import path is subject to the

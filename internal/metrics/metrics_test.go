@@ -356,3 +356,133 @@ func TestWriteJSONSortedStable(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramSnapshotRoundTrip observes a known distribution — including
+// a sample past the overflow bucket's lower bound — exports a JSON
+// snapshot, parses it back, and checks every exported field against the
+// live histogram, with Quantile(0)/Quantile(1) pinned to exact min/max.
+func TestHistogramSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rt")
+	samples := []float64{0.25, 3, 70, 900, overflowBound * 4}
+	sum := 0.0
+	for _, v := range samples {
+		h.Observe(v)
+		sum += v
+	}
+	if got := h.Quantile(0); got != 0.25 {
+		t.Fatalf("Quantile(0) = %v, want exact min 0.25", got)
+	}
+	if got := h.Quantile(1); got != overflowBound*4 {
+		t.Fatalf("Quantile(1) = %v, want exact max %v", got, overflowBound*4)
+	}
+	if h.buckets[histBuckets-1] != 1 {
+		t.Fatalf("overflow bucket count = %d, want 1", h.buckets[histBuckets-1])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, 7*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			Mean  float64 `json:"mean"`
+			P50   float64 `json:"p50"`
+			P90   float64 `json:"p90"`
+			P99   float64 `json:"p99"`
+			Min   float64 `json:"min"`
+			Max   float64 `json:"max"`
+			Sum   float64 `json:"sum"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	got, ok := snap.Histograms["rt"]
+	if !ok {
+		t.Fatalf("snapshot missing histogram %q:\n%s", "rt", buf.String())
+	}
+	if got.Count != uint64(len(samples)) {
+		t.Errorf("count = %d, want %d", got.Count, len(samples))
+	}
+	if got.Min != 0.25 || got.Max != overflowBound*4 {
+		t.Errorf("min/max = %v/%v, want 0.25/%v", got.Min, got.Max, overflowBound*4)
+	}
+	if got.Sum != sum {
+		t.Errorf("sum = %v, want %v", got.Sum, sum)
+	}
+	if math.Abs(got.Mean-sum/float64(len(samples))) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got.Mean, sum/float64(len(samples)))
+	}
+	if got.P50 != h.Quantile(0.50) || got.P90 != h.Quantile(0.90) || got.P99 != h.Quantile(0.99) {
+		t.Errorf("exported quantiles %v/%v/%v differ from live %v/%v/%v",
+			got.P50, got.P90, got.P99,
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+	}
+	// Overflow-bucket quantile queries must stay inside the observed range
+	// even though the bucket itself is unbounded above.
+	if got.P99 < 0.25 || got.P99 > overflowBound*4 {
+		t.Errorf("p99 = %v escapes observed range [0.25, %v]", got.P99, overflowBound*4)
+	}
+}
+
+// TestPerfettoZeroSpans asserts a run that recorded nothing still exports
+// a valid trace: "traceEvents" must be an empty array, never null —
+// ui.perfetto.dev rejects a null array.
+func TestPerfettoZeroSpans(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSpans()
+	r.EnableTimeline(16)
+	var buf bytes.Buffer
+	if err := r.Timeline().WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("zero-span trace should serialize traceEvents as [], got:\n%s", buf.String())
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("zero-span trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if f.TraceEvents == nil {
+		t.Fatal("traceEvents unmarshals to nil, want empty array")
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("traceEvents has %d records, want 0", len(f.TraceEvents))
+	}
+}
+
+// TestPerfettoOnlySuppressed asserts a run whose every event was dropped
+// at the cap exports the same valid empty-array trace, with the drops
+// accounted in otherData.
+func TestPerfettoOnlySuppressed(t *testing.T) {
+	tl := &Timeline{cap: 0, tids: make(map[tidKey]int), nextTID: 1}
+	tl.Slice(3, "rvma.put", "wire", sim.Microsecond, sim.Microsecond)
+	tl.Instant(3, "rvma.put", "nack", 2*sim.Microsecond)
+	tl.Counter(3, "queue", 3*sim.Microsecond, 7)
+	if rec, drop := tl.Events(); rec != 0 || drop != 3 {
+		t.Fatalf("recorded/dropped = %d/%d, want 0/3", rec, drop)
+	}
+	var buf bytes.Buffer
+	if err := tl.WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		OtherData   struct {
+			Dropped uint64 `json:"dropped_events"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("only-suppressed trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if f.TraceEvents == nil || len(f.TraceEvents) != 0 {
+		t.Fatalf("traceEvents = %v, want empty array", f.TraceEvents)
+	}
+	if f.OtherData.Dropped != 3 {
+		t.Fatalf("dropped_events = %d, want 3", f.OtherData.Dropped)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"rvma/internal/rdma"
 	"rvma/internal/rvma"
 	"rvma/internal/sim"
+	"rvma/internal/telemetry"
 	"rvma/internal/topology"
 	"rvma/internal/trace"
 )
@@ -135,6 +136,125 @@ func (c *Cluster) SetMetrics(reg *metrics.Registry) {
 			reg.Gauge("sim.events_executed").Set(float64(c.Eng.EventsExecuted()))
 		})
 	}
+}
+
+// maxPerNodeProbes caps per-node telemetry columns: beyond this many nodes
+// only cluster-wide aggregates are registered, mirroring the per-switch
+// gauge cap, so time-series width stays bounded on large runs.
+const maxPerNodeProbes = 16
+
+// RegisterTelemetry registers every layer's time-series probes on s:
+// engine queue depth, fabric queue/utilization (including the per-switch
+// heatmap columns), NIC pipeline and DMA backlogs, RVMA posted-buffer
+// occupancy / counter progress / NACK and drop counts, and RDMA handshake
+// and outstanding-registration counts. Aggregates are always registered;
+// per-node columns only up to maxPerNodeProbes nodes. Call before
+// Sampler.Start. A nil sampler is a no-op.
+func (c *Cluster) RegisterTelemetry(s *telemetry.Sampler) {
+	if s == nil {
+		return
+	}
+	s.Bind(c.Eng)
+	s.Register("sim.queue_depth", func() float64 { return float64(c.Eng.Pending()) })
+	s.Register("sim.events_executed", func() float64 { return float64(c.Eng.EventsExecuted()) })
+	c.Net.RegisterTelemetry(s)
+
+	s.Register("nic.send_backlog_ns_total", func() float64 {
+		var t sim.Time
+		for _, n := range c.nics {
+			t += n.SendBacklog()
+		}
+		return t.Nanoseconds()
+	})
+	s.Register("nic.recv_backlog_ns_total", func() float64 {
+		var t sim.Time
+		for _, n := range c.nics {
+			t += n.RecvBacklog()
+		}
+		return t.Nanoseconds()
+	})
+	s.Register("nic.dma_backlog_ns_total", func() float64 {
+		var t sim.Time
+		for _, n := range c.nics {
+			t += n.DMABacklog()
+		}
+		return t.Nanoseconds()
+	})
+	perNode := len(c.nics) <= maxPerNodeProbes
+
+	if len(c.rvmaEPs) > 0 {
+		s.Register("rvma.posted_buffers_total", func() float64 {
+			total := 0
+			for _, ep := range c.rvmaEPs {
+				total += ep.PostedBuffers()
+			}
+			return float64(total)
+		})
+		s.Register("rvma.counter_progress_total", func() float64 {
+			var total int64
+			for _, ep := range c.rvmaEPs {
+				total += ep.CounterProgress()
+			}
+			return float64(total)
+		})
+		s.Register("rvma.epochs_total", func() float64 {
+			var total int64
+			for _, ep := range c.rvmaEPs {
+				total += ep.EpochTotal()
+			}
+			return float64(total)
+		})
+		s.Register("rvma.nacks_total", func() float64 { return float64(c.NACKTotal()) })
+		s.Register("rvma.drops_total", func() float64 {
+			var total uint64
+			for _, ep := range c.rvmaEPs {
+				total += ep.Stats.Drops
+			}
+			return float64(total)
+		})
+		if perNode {
+			for _, ep := range c.rvmaEPs {
+				ep := ep
+				s.Register(fmt.Sprintf("rvma.posted_buffers.n%03d", ep.Node()), func() float64 {
+					return float64(ep.PostedBuffers())
+				})
+			}
+		}
+	}
+	if len(c.rdmaEPs) > 0 {
+		s.Register("rdma.pending_registrations_total", func() float64 {
+			total := 0
+			for _, ep := range c.rdmaEPs {
+				total += ep.PendingRegistrations()
+			}
+			return float64(total)
+		})
+		s.Register("rdma.handshakes_total", func() float64 {
+			var total uint64
+			for _, ep := range c.rdmaEPs {
+				total += ep.Stats.Handshakes
+			}
+			return float64(total)
+		})
+		s.Register("rdma.sends_held_total", func() float64 {
+			total := 0
+			for _, ep := range c.rdmaEPs {
+				total += ep.PendingSendsHeld()
+			}
+			return float64(total)
+		})
+	}
+}
+
+// NACKTotal returns the cumulative NACK count across every RVMA endpoint
+// (zero on RDMA clusters). The flight recorder's NACK-burst watcher polls
+// it between samples.
+func (c *Cluster) NACKTotal() uint64 {
+	var total uint64
+	for _, ep := range c.rvmaEPs {
+		total += ep.Stats.Nacks
+	}
+	return total
 }
 
 // ClusterConfig parameterizes cluster construction.

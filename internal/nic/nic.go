@@ -179,6 +179,18 @@ func (n *NIC) SetMetrics(reg *metrics.Registry) {
 	})
 }
 
+// SendBacklog returns how long a packet entering the send pipeline now
+// would wait before processing starts (telemetry: NIC pipeline backlog).
+func (n *NIC) SendBacklog() sim.Time { return n.sendPipe.Backlog(n.eng) }
+
+// RecvBacklog returns how long a packet entering the receive pipeline now
+// would wait before processing starts.
+func (n *NIC) RecvBacklog() sim.Time { return n.recvPipe.Backlog(n.eng) }
+
+// DMABacklog returns how long a DMA issued now would wait for the host
+// bus data path (telemetry: in-flight DMA).
+func (n *NIC) DMABacklog() sim.Time { return n.bus.Backlog(n.eng) }
+
 // SetHandler installs the protocol's receive dispatch. Exactly one protocol
 // owns a NIC.
 func (n *NIC) SetHandler(h Handler) {

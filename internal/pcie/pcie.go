@@ -80,3 +80,11 @@ func (b *Bus) occupy(e *sim.Engine, size int) sim.Time {
 
 // Utilization reports the data path's busy fraction so far.
 func (b *Bus) Utilization(e *sim.Engine) float64 { return b.data.Utilization(e) }
+
+// Backlog returns how long a DMA issued now would wait for the data path —
+// the bus's in-flight queue expressed as time. Telemetry samples it as the
+// "in-flight DMA" probe.
+func (b *Bus) Backlog(e *sim.Engine) sim.Time { return b.data.Backlog(e) }
+
+// BusyTime returns the data path's accumulated occupied time.
+func (b *Bus) BusyTime() sim.Time { return b.data.BusyTime() }

@@ -257,6 +257,21 @@ func (ep *Endpoint) SetMetrics(reg *metrics.Registry) {
 // Node returns the endpoint's node id.
 func (ep *Endpoint) Node() int { return ep.nic.Node() }
 
+// PendingRegistrations returns the number of buffer-negotiation handshakes
+// this endpoint has initiated that have not yet received their RemoteBuffer
+// reply (telemetry probe: outstanding registrations).
+func (ep *Endpoint) PendingRegistrations() int { return len(ep.pendingRegs) }
+
+// PendingSendsHeld returns the number of target-side sends currently held
+// for an unsatisfied fence or a missing posted receive.
+func (ep *Endpoint) PendingSendsHeld() int {
+	held := 0
+	for _, ps := range ep.pendingSends {
+		held += len(ps)
+	}
+	return held
+}
+
 // NIC returns the underlying NIC model.
 func (ep *Endpoint) NIC() *nic.NIC { return ep.nic }
 

@@ -1,0 +1,52 @@
+//go:build simdebug
+
+package rvma
+
+import (
+	"strings"
+	"testing"
+
+	"rvma/internal/telemetry"
+	"rvma/internal/trace"
+)
+
+// TestFlightRecorderDumpsOnSeededInvariant: corrupting model state so a
+// real simdebug invariant trips must produce a flight-recorder dump whose
+// reason carries the violation and whose body carries the run's recent
+// event history — the "failures come with their last-N-events" contract.
+func TestFlightRecorderDumpsOnSeededInvariant(t *testing.T) {
+	ep := debugEndpoint(t)
+	tr := trace.New(ep.Engine(), 32)
+	tr.EnableAll()
+	ep.SetTracer(tr)
+
+	var out strings.Builder
+	rec := telemetry.NewFlightRecorder(tr, &out)
+	rec.Arm()
+	defer rec.Disarm()
+
+	w, err := ep.InitWindow(0x2000, 64, EpochBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.PostBuffer(64); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the corruption: a negative completion counter violates the
+	// per-window invariant debugCheckEndpoint asserts.
+	w.counter = -7
+	expectInvariantPanic(t, "counter went negative", func() { ep.debugCheckEndpoint() })
+
+	dumped, reason := rec.Dumped()
+	if !dumped {
+		t.Fatal("invariant violation did not dump the flight recorder")
+	}
+	if !strings.Contains(reason, "counter went negative: -7") {
+		t.Fatalf("dump reason lacks the violation: %q", reason)
+	}
+	s := out.String()
+	if !strings.Contains(s, "flight recorder dump") || !strings.Contains(s, "win 0x2000") {
+		t.Fatalf("dump lacks window lifecycle history:\n%s", s)
+	}
+}

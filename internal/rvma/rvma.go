@@ -282,6 +282,41 @@ func (ep *Endpoint) Config() Config { return ep.cfg }
 // (diagnostics; the paper sizes LUT entries at 24 bytes each, §IV-A).
 func (ep *Endpoint) LUTSize() int { return len(ep.lut) }
 
+// PostedBuffers returns the total posted-buffer occupancy across every
+// mailbox on this endpoint (telemetry probe; the sum is order-independent
+// over the LUT).
+func (ep *Endpoint) PostedBuffers() int {
+	depth := 0
+	for _, w := range ep.lut {
+		depth += len(w.queue)
+	}
+	return depth
+}
+
+// CounterProgress returns the sum of the in-progress epoch counters across
+// every mailbox: how far the completion unit has counted toward the next
+// threshold crossings (telemetry probe).
+func (ep *Endpoint) CounterProgress() int64 {
+	var total int64
+	for _, w := range ep.lut {
+		total += w.counter
+	}
+	return total
+}
+
+// EpochTotal returns the sum of completed epochs across every mailbox.
+func (ep *Endpoint) EpochTotal() int64 {
+	var total int64
+	for _, w := range ep.lut {
+		total += w.epoch
+	}
+	return total
+}
+
+// ActiveHWCounters returns how many windows currently hold one of the
+// NIC's hardware completion counters.
+func (ep *Endpoint) ActiveHWCounters() int { return ep.activeCtrs }
+
 // SetCatchAll designates win as the endpoint's catch-all mailbox: puts
 // addressed to unknown or closed mailboxes are steered into it instead of
 // being dropped (§III-C mentions catch-all mailboxes as part of a full

@@ -6,12 +6,28 @@ import "fmt"
 // every build; callers guard them with `if DebugEnabled { ... }` so the
 // checks (and their argument evaluation) vanish from normal builds.
 
+// invariantHook, when set, observes the message of a failing Assertf
+// before the panic unwinds. The telemetry flight recorder installs one so
+// an invariant violation dumps the last-N-events history alongside the
+// panic instead of dying bare.
+var invariantHook func(msg string)
+
+// SetInvariantHook installs fn to be called with the formatted message of
+// every failing Assertf, before the panic. Pass nil to clear. The engine
+// is single-threaded, so installing a hook from model setup code is safe;
+// the hook must not schedule events or touch model state.
+func SetInvariantHook(fn func(msg string)) { invariantHook = fn }
+
 // Assertf panics with a simdebug-prefixed message when cond is false.
 // Model packages use it for their own invariants (conservation laws,
 // non-negative resources) so every violation reports uniformly.
 func Assertf(cond bool, format string, args ...any) {
 	if !cond {
-		panic("simdebug: invariant violated: " + fmt.Sprintf(format, args...))
+		msg := fmt.Sprintf(format, args...)
+		if invariantHook != nil {
+			invariantHook(msg)
+		}
+		panic("simdebug: invariant violated: " + msg)
 	}
 }
 

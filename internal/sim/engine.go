@@ -15,6 +15,7 @@ type Event struct {
 	fn       func()
 	index    int // heap index; -1 when not queued
 	canceled bool
+	daemon   bool
 }
 
 // Canceled reports whether the event was canceled before it ran.
@@ -57,6 +58,7 @@ type Engine struct {
 	seq       uint64
 	executed  uint64
 	scheduled uint64
+	daemons   int // queued (non-canceled) daemon events
 	stopped   bool
 	rng       *RNG
 	running   bool
@@ -81,10 +83,12 @@ func (e *Engine) Now() Time { return e.now }
 // stay reproducible.
 func (e *Engine) RNG() *RNG { return e.rng }
 
-// EventsExecuted returns the number of events the engine has run.
+// EventsExecuted returns the number of model events the engine has run
+// (daemon events are not counted).
 func (e *Engine) EventsExecuted() uint64 { return e.executed }
 
-// EventsScheduled returns the number of events scheduled so far.
+// EventsScheduled returns the number of model events scheduled so far
+// (daemon events are not counted).
 func (e *Engine) EventsScheduled() uint64 { return e.scheduled }
 
 // SetHeartbeat calls fn after every `every` executed events — the hook the
@@ -133,6 +137,26 @@ func (e *Engine) at(t Time, priority int, fn func()) *Event {
 	return ev
 }
 
+// ScheduleDaemonP runs fn after delay d at the given priority as a daemon
+// event. Daemons are instrumentation riders (the telemetry sampler's
+// ticks): they never keep a run alive — when only daemon events remain
+// queued, Run returns at the time of the last model event without
+// executing them — and they are invisible to the model-facing counters
+// (EventsScheduled, EventsExecuted, Pending) and to the heartbeat, so a
+// run's externally observable results are byte-identical with or without
+// daemons attached. Daemon callbacks must be pure readers of the model:
+// no model-event scheduling, no RNG draws, no state mutation.
+func (e *Engine) ScheduleDaemonP(d Time, priority int, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	ev := &Event{at: e.now + d, priority: priority, seq: e.seq, fn: fn, index: -1, daemon: true}
+	e.seq++
+	e.daemons++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
 // Cancel removes a pending event so it never runs. Canceling an event that
 // already ran (or was already canceled) is a no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -144,6 +168,9 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.canceled = true
 	heap.Remove(&e.queue, ev.index)
+	if ev.daemon {
+		e.daemons--
+	}
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -164,6 +191,12 @@ func (e *Engine) RunUntil(limit Time) Time {
 	defer func() { e.running = false }()
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
+		// Only daemon events left: the model has drained. Return at the
+		// last model event's time without executing them, so attached
+		// instrumentation can never extend a run or advance its clock.
+		if e.daemons == len(e.queue) {
+			break
+		}
 		ev := e.queue[0]
 		if ev.at > limit {
 			e.now = limit
@@ -173,10 +206,17 @@ func (e *Engine) RunUntil(limit Time) Time {
 		if ev.canceled {
 			continue
 		}
+		if ev.daemon {
+			e.daemons--
+		}
 		if DebugEnabled {
 			e.debugCheckPop(ev)
 		}
 		e.now = ev.at
+		if ev.daemon {
+			ev.fn()
+			continue
+		}
 		e.executed++
 		ev.fn()
 		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
@@ -194,10 +234,17 @@ func (e *Engine) Step() bool {
 		if ev.canceled {
 			continue
 		}
+		if ev.daemon {
+			e.daemons--
+		}
 		if DebugEnabled {
 			e.debugCheckPop(ev)
 		}
 		e.now = ev.at
+		if ev.daemon {
+			ev.fn()
+			return true
+		}
 		e.executed++
 		ev.fn()
 		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
@@ -208,9 +255,9 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Pending returns the number of events waiting in the queue (including
-// canceled events not yet popped, which never execute).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of model events waiting in the queue. Daemon
+// events are excluded: they are instrumentation, not workload.
+func (e *Engine) Pending() int { return len(e.queue) - e.daemons }
 
 // NextEventTime returns the timestamp of the earliest pending event, or
 // MaxTime if the queue is empty.

@@ -592,3 +592,61 @@ func TestHeartbeat(t *testing.T) {
 		t.Fatalf("beats after disable = %d, want 3", beats)
 	}
 }
+
+func TestDaemonEventsInvisibleToModel(t *testing.T) {
+	e := NewEngine(1)
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Time(i)*Microsecond, func() {})
+	}
+	var daemonRuns int
+	var reschedule func()
+	reschedule = func() {
+		daemonRuns++
+		e.ScheduleDaemonP(Microsecond, 1<<20, reschedule)
+	}
+	e.ScheduleDaemonP(Microsecond, 1<<20, reschedule)
+
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5 model events (daemon excluded)", e.Pending())
+	}
+	end := e.Run()
+	// The model's last event is at 5µs. Once it has popped, only daemons
+	// remain, so the daemon pending at 5µs never executes: daemons run at
+	// 1..4µs only and the clock stops on the model's end.
+	if end != 5*Microsecond {
+		t.Fatalf("run ended at %v, want the model's last event at 5.000us", end)
+	}
+	if daemonRuns != 4 {
+		t.Fatalf("daemon ran %d times, want 4 (never once the model drained)", daemonRuns)
+	}
+	if e.EventsExecuted() != 5 || e.EventsScheduled() != 5 {
+		t.Fatalf("executed/scheduled = %d/%d, want 5/5 (daemons uncounted)",
+			e.EventsExecuted(), e.EventsScheduled())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0 (trailing daemon excluded)", e.Pending())
+	}
+}
+
+func TestDaemonOnlyQueueNeverRuns(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.ScheduleDaemonP(Microsecond, 0, func() { ran = true })
+	if end := e.Run(); end != 0 {
+		t.Fatalf("daemon-only run advanced the clock to %v", end)
+	}
+	if ran {
+		t.Fatal("daemon executed with no model events queued")
+	}
+}
+
+func TestCancelDaemonEvent(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(2*Microsecond, func() {})
+	ev := e.ScheduleDaemonP(Microsecond, 0, func() { t.Fatal("canceled daemon ran") })
+	e.Cancel(ev)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+}

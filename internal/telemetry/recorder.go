@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"rvma/internal/sim"
+	"rvma/internal/trace"
+)
+
+// FlightRecorder turns a bounded trace ring into a crash-context dump:
+// the last N model events (with trace categories and packet ids) are
+// written with a reason line when a failure trigger fires, so a panic or
+// an anomaly comes with its recent causal history instead of a bare stack.
+//
+// Three triggers are supported:
+//   - Arm: a simdebug invariant violation (any sim.Assertf failure);
+//   - FlightRecorder-aware NACK-burst watching via WatchNACKBurst;
+//   - explicit Dump from a cancellation path (cmd/rvmasim on SIGINT).
+//
+// A recorder dumps at most once; later triggers are ignored so a panic
+// cascade cannot interleave dumps.
+type FlightRecorder struct {
+	tr     *trace.Tracer
+	w      io.Writer
+	dumped bool
+	reason string
+}
+
+// NewFlightRecorder wraps an existing tracer ring. The tracer should have
+// its categories enabled (EnableAll for full context); its capacity is the
+// recorder depth. Dumps go to w.
+func NewFlightRecorder(tr *trace.Tracer, w io.Writer) *FlightRecorder {
+	return &FlightRecorder{tr: tr, w: w}
+}
+
+// Dump writes the recorder contents with the given reason, once. It
+// returns true if this call performed the dump, false if the recorder is
+// nil or already dumped.
+func (r *FlightRecorder) Dump(reason string) bool {
+	if r == nil || r.dumped {
+		return false
+	}
+	r.dumped = true
+	r.reason = reason
+	fmt.Fprintf(r.w, "=== flight recorder dump: %s ===\n", reason)
+	r.tr.Dump(r.w)
+	fmt.Fprintln(r.w, "=== end flight recorder dump ===")
+	return true
+}
+
+// Dumped reports whether the recorder has fired, and with what reason.
+func (r *FlightRecorder) Dumped() (bool, string) {
+	if r == nil {
+		return false, ""
+	}
+	return r.dumped, r.reason
+}
+
+// Arm installs the recorder as the simdebug invariant hook: any failing
+// sim.Assertf dumps the ring (with the violation message as the reason)
+// before the panic unwinds. Only one recorder can be armed at a time;
+// Disarm clears the hook.
+func (r *FlightRecorder) Arm() {
+	if r == nil {
+		return
+	}
+	sim.SetInvariantHook(func(msg string) {
+		r.Dump("simdebug invariant violated: " + msg)
+	})
+}
+
+// Disarm clears the simdebug invariant hook.
+func (r *FlightRecorder) Disarm() { sim.SetInvariantHook(nil) }
+
+// WatchNACKBurst attaches a per-sample-window NACK-rate trigger: total
+// must return the cumulative NACK count; when the count grows by at least
+// burst within one sample window, the recorder dumps. The watcher only
+// reads the cumulative counter, so it is downsample-safe and does not
+// perturb the model.
+func (r *FlightRecorder) WatchNACKBurst(s *Sampler, total func() float64, burst float64) {
+	if r == nil || s == nil || total == nil || burst <= 0 {
+		return
+	}
+	prev := 0.0
+	s.OnSample(func(at sim.Time) {
+		cur := total()
+		if cur-prev >= burst {
+			r.Dump(fmt.Sprintf("NACK burst: %g NACKs within one %v sample window ending at t=%v",
+				cur-prev, s.Interval(), at))
+		}
+		prev = cur
+	})
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"rvma/internal/sim"
+	"rvma/internal/trace"
+)
+
+func recorderFixture(t *testing.T) (*sim.Engine, *trace.Tracer, *FlightRecorder, *strings.Builder) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	tr := trace.New(eng, 16)
+	tr.EnableAll()
+	var out strings.Builder
+	return eng, tr, NewFlightRecorder(tr, &out), &out
+}
+
+func TestFlightRecorderDumpsOnce(t *testing.T) {
+	_, tr, rec, out := recorderFixture(t)
+	tr.Eventf(trace.CatPacket, "inject #1 0->1 64B")
+	tr.Eventf(trace.CatRVMA, "node 1 win 0x10 epoch 1 complete")
+
+	if !rec.Dump("first failure") {
+		t.Fatal("first Dump returned false")
+	}
+	if rec.Dump("second failure") {
+		t.Fatal("second Dump fired; recorder must dump at most once")
+	}
+	dumped, reason := rec.Dumped()
+	if !dumped || reason != "first failure" {
+		t.Fatalf("Dumped() = %v, %q", dumped, reason)
+	}
+	s := out.String()
+	for _, want := range []string{"flight recorder dump: first failure", "inject #1", "epoch 1 complete", "end flight recorder dump"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("dump missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Count(s, "flight recorder dump:") != 1 {
+		t.Fatalf("more than one dump in output:\n%s", s)
+	}
+}
+
+// TestFlightRecorderInvariantHook: a failing sim.Assertf must trigger the
+// armed recorder before the panic unwinds, with the violation message as
+// the dump reason.
+func TestFlightRecorderInvariantHook(t *testing.T) {
+	_, tr, rec, out := recorderFixture(t)
+	tr.Eventf(trace.CatNIC, "nic0 tx msg dst=1 4096B")
+	rec.Arm()
+	defer rec.Disarm()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Assertf(false) did not panic")
+			}
+		}()
+		sim.Assertf(false, "rvma node %d counter went negative: %d", 3, -1)
+	}()
+
+	dumped, reason := rec.Dumped()
+	if !dumped {
+		t.Fatal("invariant violation did not trigger the recorder")
+	}
+	if !strings.Contains(reason, "counter went negative: -1") {
+		t.Fatalf("dump reason lacks violation context: %q", reason)
+	}
+	if !strings.Contains(out.String(), "nic0 tx msg") {
+		t.Fatalf("dump lacks prior event history:\n%s", out.String())
+	}
+}
+
+func TestWatchNACKBurst(t *testing.T) {
+	eng, _, rec, _ := recorderFixture(t)
+	nacks := 0.0
+	// Model: quiet for 5 ticks, then a burst of 10 NACKs in one window.
+	for i := 1; i <= 8; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*sim.Microsecond+sim.Nanosecond, func() {
+			if i == 6 {
+				nacks += 10
+			} else {
+				nacks++
+			}
+		})
+	}
+	s := New(eng, sim.Microsecond)
+	s.Register("noop", func() float64 { return 0 })
+	rec.WatchNACKBurst(s, func() float64 { return nacks }, 5)
+	s.Start()
+	eng.Run()
+
+	dumped, reason := rec.Dumped()
+	if !dumped {
+		t.Fatal("NACK burst did not trigger the recorder")
+	}
+	if !strings.Contains(reason, "NACK burst") {
+		t.Fatalf("unexpected reason %q", reason)
+	}
+}
+
+func TestWatchNACKBurstQuietRunNoDump(t *testing.T) {
+	eng, _, rec, _ := recorderFixture(t)
+	nacks := 0.0
+	for i := 1; i <= 8; i++ {
+		eng.Schedule(sim.Time(i)*sim.Microsecond+sim.Nanosecond, func() { nacks++ })
+	}
+	s := New(eng, sim.Microsecond)
+	s.Register("noop", func() float64 { return 0 })
+	rec.WatchNACKBurst(s, func() float64 { return nacks }, 5)
+	s.Start()
+	eng.Run()
+
+	if dumped, reason := rec.Dumped(); dumped {
+		t.Fatalf("quiet run dumped: %q", reason)
+	}
+}

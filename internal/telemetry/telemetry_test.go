@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"rvma/internal/sim"
+)
+
+// pulseModel schedules n self-rescheduling events spaced gap apart, each
+// drawing from the RNG and appending (time, draw) to the returned log —
+// a minimal model whose execution order and RNG stream expose any
+// perturbation from an attached sampler.
+func pulseModel(eng *sim.Engine, n int, gap sim.Time) *[]float64 {
+	log := &[]float64{}
+	var step func()
+	left := n
+	step = func() {
+		*log = append(*log, float64(eng.Now()), eng.RNG().Float64())
+		left--
+		if left > 0 {
+			eng.Schedule(gap, step)
+		}
+	}
+	eng.Schedule(gap, step)
+	return log
+}
+
+func TestSamplerRecordsRows(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pulseModel(eng, 100, sim.Microsecond)
+	s := New(eng, 10*sim.Microsecond)
+	count := 0.0
+	s.Register("model.events", func() float64 { count = float64(eng.EventsExecuted()); return count })
+	s.Start()
+	eng.Run()
+
+	if s.Samples() == 0 {
+		t.Fatal("no samples recorded")
+	}
+	col := s.Column("model.events")
+	if len(col) != s.Samples() {
+		t.Fatalf("column length %d != samples %d", len(col), s.Samples())
+	}
+	for i := 1; i < len(col); i++ {
+		if col[i] < col[i-1] {
+			t.Fatalf("cumulative probe decreased at row %d: %v -> %v", i, col[i-1], col[i])
+		}
+	}
+}
+
+func TestSamplerStopsWhenModelDrains(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pulseModel(eng, 5, sim.Microsecond) // model ends at t=5µs
+	s := New(eng, sim.Microsecond)
+	s.Register("noop", func() float64 { return 0 })
+	s.Start()
+	end := eng.Run()
+
+	// Run returned: the sampler must not have kept the queue alive, and
+	// because ticks are daemon events the clock must sit exactly on the
+	// last model event — not on a trailing sampler tick.
+	if eng.Pending() != 0 {
+		t.Fatalf("model events still pending: %d", eng.Pending())
+	}
+	if end != 5*sim.Microsecond {
+		t.Fatalf("run ended at %v, want exactly the model's last event at 5.000us", end)
+	}
+}
+
+func TestSamplerDownsamplesOnOverflow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pulseModel(eng, 1000, sim.Microsecond) // 1 ms of model activity
+	s := New(eng, sim.Microsecond)
+	s.SetMaxSamples(8)
+	s.Register("noop", func() float64 { return 1 })
+	s.Start()
+	eng.Run()
+
+	if s.Samples() > 8 {
+		t.Fatalf("stored %d rows, cap is 8", s.Samples())
+	}
+	if s.Interval() <= sim.Microsecond {
+		t.Fatalf("interval %v never doubled", s.Interval())
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("no rows recorded as dropped despite overflow")
+	}
+	if s.Ticks() != uint64(s.Samples())+s.Dropped() {
+		t.Fatalf("ticks %d != stored %d + dropped %d", s.Ticks(), s.Samples(), s.Dropped())
+	}
+	// Timestamps must stay strictly increasing through compression.
+	var prev sim.Time = -1
+	for i := 0; i < s.Samples(); i++ {
+		at := s.times[i]
+		if at <= prev {
+			t.Fatalf("row %d time %v not after %v", i, at, prev)
+		}
+		prev = at
+	}
+}
+
+// TestSamplerDoesNotPerturbModel is the determinism core: the model's
+// event order and RNG stream must be identical with sampling attached,
+// detached, and at a different cadence.
+func TestSamplerDoesNotPerturbModel(t *testing.T) {
+	run := func(interval sim.Time) []float64 {
+		eng := sim.NewEngine(42)
+		log := pulseModel(eng, 200, 700*sim.Nanosecond)
+		if interval > 0 {
+			s := New(eng, interval)
+			s.Register("pending", func() float64 { return float64(eng.Pending()) })
+			s.Start()
+		}
+		eng.Run()
+		return *log
+	}
+	base := run(0)
+	for _, ivl := range []sim.Time{sim.Microsecond, 3 * sim.Microsecond} {
+		got := run(ivl)
+		if len(got) != len(base) {
+			t.Fatalf("interval %v: model log length %d != baseline %d", ivl, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("interval %v: model log diverges at %d: %v != %v", ivl, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestWriteCSVSortedStableColumns(t *testing.T) {
+	build := func() *Sampler {
+		eng := sim.NewEngine(7)
+		pulseModel(eng, 30, sim.Microsecond)
+		s := New(eng, 5*sim.Microsecond)
+		// Registration order deliberately unsorted.
+		s.Register("zeta", func() float64 { return 3 })
+		s.Register("alpha", func() float64 { return 1 })
+		s.Register("mid.x", func() float64 { return 2 })
+		s.Start()
+		eng.Run()
+		return s
+	}
+	var a, b strings.Builder
+	if err := build().WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same-seed CSV output not byte-identical")
+	}
+	lines := strings.Split(a.String(), "\n")
+	if lines[0] != "time_ns,alpha,mid.x,zeta" {
+		t.Fatalf("header not sorted: %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Fatalf("CSV has no data rows: %q", a.String())
+	}
+	if !strings.HasSuffix(lines[1], ",1,2,3") {
+		t.Fatalf("row values not in sorted-column order: %q", lines[1])
+	}
+}
+
+func TestWriteHeatmapCSV(t *testing.T) {
+	eng := sim.NewEngine(7)
+	pulseModel(eng, 30, sim.Microsecond)
+	s := New(eng, 5*sim.Microsecond)
+	s.Register("util.sw001", func() float64 { return 0.5 })
+	s.Register("util.sw000", func() float64 { return 0.25 })
+	s.Register("other", func() float64 { return 9 })
+	s.Start()
+	eng.Run()
+
+	var buf strings.Builder
+	if err := s.WriteHeatmapCSV(&buf, "util.sw"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 switch rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "series,") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "util.sw000,0.25") || !strings.HasPrefix(lines[2], "util.sw001,0.5") {
+		t.Fatalf("rows not sorted by name: %q / %q", lines[1], lines[2])
+	}
+	if strings.Contains(buf.String(), "other") {
+		t.Fatal("non-matching probe leaked into heatmap")
+	}
+	if err := s.WriteHeatmapCSV(&buf, "nosuch."); err == nil {
+		t.Fatal("expected error for prefix with no probes")
+	}
+}
+
+func TestRegisterGuards(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, sim.Microsecond)
+	s.Register("a", func() float64 { return 0 })
+
+	expectPanic(t, "duplicate", func() { s.Register("a", func() float64 { return 0 }) })
+	s.Start()
+	expectPanic(t, "after Start", func() { s.Register("b", func() float64 { return 0 }) })
+	expectPanic(t, "after Start", func() { s.SetMaxSamples(4) })
+
+	// Nil sampler: every method is a no-op.
+	var nilS *Sampler
+	nilS.Register("x", nil)
+	nilS.Start()
+	if nilS.Samples() != 0 || nilS.Columns() != nil {
+		t.Fatal("nil sampler not inert")
+	}
+	if err := nilS.WriteCSV(&strings.Builder{}); err == nil {
+		t.Fatal("nil sampler WriteCSV should error")
+	}
+}
+
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, substr) {
+			t.Fatalf("panic = %v, want message containing %q", r, substr)
+		}
+	}()
+	fn()
+}

@@ -35,6 +35,12 @@ type Event struct {
 	Msg string
 }
 
+// maxSeriesBuckets bounds a Series' stored buckets. When an add would
+// index past the cap, the series downsamples: adjacent bucket pairs are
+// summed and the bucket width doubles, preserving totals while halving
+// resolution — memory stays bounded for arbitrarily long runs.
+const maxSeriesBuckets = 4096
+
 // Series accumulates a value into fixed-width time buckets, producing a
 // time series (e.g. delivered bytes per 10 µs window).
 type Series struct {
@@ -49,11 +55,30 @@ func (s *Series) add(at sim.Time, v float64) {
 		return
 	}
 	idx := int(at / s.Bucket)
+	for idx >= maxSeriesBuckets {
+		s.compress()
+		idx = int(at / s.Bucket)
+	}
 	for len(s.Sums) <= idx {
 		s.Sums = append(s.Sums, 0)
 	}
 	s.Sums[idx] += v
 	s.started = true
+}
+
+// compress doubles the bucket width, summing adjacent bucket pairs so the
+// series keeps its totals at half the time resolution.
+func (s *Series) compress() {
+	keep := (len(s.Sums) + 1) / 2
+	for i := 0; i < keep; i++ {
+		v := s.Sums[2*i]
+		if 2*i+1 < len(s.Sums) {
+			v += s.Sums[2*i+1]
+		}
+		s.Sums[i] = v
+	}
+	s.Sums = s.Sums[:keep]
+	s.Bucket *= 2
 }
 
 // Tracer collects events, counters and series for one simulation.

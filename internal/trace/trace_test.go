@@ -117,6 +117,41 @@ func TestSeries(t *testing.T) {
 	}
 }
 
+func TestSeriesBoundedDownsamples(t *testing.T) {
+	s := &Series{Bucket: sim.Microsecond}
+	const adds = 3 * maxSeriesBuckets
+	for i := 0; i < adds; i++ {
+		s.add(sim.Time(i)*sim.Microsecond, 1)
+	}
+	if len(s.Sums) > maxSeriesBuckets {
+		t.Fatalf("series grew to %d buckets, cap is %d", len(s.Sums), maxSeriesBuckets)
+	}
+	if s.Bucket <= sim.Microsecond {
+		t.Fatalf("bucket width %v should have doubled past the original", s.Bucket)
+	}
+	total := 0.0
+	for _, v := range s.Sums {
+		total += v
+	}
+	if total != adds {
+		t.Fatalf("downsampling lost mass: total = %g, want %d", total, adds)
+	}
+
+	// A single add far in the future must compress until it fits, never
+	// allocate past the cap.
+	s.add(1000*maxSeriesBuckets*sim.Microsecond, 5)
+	if len(s.Sums) > maxSeriesBuckets {
+		t.Fatalf("far-future add grew series to %d buckets, cap is %d", len(s.Sums), maxSeriesBuckets)
+	}
+	total = 0
+	for _, v := range s.Sums {
+		total += v
+	}
+	if total != adds+5 {
+		t.Fatalf("total after far-future add = %g, want %d", total, adds+5)
+	}
+}
+
 func TestNilTracerSafe(t *testing.T) {
 	var tr *Tracer
 	tr.Eventf(CatApp, "x")
