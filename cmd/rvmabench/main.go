@@ -16,12 +16,15 @@
 //	rvmabench -csv fig6 > fig6.csv
 //	rvmabench -json-out BENCH_sim.json fig7   # per-cell perf trajectory
 //	rvmabench -telemetry-dir ts/ fig7         # per-cell time-series CSVs
+//	rvmabench -workers 4 fig7                 # parallel cells, same bytes out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"rvma/internal/harness"
 )
@@ -36,6 +39,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut = flag.String("json-out", "", "write per-cell perf records (wall time, sim time, events/sec) as JSON to this file")
 		telDir  = flag.String("telemetry-dir", "", "write one in-sim time-series CSV per motif cell into this directory")
+		workers = flag.Int("workers", 0, "concurrent figure cells (0 = one per CPU); output is identical at any worker count")
 	)
 	flag.Parse()
 
@@ -62,14 +66,22 @@ func main() {
 		}
 		opt.TelemetryDir = *telDir
 	}
+	if *workers > 0 {
+		opt.Workers = *workers
+	}
 	if *jsonOut != "" {
-		opt.Bench = &harness.BenchLog{}
+		effective := opt.Workers
+		if effective == 0 {
+			effective = runtime.NumCPU()
+		}
+		opt.Bench = &harness.BenchLog{Workers: effective}
 	}
 
 	experiments := flag.Args()
 	if len(experiments) == 0 {
 		experiments = []string{"all"}
 	}
+	started := time.Now()
 
 	var run func(name string) bool
 	run = func(name string) bool {
@@ -127,6 +139,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
+		opt.Bench.Elapsed = time.Since(started)
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rvmabench: %v\n", err)

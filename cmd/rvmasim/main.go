@@ -34,6 +34,14 @@
 //	                   NACK burst exceeds -nack-burst, or the run is
 //	                   interrupted (SIGINT)
 //	-nack-burst N      NACK-burst dump threshold per sample window
+//
+// Replica flags:
+//
+//	-seeds N           run N independent replicas (seed, seed+1, ...) and
+//	                   print per-seed makespans plus the mean; replicas run
+//	                   concurrently on -workers goroutines, each with its
+//	                   own engine, and results print in seed order
+//	-workers N         replica concurrency (0 = one per CPU)
 package main
 
 import (
@@ -41,6 +49,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"sync"
 	"time"
 
 	"rvma/internal/fabric"
@@ -73,6 +83,8 @@ func main() {
 		sampleIvl  = flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval (sim time)")
 		recDepth   = flag.Int("flight-recorder", 256, "flight recorder depth in events (0 disables)")
 		nackBurst  = flag.Float64("nack-burst", 0, "dump flight recorder when NACKs per sample window reach this (0 disables)")
+		seeds   = flag.Int("seeds", 1, "run this many seed replicas (seed, seed+1, ...) and report each plus the mean")
+		workers = flag.Int("workers", 0, "replica concurrency for -seeds (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -106,6 +118,26 @@ func main() {
 	topo, err := topology.ForNodeCount(topology.Kind(*topoName), *nodes)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	// Replica mode: N independent seeds on a worker pool, one engine per
+	// replica, printed in seed order. The observability flags attach to a
+	// single engine, so they require a single run.
+	if *seeds > 1 {
+		if *doTrace || *doSpans || *metricsOut != "" || *perfOut != "" ||
+			*tsOut != "" || *heatOut != "" || *nackBurst > 0 {
+			fail("observability flags need a single run; drop them or set -seeds 1")
+		}
+		rep := replicaConfig{
+			motifName: *motifName, kind: kind, topoName: *topoName,
+			route: route, nodes: *nodes, gbps: *gbps,
+			rdmaBufs: *rdmaBufs, rvmaDepth: *rvmaDepth,
+		}
+		fmt.Printf("motif:      %s\n", *motifName)
+		fmt.Printf("transport:  %s\n", kind)
+		fmt.Printf("network:    %s, %s routing, %g Gbps links\n", topo.Name(), route, *gbps)
+		runSeedReplicas(rep, *seed, *seeds, *workers, fail)
+		return
 	}
 
 	cfg := motif.DefaultClusterConfig(topo, kind)
@@ -271,4 +303,107 @@ func main() {
 		fmt.Println("\ntrace:")
 		tr.Dump(os.Stdout)
 	}
+}
+
+// replicaConfig is one -seeds replica's experiment point (everything but
+// the seed itself).
+type replicaConfig struct {
+	motifName string
+	kind      motif.TransportKind
+	topoName  string
+	route     fabric.RoutingMode
+	nodes     int
+	gbps      float64
+	rdmaBufs  int
+	rvmaDepth int
+}
+
+// runReplica builds a private topology, cluster and engine for one seed
+// and runs the motif to completion. It shares nothing with other replicas.
+func runReplica(rep replicaConfig, seed uint64) (sim.Time, uint64, error) {
+	topo, err := topology.ForNodeCount(topology.Kind(rep.topoName), rep.nodes)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := motif.DefaultClusterConfig(topo, rep.kind)
+	cfg.Routing = rep.route
+	cfg.Seed = seed
+	cfg.RDMABuffers = rep.rdmaBufs
+	cfg.RVMADepth = rep.rvmaDepth
+	cfg.ApplyLinkSpeed(rep.gbps)
+	cluster, err := motif.NewCluster(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	var makespan sim.Time
+	switch harness.MotifName(rep.motifName) {
+	case harness.MotifSweep3D:
+		makespan, err = motif.RunSweep3D(cluster, motif.DefaultSweep3DConfig(topo.NumNodes()))
+	case harness.MotifHalo3D:
+		makespan, err = motif.RunHalo3D(cluster, motif.DefaultHalo3DConfig(topo.NumNodes()))
+	case harness.MotifIncast:
+		makespan, err = motif.RunIncast(cluster, motif.DefaultIncastConfig())
+	default:
+		err = fmt.Errorf("unknown motif %q", rep.motifName)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return makespan, cluster.Eng.EventsExecuted(), nil
+}
+
+// runSeedReplicas fans seeds base..base+n-1 over a worker pool and prints
+// the per-seed makespans in seed order, then the mean and spread. The
+// output is identical at any worker count because results land in a
+// pre-sized slice indexed by seed offset.
+func runSeedReplicas(rep replicaConfig, base uint64, n, workers int, fail func(string, ...any)) {
+	type result struct {
+		makespan sim.Time
+		events   uint64
+		err      error
+	}
+	out := make([]result, n)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				m, ev, err := runReplica(rep, base+uint64(i))
+				out[i] = result{makespan: m, events: ev, err: err}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	fmt.Printf("replicas:   %d seeds on %d workers\n\n", n, workers)
+	fmt.Printf("%-8s %-16s %s\n", "seed", "makespan", "events")
+	var sumNS, minNS, maxNS float64
+	for i, r := range out {
+		if r.err != nil {
+			fail("seed %d: %v", base+uint64(i), r.err)
+		}
+		ns := r.makespan.Nanoseconds()
+		sumNS += ns
+		if i == 0 || ns < minNS {
+			minNS = ns
+		}
+		if ns > maxNS {
+			maxNS = ns
+		}
+		fmt.Printf("%-8d %-16v %d\n", base+uint64(i), r.makespan, r.events)
+	}
+	fmt.Printf("\nmean:       %v (min %v, max %v)\n",
+		sim.FromNanos(sumNS/float64(n)), sim.FromNanos(minNS), sim.FromNanos(maxNS))
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"rvma/internal/hostif"
 	"rvma/internal/microbench"
@@ -34,6 +35,20 @@ type Options struct {
 	// Bench, when non-nil, records wall time / simulated time / event
 	// throughput for every motif cell run (rvmabench -json-out).
 	Bench *BenchLog
+	// Workers caps how many figure cells run concurrently; 0 means
+	// runtime.NumCPU(). Each cell owns a private engine, metrics registry
+	// and telemetry sampler, and results are merged in a fixed canonical
+	// order, so output is byte-identical at any worker count.
+	Workers int
+}
+
+// workerCount resolves Options.Workers: 0 (the default) saturates the
+// host.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
 }
 
 // DefaultOptions returns the quick-turnaround configuration.

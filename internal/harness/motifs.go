@@ -2,9 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"rvma/internal/fabric"
@@ -128,21 +125,6 @@ func cellName(m MotifName, nc NetConfig, kind motif.TransportKind, gbps float64)
 	return fmt.Sprintf("%s|%s|%s|%gGbps", m, nc.Name, kind, gbps)
 }
 
-// writeCellTimeseries dumps a cell sampler's time-series CSV into dir,
-// with the cell name flattened into a file name.
-func writeCellTimeseries(dir string, cell string, s *telemetry.Sampler) error {
-	name := strings.NewReplacer("/", "-", "|", "_").Replace(cell) + ".csv"
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	if err := s.WriteCSV(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
 // newCellRegistry returns a registry with spans enabled, the per-cell
 // instrumentation the figure sweeps attach.
 func newCellRegistry() *metrics.Registry {
@@ -170,60 +152,61 @@ func putP99(reg *metrics.Registry, kind motif.TransportKind) string {
 const cellSampleInterval = 10 * sim.Microsecond
 
 // runFigureCell runs one (motif, network, transport, link-speed) cell with
-// the figure instrumentation: span registry always, plus a fresh sampler
-// (flushed to TelemetryDir after the run) and a bench record when the
-// options ask for them.
+// the figure instrumentation — span registry always, plus a buffered
+// sampler and a bench record when the options ask for them — and then
+// flushes the cell's telemetry file and bench record. It is the serial
+// single-cell entry point; the sweeps batch cells through runCells and
+// flush during their merge phase instead.
 func runFigureCell(o Options, m MotifName, kind motif.TransportKind, nc NetConfig, gbps float64, reg *metrics.Registry) (sim.Time, error) {
-	inst := cellInstr{reg: reg, bench: o.Bench, cell: cellName(m, nc, kind, gbps)}
-	if o.TelemetryDir != "" {
-		inst.sampler = telemetry.NewUnbound(cellSampleInterval)
-	}
-	makespan, err := runMotifPoint(m, kind, nc, o.Nodes, gbps, o.Seed, inst)
-	if err != nil {
+	out := runOneCell(o, cellSpec{M: m, Kind: kind, NC: nc, Gbps: gbps}, reg)
+	if err := flushCellOutput(o, out); err != nil {
 		return 0, err
 	}
-	if inst.sampler != nil {
-		if werr := writeCellTimeseries(o.TelemetryDir, inst.cell, inst.sampler); werr != nil {
-			return 0, werr
-		}
-	}
-	return makespan, nil
+	return out.Makespan, nil
 }
 
-// motifFigure is the shared implementation of Figures 7 and 8.
+// motifFigure is the shared implementation of Figures 7 and 8. Every
+// (network, link speed, transport) cell is an independent simulation; they
+// run on the worker pool and merge here in sweep order, so the table,
+// bench log and telemetry files do not depend on Options.Workers.
 func motifFigure(o Options, m MotifName, figure string) *Table {
 	t := &Table{
 		Title:  fmt.Sprintf("%s: RVMA vs RDMA using %s (%d+ nodes)", figure, m, o.Nodes),
 		Header: []string{"network", "link", "RVMA", "put p99", "RDMA", "put p99", "speedup"},
 	}
+	var specs []cellSpec
+	for _, nc := range motifNetworks() {
+		for _, gbps := range o.LinkGbps {
+			specs = append(specs,
+				cellSpec{M: m, Kind: motif.KindRVMA, NC: nc, Gbps: gbps},
+				cellSpec{M: m, Kind: motif.KindRDMA, NC: nc, Gbps: gbps})
+		}
+	}
+	outs := runCells(o, specs)
 	var speedups []float64
 	best := 0.0
 	bestAt := ""
-	for _, nc := range motifNetworks() {
-		for _, gbps := range o.LinkGbps {
-			rvReg := newCellRegistry()
-			rv, err := runFigureCell(o, m, motif.KindRVMA, nc, gbps, rvReg)
-			if err != nil {
-				t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
-				continue
-			}
-			rdReg := newCellRegistry()
-			rd, err := runFigureCell(o, m, motif.KindRDMA, nc, gbps, rdReg)
-			if err != nil {
-				t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
-				continue
-			}
-			sp := stats.Speedup(rd.Seconds(), rv.Seconds())
-			speedups = append(speedups, sp)
-			if sp > best {
-				best = sp
-				bestAt = fmt.Sprintf("%s @%s", nc.Name, stats.FormatGbps(gbps))
-			}
-			t.AddRow(nc.Name, stats.FormatGbps(gbps),
-				rv.String(), putP99(rvReg, motif.KindRVMA),
-				rd.String(), putP99(rdReg, motif.KindRDMA),
-				fmt.Sprintf("%.2fx", sp))
+	for i := 0; i < len(outs); i += 2 {
+		rv, rd := outs[i], outs[i+1]
+		nc, gbps := rv.Spec.NC, rv.Spec.Gbps
+		if err := flushCellOutput(o, rv); err != nil {
+			t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
+			continue
 		}
+		if err := flushCellOutput(o, rd); err != nil {
+			t.AddNote("SKIPPED %s @%s: %v", nc.Name, stats.FormatGbps(gbps), err)
+			continue
+		}
+		sp := stats.Speedup(rd.Makespan.Seconds(), rv.Makespan.Seconds())
+		speedups = append(speedups, sp)
+		if sp > best {
+			best = sp
+			bestAt = fmt.Sprintf("%s @%s", nc.Name, stats.FormatGbps(gbps))
+		}
+		t.AddRow(nc.Name, stats.FormatGbps(gbps),
+			rv.Makespan.String(), putP99(rv.Reg, motif.KindRVMA),
+			rd.Makespan.String(), putP99(rd.Reg, motif.KindRDMA),
+			fmt.Sprintf("%.2fx", sp))
 	}
 	if len(speedups) > 0 {
 		sum := 0.0
@@ -259,19 +242,26 @@ func IncastTable(o Options) *Table {
 		Header: []string{"link", "RVMA", "RDMA", "speedup"},
 	}
 	nc := NetConfig{"dragonfly/adaptive", topology.KindDragonfly, fabric.RouteAdaptive}
+	var specs []cellSpec
 	for _, gbps := range o.LinkGbps {
-		rv, err := RunMotifPoint(MotifIncast, motif.KindRVMA, nc, o.Nodes, gbps, o.Seed)
-		if err != nil {
+		specs = append(specs,
+			cellSpec{M: MotifIncast, Kind: motif.KindRVMA, NC: nc, Gbps: gbps},
+			cellSpec{M: MotifIncast, Kind: motif.KindRDMA, NC: nc, Gbps: gbps})
+	}
+	outs := runCells(o, specs)
+	for i := 0; i < len(outs); i += 2 {
+		rv, rd := outs[i], outs[i+1]
+		gbps := rv.Spec.Gbps
+		if err := flushCellOutput(o, rv); err != nil {
 			t.AddNote("SKIPPED @%s: %v", stats.FormatGbps(gbps), err)
 			continue
 		}
-		rd, err := RunMotifPoint(MotifIncast, motif.KindRDMA, nc, o.Nodes, gbps, o.Seed)
-		if err != nil {
+		if err := flushCellOutput(o, rd); err != nil {
 			t.AddNote("SKIPPED @%s: %v", stats.FormatGbps(gbps), err)
 			continue
 		}
-		t.AddRow(stats.FormatGbps(gbps), rv.String(), rd.String(),
-			fmt.Sprintf("%.2fx", stats.Speedup(rd.Seconds(), rv.Seconds())))
+		t.AddRow(stats.FormatGbps(gbps), rv.Makespan.String(), rd.Makespan.String(),
+			fmt.Sprintf("%.2fx", stats.Speedup(rd.Makespan.Seconds(), rv.Makespan.Seconds())))
 	}
 	t.AddNote("every client needs a dedicated negotiated buffer under RDMA; RVMA steers all clients into receiver-managed mailboxes")
 	return t
@@ -388,15 +378,21 @@ func MotifSummary(o Options) *Table {
 		{MotifHalo3D, NetConfig{"hyperx/DOR", topology.KindHyperX, fabric.RouteStatic}, 2000,
 			"Halo3D HyperX DOR @2Tbps", "1.89x"},
 	}
+	var specs []cellSpec
 	for _, p := range pts {
-		rv, err1 := RunMotifPoint(p.m, motif.KindRVMA, p.nc, o.Nodes, p.gbps, o.Seed)
-		rd, err2 := RunMotifPoint(p.m, motif.KindRDMA, p.nc, o.Nodes, p.gbps, o.Seed)
-		if err1 != nil || err2 != nil {
+		specs = append(specs,
+			cellSpec{M: p.m, Kind: motif.KindRVMA, NC: p.nc, Gbps: p.gbps},
+			cellSpec{M: p.m, Kind: motif.KindRDMA, NC: p.nc, Gbps: p.gbps})
+	}
+	outs := runCells(o, specs)
+	for i, p := range pts {
+		rv, rd := outs[2*i], outs[2*i+1]
+		if rv.Err != nil || rd.Err != nil {
 			t.AddRow(p.name, p.paper, "SKIPPED")
 			continue
 		}
 		t.AddRow(p.name, p.paper,
-			fmt.Sprintf("%.2fx", stats.Speedup(rd.Seconds(), rv.Seconds())))
+			fmt.Sprintf("%.2fx", stats.Speedup(rd.Makespan.Seconds(), rv.Makespan.Seconds())))
 	}
 	return t
 }

@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/motif"
+	"rvma/internal/topology"
+)
+
+// workerCounts is the cross-worker determinism matrix: serial, a fixed
+// small pool, and one-per-CPU (deduplicated — on a single-core host
+// NumCPU collapses into 1).
+func workerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// figureArtifacts renders one figure sweep with full instrumentation at a
+// given worker count and returns everything it produced: the table bytes,
+// the telemetry files (name -> contents), and the bench records with the
+// wall-clock fields zeroed (those legitimately vary run to run; the cell
+// labels, simulated times and event counts must not).
+func figureArtifacts(t *testing.T, fig func(Options) *Table, workers int) (table []byte, telemetry map[string][]byte, bench []BenchRecord) {
+	t.Helper()
+	o := DefaultOptions()
+	o.Nodes = 64
+	o.LinkGbps = []float64{100}
+	o.Workers = workers
+	o.TelemetryDir = t.TempDir()
+	o.Bench = &BenchLog{}
+
+	var buf bytes.Buffer
+	fig(o).Fprint(&buf)
+
+	telemetry = make(map[string][]byte)
+	entries, err := os.ReadDir(o.TelemetryDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(o.TelemetryDir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		telemetry[ent.Name()] = data
+	}
+
+	bench = append([]BenchRecord(nil), o.Bench.Records...)
+	for i := range bench {
+		bench[i].WallMS = 0
+		bench[i].EventsPerSec = 0
+	}
+	return buf.Bytes(), telemetry, bench
+}
+
+// TestFigureOutputIdenticalAcrossWorkers is the parallel-harness
+// regression gate: a figure sweep must produce byte-identical tables,
+// telemetry CSVs and bench-record sequences at every worker count. Any
+// shared mutable state between cells, nondeterministic merge order, or
+// worker-count-dependent seeding shows up here as a diff.
+func TestFigureOutputIdenticalAcrossWorkers(t *testing.T) {
+	figures := []struct {
+		name string
+		fn   func(Options) *Table
+	}{{"fig7", Fig7}}
+	if !testing.Short() {
+		figures = append(figures, struct {
+			name string
+			fn   func(Options) *Table
+		}{"fig8", Fig8})
+	}
+	for _, fig := range figures {
+		t.Run(fig.name, func(t *testing.T) {
+			refTable, refTel, refBench := figureArtifacts(t, fig.fn, 1)
+			if len(refTel) == 0 {
+				t.Fatal("serial run wrote no telemetry files")
+			}
+			if len(refBench) == 0 {
+				t.Fatal("serial run recorded no bench records")
+			}
+			for _, workers := range workerCounts()[1:] {
+				table, tel, bench := figureArtifacts(t, fig.fn, workers)
+				if !bytes.Equal(refTable, table) {
+					t.Errorf("workers=%d table differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+						workers, firstDiffContext(refTable, table), workers, firstDiffContext(table, refTable))
+				}
+				if len(tel) != len(refTel) {
+					t.Errorf("workers=%d wrote %d telemetry files, serial wrote %d", workers, len(tel), len(refTel))
+				}
+				for name, want := range refTel {
+					if got, ok := tel[name]; !ok {
+						t.Errorf("workers=%d missing telemetry file %s", workers, name)
+					} else if !bytes.Equal(want, got) {
+						t.Errorf("workers=%d telemetry %s differs from serial:\n%s",
+							workers, name, firstDiffContext(want, got))
+					}
+				}
+				if len(bench) != len(refBench) {
+					t.Fatalf("workers=%d has %d bench records, serial has %d", workers, len(bench), len(refBench))
+				}
+				for i := range bench {
+					if bench[i] != refBench[i] {
+						t.Errorf("workers=%d bench record %d = %+v, serial %+v", workers, i, bench[i], refBench[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunCellsMetricsIdenticalAcrossWorkers drops below the table layer:
+// the per-cell metrics registries coming out of the worker pool must
+// snapshot byte-identically at every worker count. This is the strictest
+// form of the one-engine-per-cell claim — every counter, gauge and span
+// histogram in every cell, not just the columns a table happens to print.
+func TestRunCellsMetricsIdenticalAcrossWorkers(t *testing.T) {
+	nets := []NetConfig{
+		{"dragonfly/adaptive", topology.KindDragonfly, fabric.RouteAdaptive},
+		{"hyperx/DOR", topology.KindHyperX, fabric.RouteStatic},
+	}
+	var specs []cellSpec
+	for _, nc := range nets {
+		for _, kind := range []motif.TransportKind{motif.KindRVMA, motif.KindRDMA} {
+			specs = append(specs, cellSpec{M: MotifSweep3D, Kind: kind, NC: nc, Gbps: 100})
+		}
+	}
+	snapshot := func(workers int) [][]byte {
+		o := DefaultOptions()
+		o.Nodes = 64
+		o.Workers = workers
+		outs := runCells(o, specs)
+		snaps := make([][]byte, len(outs))
+		for i, out := range outs {
+			if out.Err != nil {
+				t.Fatalf("workers=%d cell %s: %v", workers, out.Spec.cellName(), out.Err)
+			}
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "makespan_ns=%v\n", out.Makespan.Nanoseconds())
+			if err := out.Reg.WriteJSON(&buf, out.Makespan); err != nil {
+				t.Fatal(err)
+			}
+			snaps[i] = buf.Bytes()
+		}
+		return snaps
+	}
+	ref := snapshot(1)
+	for _, workers := range workerCounts()[1:] {
+		got := snapshot(workers)
+		for i := range ref {
+			if !bytes.Equal(ref[i], got[i]) {
+				t.Errorf("workers=%d cell %s metrics differ from serial:\n%s",
+					workers, specs[i].cellName(), firstDiffContext(ref[i], got[i]))
+			}
+		}
+	}
+}
+
+// TestConcurrentTelemetryWritesAreClean runs two cells concurrently with
+// telemetry enabled and checks the resulting CSVs are non-corrupt (proper
+// header, sorted columns, data rows) and byte-identical to a serial run —
+// the io.Writer refactor's guarantee that cell execution never touches
+// the filesystem, so concurrent cells cannot interleave writes.
+func TestConcurrentTelemetryWritesAreClean(t *testing.T) {
+	specs := []cellSpec{
+		{M: MotifSweep3D, Kind: motif.KindRVMA, NC: telemetryTestNet(), Gbps: 100},
+		{M: MotifSweep3D, Kind: motif.KindRDMA, NC: telemetryTestNet(), Gbps: 100},
+	}
+	run := func(workers int) map[string][]byte {
+		o := DefaultOptions()
+		o.Nodes = 64
+		o.Workers = workers
+		o.TelemetryDir = t.TempDir()
+		for _, out := range runCells(o, specs) {
+			if err := flushCellOutput(o, out); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		}
+		files := make(map[string][]byte)
+		entries, err := os.ReadDir(o.TelemetryDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range entries {
+			data, err := os.ReadFile(filepath.Join(o.TelemetryDir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[ent.Name()] = data
+		}
+		return files
+	}
+
+	concurrent := run(2)
+	if len(concurrent) != len(specs) {
+		t.Fatalf("concurrent run wrote %d files, want %d", len(concurrent), len(specs))
+	}
+	var names []string
+	for name, data := range concurrent {
+		names = append(names, name)
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s has no data rows", name)
+		}
+		cols := strings.Split(lines[0], ",")
+		if cols[0] != "time_ns" {
+			t.Errorf("%s header starts with %q, want time_ns", name, cols[0])
+		}
+		for i := 2; i < len(cols); i++ {
+			if cols[i-1] >= cols[i] {
+				t.Errorf("%s columns not sorted: %q before %q", name, cols[i-1], cols[i])
+			}
+		}
+		want := len(cols)
+		for ln, line := range lines[1:] {
+			if got := strings.Count(line, ",") + 1; got != want {
+				t.Fatalf("%s row %d has %d fields, header has %d (corrupt interleaved write?)",
+					name, ln+1, got, want)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	serial := run(1)
+	for _, name := range names {
+		if !bytes.Equal(serial[name], concurrent[name]) {
+			t.Errorf("telemetry %s differs between serial and concurrent runs:\n%s",
+				name, firstDiffContext(serial[name], concurrent[name]))
+		}
+	}
+}

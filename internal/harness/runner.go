@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"rvma/internal/metrics"
+	"rvma/internal/motif"
+	"rvma/internal/sim"
+	"rvma/internal/telemetry"
+)
+
+// This file is the harness's worker-pool cell runner. A figure sweep is
+// hundreds of independent simulations; the runner executes them on
+// Options.Workers goroutines and hands the results back in the order the
+// cells were specified, so the tables, bench records and telemetry files a
+// sweep produces are byte-identical at any worker count.
+//
+// The pool is host-side orchestration, not model code: each cell builds
+// its own sim.Engine, metrics.Registry and telemetry.Sampler inside its
+// worker, shares no mutable state with any other cell, and performs no
+// file I/O — cells render into buffers, and the (serial) merge phase does
+// all writing. The determinism lint's one-goroutine rule applies to model
+// packages; the harness is exempt precisely because the goroutines here
+// never touch an engine that another goroutine can see.
+
+// cellSpec names one figure cell: a (motif, transport, network, link
+// speed) point of a sweep.
+type cellSpec struct {
+	M    MotifName
+	Kind motif.TransportKind
+	NC   NetConfig
+	Gbps float64
+}
+
+// cellName labels the spec for bench records and telemetry file names.
+func (s cellSpec) cellName() string { return cellName(s.M, s.NC, s.Kind, s.Gbps) }
+
+// cellOutput is everything one cell run produces. Side-effect-free: the
+// telemetry CSV is rendered to memory and the bench record is detached,
+// so the merge phase can apply them in canonical order.
+type cellOutput struct {
+	Spec     cellSpec
+	Makespan sim.Time
+	Err      error
+	Reg      *metrics.Registry
+	// Telemetry is the rendered per-cell time-series CSV (nil unless
+	// Options.TelemetryDir is set).
+	Telemetry []byte
+	// Bench is the cell's perf sample (nil unless Options.Bench is set).
+	Bench *BenchRecord
+}
+
+// runOneCell executes a single cell against the given registry with the
+// instrumentation the options ask for. It opens no files and touches no
+// state outside its arguments.
+func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
+	out := cellOutput{Spec: spec, Reg: reg}
+	inst := cellInstr{reg: reg, cell: spec.cellName()}
+	var local *BenchLog
+	if o.Bench != nil {
+		local = &BenchLog{}
+		inst.bench = local
+	}
+	if o.TelemetryDir != "" {
+		inst.sampler = telemetry.NewUnbound(cellSampleInterval)
+	}
+	out.Makespan, out.Err = runMotifPoint(spec.M, spec.Kind, spec.NC, o.Nodes, spec.Gbps, o.Seed, inst)
+	if out.Err != nil {
+		return out
+	}
+	if inst.sampler != nil {
+		var buf bytes.Buffer
+		if err := inst.sampler.WriteCSV(&buf); err != nil {
+			out.Err = err
+			return out
+		}
+		out.Telemetry = buf.Bytes()
+	}
+	if local != nil && len(local.Records) > 0 {
+		rec := local.Records[0]
+		out.Bench = &rec
+	}
+	return out
+}
+
+// runCells executes every spec — each with its own engine, registry and
+// sampler — on Options.workerCount() goroutines and returns the outputs
+// indexed like specs, independent of completion order. With one worker
+// (or one cell) it runs inline; the outputs are identical either way.
+func runCells(o Options, specs []cellSpec) []cellOutput {
+	out := make([]cellOutput, len(specs))
+	workers := o.workerCount()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			out[i] = runOneCell(o, s, newCellRegistry())
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = runOneCell(o, specs[i], newCellRegistry())
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// flushCellOutput applies one successful cell's deferred side effects —
+// the bench record and the telemetry file — during the serial merge
+// phase. This is the only place cell telemetry touches the filesystem.
+func flushCellOutput(o Options, out cellOutput) error {
+	if out.Err != nil {
+		return out.Err
+	}
+	if out.Bench != nil && o.Bench != nil {
+		o.Bench.Append(*out.Bench)
+	}
+	if out.Telemetry != nil {
+		name := telemetryFileName(out.Spec.cellName())
+		if err := os.WriteFile(filepath.Join(o.TelemetryDir, name), out.Telemetry, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// telemetryFileName flattens a cell name into a file name.
+func telemetryFileName(cell string) string {
+	return strings.NewReplacer("/", "-", "|", "_").Replace(cell) + ".csv"
+}

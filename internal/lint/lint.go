@@ -89,7 +89,11 @@ func All() []*Analyzer {
 
 // ModelPackages are the import paths whose code runs on the simulation
 // engine and therefore must obey the determinism rules. cmd/ and the
-// harness are host-side and exempt (they may time real executions).
+// harness are host-side and exempt: the harness times real executions
+// and runs its worker-pool cell runner on goroutines — legal precisely
+// because each cell owns a private engine that no other goroutine can
+// reach, so the one-goroutine rule still holds per engine. Goroutines
+// remain banned inside every package listed here.
 var ModelPackages = map[string]bool{
 	"rvma/internal/sim":        true,
 	"rvma/internal/fabric":     true,

@@ -2,9 +2,12 @@ package sim
 
 import "testing"
 
-// BenchmarkEventThroughput measures raw kernel speed: schedule+execute of
-// self-rescheduling events (the inner loop of every simulation here).
-func BenchmarkEventThroughput(b *testing.B) {
+// BenchmarkEngineEventThroughput measures raw kernel speed: schedule +
+// execute of self-rescheduling events (the inner loop of every simulation
+// here). The regression gate for the event pool: steady state must stay at
+// 0 allocs/op (the container/heap + per-Schedule-allocation kernel spent
+// 1 alloc and 48 B per event).
+func BenchmarkEngineEventThroughput(b *testing.B) {
 	e := NewEngine(1)
 	count := 0
 	var tick func()
@@ -14,14 +17,16 @@ func BenchmarkEventThroughput(b *testing.B) {
 			e.Schedule(Nanosecond, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Schedule(0, tick)
 	e.Run()
 }
 
-// BenchmarkHeapChurn measures scheduling with a deep queue: N pending
-// events at all times, executing and replacing.
-func BenchmarkHeapChurn(b *testing.B) {
+// BenchmarkEngineHeapChurn measures scheduling with a deep queue: 4096
+// pending events at all times, executing and replacing — the 4-ary heap's
+// sift costs under realistic queue depth.
+func BenchmarkEngineHeapChurn(b *testing.B) {
 	e := NewEngine(1)
 	const depth = 4096
 	executed := 0
@@ -35,7 +40,50 @@ func BenchmarkHeapChurn(b *testing.B) {
 	for i := 0; i < depth; i++ {
 		e.Schedule(Time(i)*Nanosecond, reload)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule-then-cancel pattern
+// (timeouts that almost always get canceled): both halves should recycle
+// through the pool without allocating.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	driven := 0
+	var drive func()
+	drive = func() {
+		driven++
+		ev := e.Schedule(100*Nanosecond, func() {})
+		e.Cancel(ev)
+		if driven < b.N {
+			e.Schedule(Nanosecond, drive)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Schedule(0, drive)
+	e.Run()
+}
+
+// BenchmarkEngineDaemonOverhead measures a model tick with a daemon rider
+// at one-tenth the cadence, the telemetry sampler's shape.
+func BenchmarkEngineDaemonOverhead(b *testing.B) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.Schedule(Nanosecond, tick)
+		}
+	}
+	var daemon func()
+	daemon = func() { e.ScheduleDaemonP(10*Nanosecond, 1<<20, daemon) }
+	e.ScheduleDaemonP(10*Nanosecond, 1<<20, daemon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Schedule(0, tick)
 	e.Run()
 }
 

@@ -36,16 +36,24 @@ func Assertf(cond bool, format string, args ...any) {
 // only once per this many executed events.
 const debugHeapCheckEvery = 1 << 10
 
-// debugCheckPop validates the two event-ordering invariants the whole
-// simulation rests on, at the moment an event is popped for execution:
+// debugCheckPop validates the event-ordering and pool invariants the
+// whole simulation rests on, at the moment an event is popped for
+// execution:
 //
 //  1. Monotonic clock: the popped event's timestamp is never earlier
 //     than the current simulated time.
 //  2. Heap order: the new head (the next event to run) does not sort
 //     before the event just popped under (time, priority, seq) order.
+//  3. Pool lifecycle: the popped event is live (not a recycled object the
+//     queue somehow still references) and was never canceled — Cancel
+//     removes events from the queue eagerly.
 func (e *Engine) debugCheckPop(ev *Event) {
 	Assertf(ev.at >= e.now,
 		"event time %v precedes engine clock %v (causality runs backward)", ev.at, e.now)
+	Assertf(ev.state == evQueued,
+		"popped event (t=%v seq=%d) is not live: pool state %d (use-after-free)", ev.at, ev.seq, ev.state)
+	Assertf(!ev.canceled,
+		"popped event (t=%v seq=%d) was canceled but still queued", ev.at, ev.seq)
 	if len(e.queue) > 0 {
 		head := e.queue[0]
 		Assertf(!eventLess(head, ev),
@@ -57,18 +65,23 @@ func (e *Engine) debugCheckPop(ev *Event) {
 	}
 }
 
-// debugVerifyHeap sweeps the whole queue checking the binary-heap
-// property under the event ordering, plus index bookkeeping.
+// debugVerifyHeap sweeps the whole queue checking the heapArity-ary heap
+// property under the event ordering, index bookkeeping, and that queue
+// and free list never share an object.
 func (e *Engine) debugVerifyHeap() {
 	for i := range e.queue {
 		Assertf(e.queue[i].index == i,
 			"heap index bookkeeping: queue[%d].index = %d", i, e.queue[i].index)
-		for _, child := range []int{2*i + 1, 2*i + 2} {
-			if child < len(e.queue) {
-				Assertf(!eventLess(e.queue[child], e.queue[i]),
-					"heap property violated at parent %d / child %d", i, child)
-			}
+		Assertf(e.queue[i].state == evQueued,
+			"queued event at %d has pool state %d (freed object still in queue)", i, e.queue[i].state)
+		for c := heapArity*i + 1; c <= heapArity*i+heapArity && c < len(e.queue); c++ {
+			Assertf(!eventLess(e.queue[c], e.queue[i]),
+				"heap property violated at parent %d / child %d", i, c)
 		}
+	}
+	for i, ev := range e.free {
+		Assertf(ev.state == evFree,
+			"free list entry %d has pool state %d (live event in the pool)", i, ev.state)
 	}
 }
 

@@ -1,60 +1,164 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Event is a scheduled callback. Events are ordered by time, then priority
 // (lower runs first), then by the sequence number assigned at scheduling
 // time, which makes execution order fully deterministic.
+//
+// Event objects are pooled: the engine recycles an Event as soon as it has
+// executed or been canceled, so the handle returned by Schedule/ScheduleP/At
+// is only valid until the event runs or is canceled. Holding a handle past
+// that point — in particular calling Cancel on an event that may already
+// have fired — is a use-after-free bug; simdebug builds detect it (see
+// debug.go). Model code that needs "cancel unless already fired" semantics
+// should track its own state (see memory.Poller for the idiom).
 type Event struct {
 	at       Time
 	priority int
 	seq      uint64
 	fn       func()
-	index    int // heap index; -1 when not queued
+	index    int // position in the engine queue; -1 when not queued
 	canceled bool
 	daemon   bool
+	state    uint8 // pool lifecycle: evFree / evQueued (simdebug checks)
 }
 
-// Canceled reports whether the event was canceled before it ran.
+// Event pool lifecycle states. The zero value is evFree so a freshly
+// allocated Event is indistinguishable from a pooled one until the engine
+// hands it out.
+const (
+	evFree   uint8 = iota // in the engine free list (or never allocated)
+	evQueued              // live: scheduled and present in the queue
+)
+
+// Canceled reports whether the event was canceled before it ran. It is
+// only meaningful while the handle is valid (see the type comment).
 func (e *Event) Canceled() bool { return e.canceled }
 
-// Time returns the simulated time the event is (or was) scheduled for.
+// Time returns the simulated time the event is scheduled for. It is only
+// meaningful while the handle is valid (see the type comment).
 func (e *Event) Time() Time { return e.at }
 
-type eventHeap []*Event
+// eventQueue is a 4-ary min-heap over (time, priority, seq), implemented
+// directly on the slice so hot-path pushes and pops never cross a
+// heap.Interface boundary (no interface conversions, no indirect method
+// calls). A 4-ary heap has half the levels of a binary heap: sift-up — the
+// dominant cost of the schedule-heavy simulation workload — does half the
+// comparisons, and the four children of a node share a cache line of
+// pointers on the way down.
+type eventQueue []*Event
 
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// heapArity is the heap branching factor. Children of node i live at
+// heapArity*i+1 .. heapArity*i+heapArity; the parent of i is (i-1)/heapArity.
+const heapArity = 4
+
+// push inserts ev and records its queue index.
+func (q *eventQueue) push(ev *Event) {
+	*q = append(*q, ev)
+	q.siftUp(len(*q) - 1)
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// pop removes and returns the minimum event. The caller must ensure the
+// queue is non-empty.
+func (q *eventQueue) pop() *Event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		h[0] = last
+		last.index = 0
+		h.siftDown(0)
+	}
+	top.index = -1
+	return top
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// remove deletes the event at queue index i (Cancel's path).
+func (q *eventQueue) remove(i int) {
+	h := *q
+	n := len(h) - 1
+	ev := h[i]
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	if i != n {
+		h[i] = last
+		last.index = i
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+// siftUp restores the heap property from index i toward the root.
+func (q eventQueue) siftUp(i int) {
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		p := q[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// siftDown restores the heap property from index i toward the leaves and
+// reports whether the element moved.
+func (q eventQueue) siftDown(i int) bool {
+	ev := q[i]
+	start := i
+	n := len(q)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !eventLess(q[min], ev) {
+			break
+		}
+		q[i] = q[min]
+		q[i].index = i
+		i = min
+	}
+	q[i] = ev
+	ev.index = i
+	return i != start
 }
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
 // concurrent use; all model code runs on the engine goroutine (process
 // bodies spawned via Spawn are cooperatively scheduled so that exactly one
-// goroutine is ever runnable).
+// goroutine is ever runnable). Concurrency lives one level up: independent
+// engines — one per experiment cell — may run in parallel on separate
+// goroutines because an engine shares no mutable state with any other.
 type Engine struct {
 	now       Time
-	queue     eventHeap
+	queue     eventQueue
+	free      []*Event // recycled Event objects; see alloc/release
 	seq       uint64
 	executed  uint64
 	scheduled uint64
@@ -105,6 +209,40 @@ func (e *Engine) SetHeartbeat(every uint64, fn func()) {
 	e.hbEvery, e.hbFn = every, fn
 }
 
+// alloc hands out an Event, reusing a recycled one when the free list has
+// stock. Every field is (re)initialized here, so a pooled object carries
+// nothing over from its previous life.
+func (e *Engine) alloc(at Time, priority int, fn func(), daemon bool) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = at
+	ev.priority = priority
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.index = -1
+	ev.canceled = false
+	ev.daemon = daemon
+	ev.state = evQueued
+	e.seq++
+	return ev
+}
+
+// release returns an executed or canceled event to the free list. The
+// callback is dropped immediately so the pool never pins captured state;
+// canceled stays set so a just-canceled handle still answers Canceled()
+// truthfully until the object is reused.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.state = evFree
+	e.free = append(e.free, ev)
+}
+
 // Schedule runs fn after delay d. A negative delay panics: causality in a
 // discrete-event simulation only moves forward.
 func (e *Engine) Schedule(d Time, fn func()) *Event {
@@ -130,10 +268,9 @@ func (e *Engine) At(t Time, fn func()) *Event {
 }
 
 func (e *Engine) at(t Time, priority int, fn func()) *Event {
-	ev := &Event{at: t, priority: priority, seq: e.seq, fn: fn, index: -1}
-	e.seq++
+	ev := e.alloc(t, priority, fn, false)
 	e.scheduled++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -150,27 +287,34 @@ func (e *Engine) ScheduleDaemonP(d Time, priority int, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	ev := &Event{at: e.now + d, priority: priority, seq: e.seq, fn: fn, index: -1, daemon: true}
-	e.seq++
+	ev := e.alloc(e.now+d, priority, fn, true)
 	e.daemons++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
-// Cancel removes a pending event so it never runs. Canceling an event that
-// already ran (or was already canceled) is a no-op.
+// Cancel removes a pending event so it never runs and recycles it. The
+// handle is dead afterwards. Canceling nil or an already-canceled event is
+// a no-op; canceling an event that already ran is a use-after-free (the
+// object may already back a different scheduled event) and trips a
+// simdebug invariant when the misuse is detectable.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
+	if ev == nil || ev.canceled {
+		return
+	}
+	if ev.index < 0 {
+		if DebugEnabled {
+			Assertf(ev.state != evFree,
+				"Cancel of a recycled event handle (event already ran; use-after-free)")
 		}
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	e.queue.remove(ev.index)
 	if ev.daemon {
 		e.daemons--
 	}
+	e.release(ev)
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -202,10 +346,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 			e.now = limit
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		if ev.canceled {
-			continue
-		}
+		e.queue.pop()
 		if ev.daemon {
 			e.daemons--
 		}
@@ -213,12 +354,17 @@ func (e *Engine) RunUntil(limit Time) Time {
 			e.debugCheckPop(ev)
 		}
 		e.now = ev.at
+		// Recycle before invoking: the callback's own re-scheduling (the
+		// self-ticking pattern every model here uses) then reuses the same
+		// hot object instead of allocating.
+		fn := ev.fn
+		e.release(ev)
 		if ev.daemon {
-			ev.fn()
+			fn()
 			continue
 		}
 		e.executed++
-		ev.fn()
+		fn()
 		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
 			e.hbFn()
 		}
@@ -229,30 +375,29 @@ func (e *Engine) RunUntil(limit Time) Time {
 // Step executes exactly one pending event and returns true, or returns
 // false if the queue is empty. It is intended for tests and debuggers.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.daemon {
-			e.daemons--
-		}
-		if DebugEnabled {
-			e.debugCheckPop(ev)
-		}
-		e.now = ev.at
-		if ev.daemon {
-			ev.fn()
-			return true
-		}
-		e.executed++
-		ev.fn()
-		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
-			e.hbFn()
-		}
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := e.queue.pop()
+	if ev.daemon {
+		e.daemons--
+	}
+	if DebugEnabled {
+		e.debugCheckPop(ev)
+	}
+	e.now = ev.at
+	fn := ev.fn
+	e.release(ev)
+	if ev.daemon {
+		fn()
 		return true
 	}
-	return false
+	e.executed++
+	fn()
+	if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
+		e.hbFn()
+	}
+	return true
 }
 
 // Pending returns the number of model events waiting in the queue. Daemon
@@ -260,13 +405,15 @@ func (e *Engine) Step() bool {
 func (e *Engine) Pending() int { return len(e.queue) - e.daemons }
 
 // NextEventTime returns the timestamp of the earliest pending event, or
-// MaxTime if the queue is empty.
+// MaxTime if the queue is empty. (Canceled events are removed from the
+// queue eagerly, so the head is always live.)
 func (e *Engine) NextEventTime() Time {
-	for len(e.queue) > 0 {
-		if !e.queue[0].canceled {
-			return e.queue[0].at
-		}
-		heap.Pop(&e.queue)
+	if len(e.queue) > 0 {
+		return e.queue[0].at
 	}
 	return MaxTime
 }
+
+// PoolFree returns the number of recycled Event objects currently waiting
+// in the free list, for tests and diagnostics of the pooling layer.
+func (e *Engine) PoolFree() int { return len(e.free) }

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fail when simulator event throughput regresses against the baseline.
+
+Usage:
+
+    scripts/check_bench_regression.py BENCH_baseline.json BENCH_sim.json
+
+Both files are rvmabench -json-out output: {"records": [...], "summary":
+{...}} (see EXPERIMENTS.md, "Simulator performance log"). The guard
+compares events/sec — the wall-clock-normalized kernel speed — in two
+ways:
+
+  * the aggregate (summary.events_per_sec_aggregate, computed over the
+    sum of per-cell wall times, so it is independent of -workers), and
+  * each cell present in both files, so a regression confined to one
+    transport or topology cannot hide inside a healthy average.
+
+Baseline and current run must use the same -workers setting (CI pins
+-workers 1): when workers oversubscribe the host's cores, concurrent
+cells time-share and per-cell wall time inflates, which would read as a
+phantom regression.
+
+A drop of more than the threshold (default 20%, override with
+BENCH_REGRESSION_THRESHOLD, e.g. 0.3) in the aggregate, or in more than
+a quarter of the shared cells, fails with exit status 1. Per-cell noise
+is expected — single cells regressing is reported but tolerated up to
+that quorum. Event *counts* changing for a shared cell is a determinism
+red flag and always fails: the same simulation must execute the same
+events no matter how fast the host is.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = {r["cell"]: r for r in doc.get("records", [])}
+    return doc.get("summary", {}), records
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} BASELINE.json CURRENT.json")
+    threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.20"))
+
+    base_summary, base_cells = load(argv[1])
+    cur_summary, cur_cells = load(argv[2])
+
+    failures = []
+
+    base_agg = base_summary.get("events_per_sec_aggregate", 0.0)
+    cur_agg = cur_summary.get("events_per_sec_aggregate", 0.0)
+    if base_agg > 0 and cur_agg > 0:
+        drop = (base_agg - cur_agg) / base_agg
+        print(f"aggregate events/sec: baseline {base_agg:,.0f} -> current "
+              f"{cur_agg:,.0f} ({-drop:+.1%})")
+        if drop > threshold:
+            failures.append(
+                f"aggregate events/sec dropped {drop:.1%} "
+                f"(threshold {threshold:.0%})")
+    else:
+        failures.append("missing events_per_sec_aggregate in summary")
+
+    shared = sorted(set(base_cells) & set(cur_cells))
+    if not shared:
+        failures.append("no cells shared between baseline and current run")
+    regressed = []
+    for cell in shared:
+        b, c = base_cells[cell], cur_cells[cell]
+        if b.get("events") != c.get("events"):
+            failures.append(
+                f"{cell}: event count changed {b.get('events')} -> "
+                f"{c.get('events')} (determinism violation, not a perf issue)")
+        b_eps, c_eps = b.get("events_per_sec", 0.0), c.get("events_per_sec", 0.0)
+        if b_eps > 0 and c_eps > 0:
+            drop = (b_eps - c_eps) / b_eps
+            if drop > threshold:
+                regressed.append((cell, drop))
+    for cell, drop in regressed:
+        print(f"slow cell: {cell} events/sec down {drop:.1%}")
+    if shared and len(regressed) > len(shared) // 4:
+        failures.append(
+            f"{len(regressed)}/{len(shared)} cells regressed more than "
+            f"{threshold:.0%} (quorum is {len(shared) // 4})")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: {len(shared)} cells within {threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
