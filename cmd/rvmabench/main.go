@@ -5,8 +5,9 @@
 //	rvmabench [flags] [experiment...]
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine
-// summary ablations all
-// (default: all).
+// faults summary ablations all
+// (default: all; "faults" — the loss-rate × transport recovery sweep — runs
+// only when named explicitly).
 //
 // Examples:
 //
@@ -17,6 +18,8 @@
 //	rvmabench -json-out BENCH_sim.json fig7   # per-cell perf trajectory
 //	rvmabench -telemetry-dir ts/ fig7         # per-cell time-series CSVs
 //	rvmabench -workers 4 fig7                 # parallel cells, same bytes out
+//	rvmabench faults                          # loss sweep at default rates
+//	rvmabench -drop-rate 0.05 -retry-budget 4 faults   # one rate, tight budget
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"rvma/internal/harness"
@@ -31,15 +36,17 @@ import (
 
 func main() {
 	var (
-		nodes = flag.Int("nodes", 0, "motif system size in nodes (0 = default 128; paper used 8192)")
-		iters = flag.Int("iters", 0, "ping-pong iterations per run (0 = default 200)")
-		runs  = flag.Int("runs", 0, "independent runs per latency point (0 = default 10)")
-		seed  = flag.Uint64("seed", 0, "simulation seed (0 = default 42)")
-		paper   = flag.Bool("paper", false, "use paper-scale settings (8192 nodes, 1000 iterations; slow)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut = flag.String("json-out", "", "write per-cell perf records (wall time, sim time, events/sec) as JSON to this file")
-		telDir  = flag.String("telemetry-dir", "", "write one in-sim time-series CSV per motif cell into this directory")
-		workers = flag.Int("workers", 0, "concurrent figure cells (0 = one per CPU); output is identical at any worker count")
+		nodes       = flag.Int("nodes", 0, "motif system size in nodes (0 = default 128; paper used 8192)")
+		iters       = flag.Int("iters", 0, "ping-pong iterations per run (0 = default 200)")
+		runs        = flag.Int("runs", 0, "independent runs per latency point (0 = default 10)")
+		seed        = flag.Uint64("seed", 0, "simulation seed (0 = default 42)")
+		paper       = flag.Bool("paper", false, "use paper-scale settings (8192 nodes, 1000 iterations; slow)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut     = flag.String("json-out", "", "write per-cell perf records (wall time, sim time, events/sec) as JSON to this file")
+		telDir      = flag.String("telemetry-dir", "", "write one in-sim time-series CSV per motif cell into this directory")
+		workers     = flag.Int("workers", 0, "concurrent figure cells (0 = one per CPU); output is identical at any worker count")
+		dropRates   = flag.String("drop-rate", "", "comma-separated drop probabilities for the faults sweep (default 0.01,0.02,0.05,0.1)")
+		retryBudget = flag.Int("retry-budget", 0, "max retransmits per op in the faults sweep (0 = recovery default)")
 	)
 	flag.Parse()
 
@@ -68,6 +75,19 @@ func main() {
 	}
 	if *workers > 0 {
 		opt.Workers = *workers
+	}
+	if *dropRates != "" {
+		for _, field := range strings.Split(*dropRates, ",") {
+			rate, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil || rate < 0 || rate > 1 {
+				fmt.Fprintf(os.Stderr, "rvmabench: bad -drop-rate entry %q (want a probability in [0, 1])\n", field)
+				os.Exit(1)
+			}
+			opt.FaultRates = append(opt.FaultRates, rate)
+		}
+	}
+	if *retryBudget > 0 {
+		opt.RetryBudget = *retryBudget
 	}
 	if *jsonOut != "" {
 		effective := opt.Workers
@@ -105,6 +125,8 @@ func main() {
 			tables = []*harness.Table{harness.CollectivesTable(opt)}
 		case "matchengine":
 			tables = []*harness.Table{harness.MatchEngineTable(opt)}
+		case "faults":
+			tables = []*harness.Table{harness.FaultSweep(opt)}
 		case "ablations":
 			tables = []*harness.Table{
 				harness.NotifyAblation(opt),
@@ -119,7 +141,7 @@ func main() {
 				run("summary") && run("ablations")
 		default:
 			fmt.Fprintf(os.Stderr, "rvmabench: unknown experiment %q\n", name)
-			fmt.Fprintln(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine summary ablations all")
+			fmt.Fprintln(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine faults summary ablations all")
 			return false
 		}
 		for _, t := range tables {

@@ -35,6 +35,18 @@
 //	                   interrupted (SIGINT)
 //	-nack-burst N      NACK-burst dump threshold per sample window
 //
+// Fault-injection flags (see internal/fabric.FaultPlan and
+// internal/recovery):
+//
+//	-drop-rate P       drop each delivered packet with probability P
+//	                   (shorthand for -fault-plan drop=P)
+//	-fault-plan S      full plan spec "drop=RATE,burst=N,
+//	                   window=NODE:FROM:TO:RATE" (NODE may be "all";
+//	                   times take ns/us/ms/s suffixes)
+//	-retry-budget N    max retransmits per operation when faults are
+//	                   active (0 = recovery default, -1 = disable the
+//	                   recovery layer entirely — lossy runs then deadlock)
+//
 // Replica flags:
 //
 //	-seeds N           run N independent replicas (seed, seed+1, ...) and
@@ -57,6 +69,7 @@ import (
 	"rvma/internal/harness"
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
+	"rvma/internal/recovery"
 	"rvma/internal/sim"
 	"rvma/internal/telemetry"
 	"rvma/internal/topology"
@@ -65,26 +78,29 @@ import (
 
 func main() {
 	var (
-		motifName = flag.String("motif", "sweep3d", "motif: sweep3d, halo3d, incast")
-		transport = flag.String("transport", "rvma", "transport: rvma, rdma")
-		topoName  = flag.String("topology", "dragonfly", "topology: single, torus3d, fattree, dragonfly, hyperx")
-		routing   = flag.String("routing", "adaptive", "routing: static, adaptive, valiant")
-		nodes     = flag.Int("nodes", 128, "minimum node count")
-		gbps      = flag.Float64("gbps", 100, "link speed in Gbps")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		rdmaBufs  = flag.Int("rdma-buffers", 1, "negotiated buffers per pair (RDMA transport)")
-		rvmaDepth = flag.Int("rvma-depth", 4, "posted buffer depth per mailbox (RVMA transport)")
-		doTrace    = flag.Bool("trace", false, "collect and print trace counters/series from every layer")
-		doSpans    = flag.Bool("spans", false, "track per-message pipeline spans and print the latency table")
-		metricsOut = flag.String("metrics-out", "", "write metrics snapshot JSON to this file")
-		perfOut    = flag.String("perfetto-out", "", "write Chrome/Perfetto trace-event JSON to this file")
-		tsOut      = flag.String("timeseries-out", "", "write sampled time-series CSV to this file")
-		heatOut    = flag.String("heatmap-out", "", "write per-switch × time utilization matrix CSV to this file")
-		sampleIvl  = flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval (sim time)")
-		recDepth   = flag.Int("flight-recorder", 256, "flight recorder depth in events (0 disables)")
-		nackBurst  = flag.Float64("nack-burst", 0, "dump flight recorder when NACKs per sample window reach this (0 disables)")
-		seeds   = flag.Int("seeds", 1, "run this many seed replicas (seed, seed+1, ...) and report each plus the mean")
-		workers = flag.Int("workers", 0, "replica concurrency for -seeds (0 = one per CPU)")
+		motifName   = flag.String("motif", "sweep3d", "motif: sweep3d, halo3d, incast")
+		transport   = flag.String("transport", "rvma", "transport: rvma, rdma")
+		topoName    = flag.String("topology", "dragonfly", "topology: single, torus3d, fattree, dragonfly, hyperx")
+		routing     = flag.String("routing", "adaptive", "routing: static, adaptive, valiant")
+		nodes       = flag.Int("nodes", 128, "minimum node count")
+		gbps        = flag.Float64("gbps", 100, "link speed in Gbps")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		rdmaBufs    = flag.Int("rdma-buffers", 1, "negotiated buffers per pair (RDMA transport)")
+		rvmaDepth   = flag.Int("rvma-depth", 4, "posted buffer depth per mailbox (RVMA transport)")
+		doTrace     = flag.Bool("trace", false, "collect and print trace counters/series from every layer")
+		doSpans     = flag.Bool("spans", false, "track per-message pipeline spans and print the latency table")
+		metricsOut  = flag.String("metrics-out", "", "write metrics snapshot JSON to this file")
+		perfOut     = flag.String("perfetto-out", "", "write Chrome/Perfetto trace-event JSON to this file")
+		tsOut       = flag.String("timeseries-out", "", "write sampled time-series CSV to this file")
+		heatOut     = flag.String("heatmap-out", "", "write per-switch × time utilization matrix CSV to this file")
+		sampleIvl   = flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval (sim time)")
+		recDepth    = flag.Int("flight-recorder", 256, "flight recorder depth in events (0 disables)")
+		nackBurst   = flag.Float64("nack-burst", 0, "dump flight recorder when NACKs per sample window reach this (0 disables)")
+		seeds       = flag.Int("seeds", 1, "run this many seed replicas (seed, seed+1, ...) and report each plus the mean")
+		workers     = flag.Int("workers", 0, "replica concurrency for -seeds (0 = one per CPU)")
+		dropRate    = flag.Float64("drop-rate", 0, "uniform per-packet drop probability (shorthand for -fault-plan drop=P)")
+		faultPlan   = flag.String("fault-plan", "", "fault plan spec: drop=RATE,burst=N,window=NODE:FROM:TO:RATE")
+		retryBudget = flag.Int("retry-budget", 0, "max retransmits per op under faults (0 = recovery default, -1 = disable recovery)")
 	)
 	flag.Parse()
 
@@ -120,6 +136,35 @@ func main() {
 		fail("%v", err)
 	}
 
+	// Fault plan: -fault-plan gives the full spec, -drop-rate layers a
+	// uniform rate on top (or stands alone as the common case).
+	plan, err := fabric.ParseFaultPlan(*faultPlan)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *dropRate > 0 {
+		if plan == nil {
+			plan = &fabric.FaultPlan{}
+		}
+		plan.DropRate = *dropRate
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			fail("%v", err)
+		}
+	}
+	// The recovery layer rides along whenever faults are active; -retry-budget
+	// -1 runs the lossy fabric bare (which deadlocks at any real loss rate —
+	// useful as the control).
+	var recCfg *recovery.Config
+	if plan != nil && *retryBudget >= 0 {
+		rc := recovery.DefaultConfig()
+		if *retryBudget > 0 {
+			rc.MaxRetries = *retryBudget
+		}
+		recCfg = &rc
+	}
+
 	// Replica mode: N independent seeds on a worker pool, one engine per
 	// replica, printed in seed order. The observability flags attach to a
 	// single engine, so they require a single run.
@@ -132,6 +177,7 @@ func main() {
 			motifName: *motifName, kind: kind, topoName: *topoName,
 			route: route, nodes: *nodes, gbps: *gbps,
 			rdmaBufs: *rdmaBufs, rvmaDepth: *rvmaDepth,
+			faults: plan, recovery: recCfg,
 		}
 		fmt.Printf("motif:      %s\n", *motifName)
 		fmt.Printf("transport:  %s\n", kind)
@@ -145,6 +191,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.RDMABuffers = *rdmaBufs
 	cfg.RVMADepth = *rvmaDepth
+	cfg.Faults = plan
+	cfg.Recovery = recCfg
 	cfg.ApplyLinkSpeed(*gbps)
 	cluster, err := motif.NewCluster(cfg)
 	if err != nil {
@@ -237,6 +285,16 @@ func main() {
 	if st.ValiantDetours > 0 {
 		fmt.Printf("routing:    %d Valiant detours\n", st.ValiantDetours)
 	}
+	if plan != nil {
+		fmt.Printf("faults:     %d packets dropped (%.1f kB)\n",
+			st.PacketsDropped, float64(st.BytesDropped)/1e3)
+		if recCfg != nil {
+			rs := cluster.RecoveryStats()
+			fmt.Printf("recovery:   %d/%d ops completed (%d recovered), %d retransmits, %d timeouts, %d nack-retries, %d exhausted, %d reclaims\n",
+				rs.OpsCompleted, rs.OpsStarted, rs.Recovered, rs.Retransmits,
+				rs.Timeouts, rs.NackRetries, rs.Exhausted, rs.Reclaims)
+		}
+	}
 	if *doSpans {
 		fmt.Println("\nper-message stage latency:")
 		reg.FprintSpans(os.Stdout)
@@ -316,6 +374,8 @@ type replicaConfig struct {
 	gbps      float64
 	rdmaBufs  int
 	rvmaDepth int
+	faults    *fabric.FaultPlan
+	recovery  *recovery.Config
 }
 
 // runReplica builds a private topology, cluster and engine for one seed
@@ -330,6 +390,8 @@ func runReplica(rep replicaConfig, seed uint64) (sim.Time, uint64, error) {
 	cfg.Seed = seed
 	cfg.RDMABuffers = rep.rdmaBufs
 	cfg.RVMADepth = rep.rvmaDepth
+	cfg.Faults = rep.faults
+	cfg.Recovery = rep.recovery
 	cfg.ApplyLinkSpeed(rep.gbps)
 	cluster, err := motif.NewCluster(cfg)
 	if err != nil {

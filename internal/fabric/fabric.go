@@ -92,12 +92,21 @@ type Config struct {
 	// must offer before an adaptive packet detours. Zero uses one MTU
 	// serialization time.
 	ValiantBias sim.Time
-	// DropRate is a per-packet loss probability (failure injection). Real
-	// HPC fabrics are lossless in steady state, but the paper's fault-
-	// tolerance argument (§IV-F) is about exactly the moments they are
-	// not; tests use this to show RVMA's threshold counting never falsely
-	// completes a holed buffer, while last-byte polling does.
+	// DropRate is a per-packet loss probability in [0, 1] (failure
+	// injection; 1 is a total blackout). Real HPC fabrics are lossless in
+	// steady state, but the paper's fault-tolerance argument (§IV-F) is
+	// about exactly the moments they are not; tests use this to show
+	// RVMA's threshold counting never falsely completes a holed buffer,
+	// while last-byte polling does. Loss fires at destination ingress
+	// after the packet has paid its full path cost (see fault.go), and
+	// the drop decision draws from a dedicated RNG stream so routing
+	// choices stay identical packet-for-packet whether or not faults are
+	// enabled.
 	DropRate float64
+	// Faults layers burst loss and per-link degradation windows on top of
+	// DropRate (the two uniform rates combine by max). Nil injects only
+	// DropRate.
+	Faults *FaultPlan
 }
 
 // DefaultConfig returns the baseline used across experiments: 100 Gbps
@@ -127,8 +136,11 @@ func (c Config) Validate() error {
 	if c.LinkLatency < 0 || c.SwitchLatency < 0 {
 		return fmt.Errorf("fabric: negative latency")
 	}
-	if c.DropRate < 0 || c.DropRate >= 1 {
-		return fmt.Errorf("fabric: drop rate %v outside [0, 1)", c.DropRate)
+	if c.DropRate < 0 || c.DropRate > 1 {
+		return fmt.Errorf("fabric: drop rate %v outside [0, 1]", c.DropRate)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -162,6 +174,7 @@ type Stats struct {
 	PacketsDelivered uint64
 	PacketsDropped   uint64
 	BytesDelivered   uint64
+	BytesDropped     uint64
 	TotalHops        uint64
 	TotalLatency     sim.Time
 	ValiantDetours   uint64
@@ -179,6 +192,14 @@ type Network struct {
 	hostTx   []*sim.Resource   // per node injection link
 
 	nonMin topology.NonMinimalRouter // nil if unsupported
+
+	// Failure injection (see fault.go). faultRNG is a dedicated stream —
+	// nil when the effective plan cannot drop — so drop draws never
+	// perturb the shared routing/jitter stream. burstLeft counts the
+	// remaining forced drops of an in-progress burst, per destination.
+	faults    FaultPlan
+	faultRNG  *sim.RNG
+	burstLeft []int
 
 	nextID uint64
 	Stats  Stats
@@ -358,6 +379,14 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config) (*Network, error) 
 		n.hostTx[i] = sim.NewResource(fmt.Sprintf("host%d.tx", i))
 	}
 	n.nonMin, _ = topo.(topology.NonMinimalRouter)
+	n.faults = cfg.effectivePlan()
+	if n.faults.Enabled() {
+		// Seed the fault stream with one draw from the shared stream:
+		// deterministic for a given engine seed, and fault-free runs stay
+		// byte-identical with builds that predate fault injection.
+		n.faultRNG = sim.NewRNG(eng.RNG().Uint64())
+		n.burstLeft = make([]int, topo.NumNodes())
+	}
 	return n, nil
 }
 
@@ -510,14 +539,22 @@ func (n *Network) leastBacklogged(sw int, cands []int) int {
 }
 
 // deliver hands the packet to the destination host at the current time,
-// unless failure injection claims it.
+// unless failure injection claims it. Drops fire here — at destination
+// ingress, after the packet consumed its full path budget of injection
+// serialization, crossbar time, output queues and link hops — modeling a
+// receiver-side CRC discard. A dropped packet therefore still congests
+// the fabric and still influences adaptive-routing backlogs exactly as a
+// delivered one; what changed from earlier builds is that the drop draw
+// comes from the dedicated fault stream, so loss sweeps no longer shift
+// the routing RNG and skew detour decisions for surviving packets.
 func (n *Network) deliver(node int, pkt *Packet) {
 	fn := n.hosts[node]
 	if fn == nil {
 		panic(fmt.Sprintf("fabric: packet for unattached node %d", node))
 	}
-	if n.cfg.DropRate > 0 && n.eng.RNG().Float64() < n.cfg.DropRate {
+	if n.faultRNG != nil && n.dropPacket(node) {
 		n.Stats.PacketsDropped++
+		n.Stats.BytesDropped += uint64(pkt.Size)
 		n.mDrops.Add(1)
 		n.mTimeline.Instant(node, "fabric", "drop", n.eng.Now())
 		if n.tracer != nil {

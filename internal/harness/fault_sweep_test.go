@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// faultSweepOptions is the quick-turnaround sweep the tests run: one loss
+// rate (the 5% acceptance point), one link speed, a small dragonfly.
+func faultSweepOptions() Options {
+	o := DefaultOptions()
+	o.Nodes = 64
+	o.LinkGbps = []float64{100}
+	o.FaultRates = []float64{0.05}
+	return o
+}
+
+// TestFaultSweepAcceptance is the tentpole's headline check at the table
+// layer: under 5% uniform loss both transports complete 100% of their
+// operations within the retry budget, visibly did recovery work to get
+// there, and the identical cell without the recovery layer deadlocks.
+func TestFaultSweepAcceptance(t *testing.T) {
+	tab := FaultSweep(faultSweepOptions())
+	if len(tab.Rows) != 2 {
+		var buf bytes.Buffer
+		tab.Fprint(&buf)
+		t.Fatalf("want 2 rows (RVMA, RDMA), got %d:\n%s", len(tab.Rows), buf.String())
+	}
+	seen := map[string]bool{}
+	for _, row := range tab.Rows {
+		transport := row[0]
+		seen[transport] = true
+		if row[3] != "100.0%" {
+			t.Errorf("%s completion = %q, want 100.0%% at 5%% loss", transport, row[3])
+		}
+		if n, err := strconv.Atoi(row[4]); err != nil || n == 0 {
+			t.Errorf("%s retransmits = %q, want nonzero", transport, row[4])
+		}
+		if row[8] != "DEADLOCK" {
+			t.Errorf("%s no-recovery cell = %q, want DEADLOCK", transport, row[8])
+		}
+		if row[7] == "-" || !strings.Contains(row[7], "Gbps") {
+			t.Errorf("%s goodput = %q, want a Gbps figure", transport, row[7])
+		}
+	}
+	if !seen["RVMA"] || !seen["RDMA"] {
+		t.Fatalf("rows missing a transport: %v", seen)
+	}
+}
+
+// TestFaultSweepIdenticalAcrossWorkers extends the worker-pool determinism
+// gate to the fault cells: a sweep full of RNG-driven drops, retry jitter
+// and deadlocking control cells must still render byte-identically at
+// every worker count.
+func TestFaultSweepIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) []byte {
+		o := faultSweepOptions()
+		o.Workers = workers
+		var buf bytes.Buffer
+		FaultSweep(o).Fprint(&buf)
+		return buf.Bytes()
+	}
+	ref := render(1)
+	for _, workers := range workerCounts()[1:] {
+		if got := render(workers); !bytes.Equal(ref, got) {
+			t.Errorf("workers=%d fault sweep differs from serial:\n%s",
+				workers, firstDiffContext(ref, got))
+		}
+	}
+}

@@ -40,6 +40,12 @@ type Options struct {
 	// and telemetry sampler, and results are merged in a fixed canonical
 	// order, so output is byte-identical at any worker count.
 	Workers int
+	// FaultRates are the receiver-ingress drop probabilities for the
+	// FaultSweep table; empty uses defaultFaultRates.
+	FaultRates []float64
+	// RetryBudget overrides the recovery layer's per-operation retransmit
+	// budget in the FaultSweep (0 keeps recovery.DefaultConfig's).
+	RetryBudget int
 }
 
 // workerCount resolves Options.Workers: 0 (the default) saturates the

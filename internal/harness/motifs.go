@@ -8,6 +8,7 @@ import (
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/pcie"
+	"rvma/internal/recovery"
 	"rvma/internal/sim"
 	"rvma/internal/stats"
 	"rvma/internal/telemetry"
@@ -61,7 +62,8 @@ func RunMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes in
 // use it (one registry per experiment cell, spans enabled) to report tail
 // latency next to the makespan. A nil registry runs uninstrumented.
 func RunMotifPointInstrumented(m MotifName, kind motif.TransportKind, nc NetConfig, nodes int, gbps float64, seed uint64, reg *metrics.Registry) (sim.Time, error) {
-	return runMotifPoint(m, kind, nc, nodes, gbps, seed, cellInstr{reg: reg})
+	makespan, _, err := runMotifPoint(cellSpec{M: m, Kind: kind, NC: nc, Gbps: gbps}, nodes, seed, cellInstr{reg: reg})
+	return makespan, err
 }
 
 // cellInstr bundles the optional per-cell instrumentation runMotifPoint
@@ -76,20 +78,33 @@ type cellInstr struct {
 }
 
 // runMotifPoint is the shared cell runner behind the exported entry points
-// and the figure sweeps.
-func runMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes int, gbps float64, seed uint64, inst cellInstr) (sim.Time, error) {
-	topo, err := topology.ForNodeCount(nc.Kind, nodes)
+// and the figure sweeps. It returns the cluster alongside the makespan so
+// callers can read recovery/fabric counters — including when the motif run
+// itself errors (a deadlocked fault cell still reports what it managed);
+// the cluster is nil only when it could not be built at all.
+func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.Time, *motif.Cluster, error) {
+	topo, err := topology.ForNodeCount(spec.NC.Kind, nodes)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	cfg := motif.DefaultClusterConfig(topo, kind)
-	cfg.Routing = nc.Routing
+	cfg := motif.DefaultClusterConfig(topo, spec.Kind)
+	cfg.Routing = spec.NC.Routing
 	cfg.Seed = seed
 	cfg.PCIe = pcie.Gen4x16()
-	cfg.ApplyLinkSpeed(gbps)
+	cfg.ApplyLinkSpeed(spec.Gbps)
+	if spec.Fault.Drop > 0 {
+		cfg.Faults = &fabric.FaultPlan{DropRate: spec.Fault.Drop}
+	}
+	if spec.Fault.Recover {
+		rc := recovery.DefaultConfig()
+		if spec.Fault.Budget > 0 {
+			rc.MaxRetries = spec.Fault.Budget
+		}
+		cfg.Recovery = &rc
+	}
 	c, err := motif.NewCluster(cfg)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if inst.reg != nil {
 		c.SetMetrics(inst.reg)
@@ -100,7 +115,7 @@ func runMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes in
 	}
 	start := time.Now()
 	var makespan sim.Time
-	switch m {
+	switch spec.M {
 	case MotifSweep3D:
 		makespan, err = motif.RunSweep3D(c, motif.DefaultSweep3DConfig(topo.NumNodes()))
 	case MotifHalo3D:
@@ -108,15 +123,15 @@ func runMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes in
 	case MotifIncast:
 		makespan, err = motif.RunIncast(c, motif.DefaultIncastConfig())
 	default:
-		return 0, fmt.Errorf("harness: unknown motif %q", m)
+		return 0, c, fmt.Errorf("harness: unknown motif %q", spec.M)
 	}
 	if err != nil {
-		return 0, err
+		return 0, c, err
 	}
 	if inst.bench != nil {
 		inst.bench.Record(inst.cell, time.Since(start), makespan, c.Eng.EventsExecuted())
 	}
-	return makespan, nil
+	return makespan, c, nil
 }
 
 // cellName labels one experiment cell for bench records and telemetry

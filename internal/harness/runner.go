@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
+	"rvma/internal/recovery"
 	"rvma/internal/sim"
 	"rvma/internal/telemetry"
 )
@@ -28,16 +30,38 @@ import (
 // never touch an engine that another goroutine can see.
 
 // cellSpec names one figure cell: a (motif, transport, network, link
-// speed) point of a sweep.
+// speed) point of a sweep, optionally under fault injection.
 type cellSpec struct {
 	M    MotifName
 	Kind motif.TransportKind
 	NC   NetConfig
 	Gbps float64
+	// Fault configures loss injection and recovery for this cell; the
+	// zero value is the default lossless run.
+	Fault faultSpec
+}
+
+// faultSpec is a cell's loss/recovery configuration.
+type faultSpec struct {
+	// Drop is the uniform receiver-ingress drop probability.
+	Drop float64
+	// Recover enables the recovery layer (timeout/retransmit).
+	Recover bool
+	// Budget overrides recovery.DefaultConfig's MaxRetries when > 0.
+	Budget int
 }
 
 // cellName labels the spec for bench records and telemetry file names.
-func (s cellSpec) cellName() string { return cellName(s.M, s.NC, s.Kind, s.Gbps) }
+func (s cellSpec) cellName() string {
+	name := cellName(s.M, s.NC, s.Kind, s.Gbps)
+	if s.Fault.Drop > 0 {
+		name += fmt.Sprintf("|drop%g", s.Fault.Drop)
+		if s.Fault.Recover {
+			name += "|rec"
+		}
+	}
+	return name
+}
 
 // cellOutput is everything one cell run produces. Side-effect-free: the
 // telemetry CSV is rendered to memory and the bench record is detached,
@@ -52,6 +76,15 @@ type cellOutput struct {
 	Telemetry []byte
 	// Bench is the cell's perf sample (nil unless Options.Bench is set).
 	Bench *BenchRecord
+	// Recovery aggregates the cell's recovery-layer counters (zero when
+	// recovery was disabled). Populated even when the run errored, so a
+	// deadlocked cell still reports what it managed.
+	Recovery recovery.Stats
+	// Ranks is the cluster size actually built (topology rounding can
+	// exceed Options.Nodes); fault tables derive goodput from it.
+	Ranks int
+	// PacketsDropped is the fabric's drop count for the cell.
+	PacketsDropped uint64
 }
 
 // runOneCell executes a single cell against the given registry with the
@@ -68,7 +101,13 @@ func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 	if o.TelemetryDir != "" {
 		inst.sampler = telemetry.NewUnbound(cellSampleInterval)
 	}
-	out.Makespan, out.Err = runMotifPoint(spec.M, spec.Kind, spec.NC, o.Nodes, spec.Gbps, o.Seed, inst)
+	var c *motif.Cluster
+	out.Makespan, c, out.Err = runMotifPoint(spec, o.Nodes, o.Seed, inst)
+	if c != nil {
+		out.Recovery = c.RecoveryStats()
+		out.Ranks = len(c.Transports)
+		out.PacketsDropped = c.Net.Stats.PacketsDropped
+	}
 	if out.Err != nil {
 		return out
 	}

@@ -40,7 +40,7 @@ func TestSamplingPreservesDeterminism(t *testing.T) {
 				if interval > 0 {
 					inst.sampler = telemetry.NewUnbound(interval)
 				}
-				mk, err := runMotifPoint(MotifSweep3D, kind, nc, 64, 100, 42, inst)
+				mk, _, err := runMotifPoint(cellSpec{M: MotifSweep3D, Kind: kind, NC: nc, Gbps: 100}, 64, 42, inst)
 				if err != nil {
 					t.Fatal(err)
 				}

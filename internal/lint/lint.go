@@ -107,6 +107,9 @@ var ModelPackages = map[string]bool{
 	"rvma/internal/pcie":       true,
 	"rvma/internal/hostif":     true,
 	"rvma/internal/collective": true,
+	// recovery schedules retry timers and jitter draws on the engine, so
+	// its determinism matters as much as the transports it guards.
+	"rvma/internal/recovery": true,
 	// telemetry schedules its sampler ticks on the engine, so it must obey
 	// the same determinism rules as the models it observes.
 	"rvma/internal/telemetry": true,

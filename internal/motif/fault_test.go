@@ -1,0 +1,135 @@
+package motif
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/recovery"
+	"rvma/internal/topology"
+)
+
+// lossyClusterConfig builds an incast-sized cluster config with receiver-
+// ingress loss at the given rate, recovery optional.
+func lossyClusterConfig(kind TransportKind, rate float64, rec bool) ClusterConfig {
+	cfg := DefaultClusterConfig(topology.NewSingleSwitch(8), kind)
+	cfg.Faults = &fabric.FaultPlan{DropRate: rate}
+	if rec {
+		rc := recovery.DefaultConfig()
+		cfg.Recovery = &rc
+	}
+	return cfg
+}
+
+// TestIncastCompletesUnderLossWithRecovery is the tentpole's acceptance
+// check: at 5% receiver-ingress drop, both transports deliver every
+// message within the retry budget — the run finishes, every recovery
+// operation completes, nothing exhausts.
+func TestIncastCompletesUnderLossWithRecovery(t *testing.T) {
+	for _, kind := range []TransportKind{KindRVMA, KindRDMA} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c, err := NewCluster(lossyClusterConfig(kind, 0.05, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := RunIncast(c, DefaultIncastConfig()); err != nil {
+				t.Fatalf("incast under loss with recovery: %v", err)
+			}
+			s := c.RecoveryStats()
+			if s.OpsStarted == 0 {
+				t.Fatal("recovery layer saw no operations")
+			}
+			if s.OpsCompleted != s.OpsStarted {
+				t.Fatalf("completed %d of %d recovery ops", s.OpsCompleted, s.OpsStarted)
+			}
+			if s.Exhausted != 0 {
+				t.Fatalf("%d ops exhausted the retry budget", s.Exhausted)
+			}
+			if s.Retransmits == 0 {
+				t.Fatal("5%% drop produced zero retransmits — faults not reaching the wire?")
+			}
+			if c.Net.Stats.PacketsDropped == 0 {
+				t.Fatal("fabric dropped nothing at 5%% rate")
+			}
+		})
+	}
+}
+
+// TestIncastDeadlocksUnderLossWithoutRecovery pins the counterfactual the
+// sweep table reports: the same loss without the recovery layer wedges
+// both transports (a lost message, ack, fence, credit or handshake leaves
+// some rank waiting forever).
+func TestIncastDeadlocksUnderLossWithoutRecovery(t *testing.T) {
+	for _, kind := range []TransportKind{KindRVMA, KindRDMA} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c, err := NewCluster(lossyClusterConfig(kind, 0.05, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = RunIncast(c, DefaultIncastConfig())
+			if err == nil || !strings.Contains(err.Error(), "deadlock") {
+				t.Fatalf("err = %v, want deadlock", err)
+			}
+		})
+	}
+}
+
+// TestRecoveryHarmlessOnLosslessFabric checks the recovery layer is pure
+// overheadless machinery when nothing drops: no retransmits, no timeouts
+// firing into retries, no reclaims, and the run completes.
+func TestRecoveryHarmlessOnLosslessFabric(t *testing.T) {
+	for _, kind := range []TransportKind{KindRVMA, KindRDMA} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultClusterConfig(topology.NewSingleSwitch(8), kind)
+			rc := recovery.DefaultConfig()
+			cfg.Recovery = &rc
+			c, err := NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := RunIncast(c, DefaultIncastConfig()); err != nil {
+				t.Fatal(err)
+			}
+			s := c.RecoveryStats()
+			if s.Retransmits != 0 || s.Exhausted != 0 || s.Reclaims != 0 {
+				t.Fatalf("lossless run paid recovery work: %+v", s)
+			}
+			if s.OpsCompleted != s.OpsStarted {
+				t.Fatalf("completed %d of %d ops", s.OpsCompleted, s.OpsStarted)
+			}
+		})
+	}
+}
+
+// TestIncastUnderLossDeterministic re-runs a lossy recovery incast and
+// requires identical makespan and stats: drops, backoff jitter and
+// retransmit schedules all replay exactly.
+func TestIncastUnderLossDeterministic(t *testing.T) {
+	for _, kind := range []TransportKind{KindRVMA, KindRDMA} {
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func() (string, error) {
+				c, err := NewCluster(lossyClusterConfig(kind, 0.05, true))
+				if err != nil {
+					return "", err
+				}
+				mk, err := RunIncast(c, DefaultIncastConfig())
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%d %+v %d", mk, c.RecoveryStats(), c.Net.Stats.PacketsDropped), nil
+			}
+			a, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("nondeterministic lossy run:\n%s\n%s", a, b)
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"rvma/internal/nic"
 	"rvma/internal/pcie"
 	"rvma/internal/rdma"
+	"rvma/internal/recovery"
 	"rvma/internal/rvma"
 	"rvma/internal/sim"
 	"rvma/internal/telemetry"
@@ -97,6 +98,7 @@ type Cluster struct {
 	nics    []*nic.NIC
 	rvmaEPs []*rvma.Endpoint
 	rdmaEPs []*rdma.Endpoint
+	recMgrs []*recovery.Manager
 }
 
 // SetTracer attaches one tracer to every layer of the cluster: the fabric
@@ -205,6 +207,7 @@ func (c *Cluster) RegisterTelemetry(s *telemetry.Sampler) {
 			return float64(total)
 		})
 		s.Register("rvma.nacks_total", func() float64 { return float64(c.NACKTotal()) })
+		s.Register("rvma.rewinds_total", func() float64 { return float64(c.RewindTotal()) })
 		s.Register("rvma.drops_total", func() float64 {
 			var total uint64
 			for _, ep := range c.rvmaEPs {
@@ -220,6 +223,17 @@ func (c *Cluster) RegisterTelemetry(s *telemetry.Sampler) {
 				})
 			}
 		}
+	}
+	if len(c.recMgrs) > 0 {
+		s.Register("recovery.retransmits_total", func() float64 {
+			return float64(c.RecoveryStats().Retransmits)
+		})
+		s.Register("recovery.timeouts_total", func() float64 {
+			return float64(c.RecoveryStats().Timeouts)
+		})
+		s.Register("recovery.exhausted_total", func() float64 {
+			return float64(c.RecoveryStats().Exhausted)
+		})
 	}
 	if len(c.rdmaEPs) > 0 {
 		s.Register("rdma.pending_registrations_total", func() float64 {
@@ -280,6 +294,14 @@ type ClusterConfig struct {
 	// RVMADepth is the posted-buffer depth the RVMA transport maintains
 	// per in-neighbor mailbox.
 	RVMADepth int
+	// Faults injects packet loss at receiver ingress (fabric.FaultPlan);
+	// nil keeps the default lossless fabric.
+	Faults *fabric.FaultPlan
+	// Recovery, when non-nil, enables the sender-side reliability layer
+	// on both transports: acked operations with timeout/retransmit under
+	// this policy, plus receiver-side window guards on RVMA. Nil keeps
+	// the original fire-and-forget model (which deadlocks under loss).
+	Recovery *recovery.Config
 }
 
 // DefaultClusterConfig returns the motif defaults: paper fabric settings,
@@ -346,6 +368,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	eng := sim.NewEngine(cfg.Seed)
 	fcfg := cfg.Fabric
 	fcfg.Routing = cfg.Routing
+	if cfg.Faults != nil {
+		fcfg.Faults = cfg.Faults
+	}
 	net, err := fabric.New(eng, cfg.Topology, fcfg)
 	if err != nil {
 		return nil, err
@@ -355,24 +380,64 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	for node := 0; node < n; node++ {
 		nc := nic.New(eng, net, node, cfg.PCIe, cfg.NIC)
 		c.nics = append(c.nics, nc)
+		// One recovery manager per node, on the shared engine: retry state
+		// is per-endpoint, stats aggregate via RecoveryStats.
+		var rec *recovery.Manager
+		if cfg.Recovery != nil {
+			rec = recovery.NewManager(eng, *cfg.Recovery)
+			c.recMgrs = append(c.recMgrs, rec)
+		}
 		switch cfg.Kind {
 		case KindRVMA:
 			rcfg := rvma.DefaultConfig()
 			rcfg.CarryData = false
 			rcfg.HistoryDepth = 0 // motifs don't rewind; avoid retaining buffers
+			if rec != nil {
+				// The window guard's reclaim retrieves the holed buffer
+				// through Rewind, which needs retained history (§IV-F).
+				rcfg.HistoryDepth = 2
+			}
 			ep := rvma.NewEndpoint(nc, rcfg)
 			c.rvmaEPs = append(c.rvmaEPs, ep)
-			c.Transports[node] = newRVMATransport(ep, n, cfg.RVMADepth)
+			c.Transports[node] = newRVMATransport(ep, n, cfg.RVMADepth, rec)
 		case KindRDMA:
 			dcfg := rdma.DefaultConfig()
 			dcfg.CarryData = false
 			lastByte := cfg.RDMALastBytePoll && cfg.Routing.Ordered()
 			ep := rdma.NewEndpoint(nc, dcfg)
 			c.rdmaEPs = append(c.rdmaEPs, ep)
-			c.Transports[node] = newRDMATransport(ep, n, lastByte, cfg.RDMABuffers)
+			c.Transports[node] = newRDMATransport(ep, n, lastByte, cfg.RDMABuffers, rec)
 		default:
 			return nil, fmt.Errorf("motif: unknown transport kind %v", cfg.Kind)
 		}
 	}
 	return c, nil
+}
+
+// RecoveryStats sums the per-node recovery managers' counters; the zero
+// value when recovery is disabled.
+func (c *Cluster) RecoveryStats() recovery.Stats {
+	var s recovery.Stats
+	for _, m := range c.recMgrs {
+		s.OpsStarted += m.Stats.OpsStarted
+		s.OpsCompleted += m.Stats.OpsCompleted
+		s.Retransmits += m.Stats.Retransmits
+		s.Timeouts += m.Stats.Timeouts
+		s.NackRetries += m.Stats.NackRetries
+		s.Exhausted += m.Stats.Exhausted
+		s.Recovered += m.Stats.Recovered
+		s.Reclaims += m.Stats.Reclaims
+	}
+	return s
+}
+
+// RewindTotal returns the cumulative Rewind count across every RVMA
+// endpoint (zero on RDMA clusters): buffers retrieved by the recovery
+// guard's reclaim path.
+func (c *Cluster) RewindTotal() uint64 {
+	var total uint64
+	for _, ep := range c.rvmaEPs {
+		total += ep.Stats.Rewinds
+	}
+	return total
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rvma/internal/rdma"
+	"rvma/internal/recovery"
 	"rvma/internal/sim"
 )
 
@@ -34,6 +35,10 @@ type rdmaTransport struct {
 	nbufs   int
 	out     map[int]*sendState
 	in      map[int]*recvState
+	// rec, when non-nil, puts the handshake, every data put, the fence
+	// send and every credit return under the recovery layer's
+	// timeout/retransmit policy, riding the protocol's own opPutAck path.
+	rec *recovery.Manager
 }
 
 // sendState is the per-destination sender bookkeeping.
@@ -58,7 +63,7 @@ type recvState struct {
 	pending  []*sim.Future
 }
 
-func newRDMATransport(ep *rdma.Endpoint, ranks int, ordered bool, nbufs int) *rdmaTransport {
+func newRDMATransport(ep *rdma.Endpoint, ranks int, ordered bool, nbufs int, rec *recovery.Manager) *rdmaTransport {
 	return &rdmaTransport{
 		ep:      ep,
 		ranks:   ranks,
@@ -66,6 +71,7 @@ func newRDMATransport(ep *rdma.Endpoint, ranks int, ordered bool, nbufs int) *rd
 		nbufs:   nbufs,
 		out:     make(map[int]*sendState),
 		in:      make(map[int]*recvState),
+		rec:     rec,
 	}
 }
 
@@ -95,9 +101,9 @@ func (t *rdmaTransport) Prepare(inPeers, outPeers []int, maxMsg int) *sim.Future
 		t.out[dst] = st
 		for i := 0; i < t.nbufs; i++ {
 			remaining++
-			op := t.ep.RequestRemoteBuffer(dst, maxMsg)
-			op.Done.OnComplete(func() {
-				st.bufs = append(st.bufs, op.Done.Value().(rdma.RemoteBuffer))
+			hs := t.handshake(dst, maxMsg)
+			hs.OnComplete(func() {
+				st.bufs = append(st.bufs, hs.Value().(rdma.RemoteBuffer))
 				remaining--
 				if remaining == 0 {
 					// Drain in sorted-destination order: drain schedules
@@ -124,6 +130,30 @@ func (t *rdmaTransport) Prepare(inPeers, outPeers []int, maxMsg int) *sim.Future
 	return f
 }
 
+// handshake runs one Figure 1 buffer negotiation, retried under the
+// recovery policy when enabled: a timed-out request is simply reissued
+// with a fresh message id. If the *reply* (not the request) was lost, the
+// retry makes the target register a second buffer and the first leaks —
+// the stale-registration garbage a real system would clean up out of
+// band, harmless here.
+func (t *rdmaTransport) handshake(dst, size int) *sim.Future {
+	if t.rec == nil {
+		return t.ep.RequestRemoteBuffer(dst, size).Done
+	}
+	eng := t.ep.Engine()
+	done := sim.NewFuture()
+	t.rec.Run(func(try int) recovery.Attempt {
+		op := t.ep.RequestRemoteBuffer(dst, size)
+		op.Done.OnComplete(func() {
+			if !done.Done() {
+				done.Complete(eng, op.Done.Value())
+			}
+		})
+		return recovery.Attempt{Acked: op.Done}
+	}, nil)
+	return done
+}
+
 // Send implements Transport: queue the message; it goes to the wire when
 // a negotiated buffer credit is available.
 func (t *rdmaTransport) Send(dst, size int) *sim.Future {
@@ -146,13 +176,17 @@ func (t *rdmaTransport) drain(st *sendState) {
 		rb := st.bufs[st.rr]
 		st.rr = (st.rr + 1) % len(st.bufs)
 
-		scheme := rdma.CompleteSendRecv
-		if t.ordered {
-			scheme = rdma.CompleteNone // receiver uses cumulative last-byte polling
+		if t.rec != nil {
+			t.sendReliable(st, rb, req)
+		} else {
+			scheme := rdma.CompleteSendRecv
+			if t.ordered {
+				scheme = rdma.CompleteNone // receiver uses cumulative last-byte polling
+			}
+			op := t.ep.PutN(rb, 0, req.size, scheme)
+			done := req.done
+			op.Local.OnComplete(func() { done.Complete(t.ep.Engine(), nil) })
 		}
-		op := t.ep.PutN(rb, 0, req.size, scheme)
-		done := req.done
-		op.Local.OnComplete(func() { done.Complete(t.ep.Engine(), nil) })
 
 		// Arm the credit return for this buffer.
 		credit := t.ep.PostRecv(st.dst, creditQP)
@@ -161,6 +195,50 @@ func (t *rdmaTransport) drain(st *sendState) {
 			t.drain(st)
 		})
 	}
+}
+
+// sendReliable issues one message under the recovery layer: an acked put,
+// plus (under adaptive routing) the trailing fence send the completion
+// scheme requires — itself acked and retried, with the fence ledger
+// captured once so retransmits wait for exactly the bytes the original
+// did. The put and the fence recover independently; the receiver's dedup
+// guarantees neither double-counts bytes nor double-delivers the fence.
+func (t *rdmaTransport) sendReliable(st *sendState, rb rdma.RemoteBuffer, req *sendReq) {
+	eng := t.ep.Engine()
+	var rp *rdma.ReliablePut
+	t.rec.Run(func(try int) recovery.Attempt {
+		var at *rdma.Attempt
+		if try == 0 {
+			rp, at = t.ep.PutNReliable(rb, 0, req.size)
+			done := req.done
+			at.Local.OnComplete(func() {
+				if !done.Done() {
+					done.Complete(eng, nil)
+				}
+			})
+		} else {
+			at = t.ep.RetransmitPut(rp)
+		}
+		return recovery.Attempt{Acked: at.Acked}
+	}, func() { t.ep.AbandonReliable(rp.MsgID()) })
+	if !t.ordered {
+		t.reliableSend(st.dst, rdma.FenceQP)
+	}
+}
+
+// reliableSend issues a 1-byte control send (fence or credit) under the
+// recovery policy.
+func (t *rdmaTransport) reliableSend(dst, qp int) {
+	var rs *rdma.ReliableSend
+	t.rec.Run(func(try int) recovery.Attempt {
+		var at *rdma.Attempt
+		if try == 0 {
+			rs, at = t.ep.SendReliable(dst, qp, 1)
+		} else {
+			at = t.ep.RetransmitSend(rs)
+		}
+		return recovery.Attempt{Acked: at.Acked}
+	}, func() { t.ep.AbandonReliable(rs.MsgID()) })
 }
 
 // Recv implements Transport: observe the next message from src per the
@@ -180,8 +258,14 @@ func (t *rdmaTransport) Recv(src, size int) *sim.Future {
 	f := sim.NewFuture()
 	eng := t.ep.Engine()
 	completed.OnComplete(func() {
-		// Message consumed: hand the buffer back to the sender.
-		t.ep.Send(src, creditQP, 1)
+		// Message consumed: hand the buffer back to the sender. A lost
+		// credit wedges the sender forever, so under recovery it is acked
+		// and retried like any data message.
+		if t.rec != nil {
+			t.reliableSend(src, creditQP)
+		} else {
+			t.ep.Send(src, creditQP, 1)
+		}
 		f.Complete(eng, nil)
 	})
 	return f

@@ -3,6 +3,7 @@ package motif
 import (
 	"fmt"
 
+	"rvma/internal/recovery"
 	"rvma/internal/rvma"
 	"rvma/internal/sim"
 )
@@ -24,11 +25,18 @@ type rvmaTransport struct {
 	ranks int
 	depth int
 	boxes map[int]*mailboxState
+	// rec, when non-nil, puts every Send under the recovery layer's
+	// timeout/retransmit policy (acked puts instead of fire-and-forget)
+	// and arms receiver-side window guards on Recv.
+	rec *recovery.Manager
 }
 
 // mailboxState tracks one in-neighbor's window and its consumption queue.
 type mailboxState struct {
 	win *rvma.Window
+	// guard reclaims holed buffers past the sender's retry horizon
+	// (non-nil only under recovery).
+	guard *recovery.WindowGuard
 	// available counts completed-but-unconsumed messages; waiters are
 	// Recv futures waiting for the next completion, FIFO.
 	available int
@@ -36,8 +44,8 @@ type mailboxState struct {
 	maxMsg    int
 }
 
-func newRVMATransport(ep *rvma.Endpoint, ranks, depth int) *rvmaTransport {
-	return &rvmaTransport{ep: ep, ranks: ranks, depth: depth, boxes: make(map[int]*mailboxState)}
+func newRVMATransport(ep *rvma.Endpoint, ranks, depth int, rec *recovery.Manager) *rvmaTransport {
+	return &rvmaTransport{ep: ep, ranks: ranks, depth: depth, boxes: make(map[int]*mailboxState), rec: rec}
 }
 
 // Rank implements Transport.
@@ -60,6 +68,9 @@ func (t *rvmaTransport) Prepare(inPeers, outPeers []int, maxMsg int) *sim.Future
 			panic(fmt.Sprintf("motif: rank %d window for src %d: %v", t.Rank(), src, err))
 		}
 		box := &mailboxState{win: win, maxMsg: maxMsg}
+		if t.rec != nil {
+			box.guard = t.rec.GuardWindow(win)
+		}
 		t.boxes[src] = box
 		for i := 0; i < t.depth; i++ {
 			t.postOne(box)
@@ -68,8 +79,14 @@ func (t *rvmaTransport) Prepare(inPeers, outPeers []int, maxMsg int) *sim.Future
 		// posted depth constant, then hand the message to a waiting Recv
 		// (or bank it). SetCompletionHandler cannot miss back-to-back
 		// completions, unlike re-arming one-shot waiters.
-		win.SetCompletionHandler(func(*rvma.Buffer) {
+		win.SetCompletionHandler(func(b *rvma.Buffer) {
 			t.postOne(box)
+			if b.Count < win.Threshold() {
+				// A guard reclaim (IncEpoch on a holed buffer): the buffer
+				// was salvaged and reposted, but no message completed, so
+				// there is nothing to deliver to a Recv.
+				return
+			}
 			if len(box.waiters) > 0 {
 				w := box.waiters[0]
 				box.waiters = box.waiters[1:]
@@ -98,9 +115,38 @@ func (t *rvmaTransport) postOne(box *mailboxState) {
 // overwhelmed mailbox costs the *sender* time rather than wedging the
 // receiver.
 func (t *rvmaTransport) Send(dst, size int) *sim.Future {
+	if t.rec != nil {
+		return t.sendReliable(dst, size)
+	}
 	op := t.ep.PutN(dst, rvma.VAddr(t.Rank()), 0, size)
 	t.retryOnNack(op, dst, size)
 	return op.Local
+}
+
+// sendReliable puts the message under the recovery layer: an acked put
+// whose NACKs (closed mailbox, no posted buffer) and ack timeouts both
+// feed the same bounded-backoff retransmit loop. The returned future
+// keeps Send's local-completion semantics — it resolves when the first
+// attempt leaves the NIC, not at the ack.
+func (t *rvmaTransport) sendReliable(dst, size int) *sim.Future {
+	eng := t.ep.Engine()
+	local := sim.NewFuture()
+	var rp *rvma.ReliablePut
+	t.rec.Run(func(try int) recovery.Attempt {
+		var at *rvma.PutAttempt
+		if try == 0 {
+			rp, at = t.ep.PutNAcked(dst, rvma.VAddr(t.Rank()), 0, size)
+			at.Local.OnComplete(func() {
+				if !local.Done() {
+					local.Complete(eng, nil)
+				}
+			})
+		} else {
+			at = t.ep.Retransmit(rp)
+		}
+		return recovery.Attempt{Acked: at.Acked, Nack: at.Nack}
+	}, func() { t.ep.AbandonPut(rp) })
+	return local
 }
 
 // retryOnNack arms a single retry for a NACKed put; retries rearm.
@@ -126,6 +172,11 @@ func (t *rvmaTransport) Recv(src, size int) *sim.Future {
 	}
 	if size > box.maxMsg {
 		panic(fmt.Sprintf("motif: rank %d Recv size %d exceeds prepared max %d", t.Rank(), size, box.maxMsg))
+	}
+	if box.guard != nil {
+		// Every expected message arms one reclaim deadline for the epoch
+		// open right now; epochs that complete in time make it a no-op.
+		box.guard.Expect()
 	}
 	f := sim.NewFuture()
 	if box.available > 0 {

@@ -1,0 +1,103 @@
+package nic
+
+// RangeAssembler is the duplicate-aware sibling of Assembler for reliable
+// protocols that retransmit. The sum-based Assembler credits every arrived
+// byte, so a retransmitted packet inflates the received count and can
+// falsely complete a message that still has holes — exactly the corruption
+// the recovery layer must not introduce. RangeAssembler instead tracks
+// which packet offsets of each message have landed: message segmentation
+// is deterministic (SendMessage cuts MTU-aligned chunks), so a retransmit
+// reproduces the original offsets and duplicates are exact re-hits.
+//
+// Completed messages are remembered in a bounded FIFO ring so a straggler
+// duplicate arriving after completion is recognized (and can be re-acked)
+// instead of opening a phantom new reassembly. The ring is evicted in
+// arrival order; its capacity is generous relative to in-flight message
+// counts, and an eviction-defeating duplicate would need to arrive after
+// doneRingCap newer messages completed — far outside any retry horizon the
+// recovery layer configures.
+type RangeAssembler struct {
+	inflight map[MsgKey]*rangeState
+	done     map[MsgKey]struct{}
+	doneFIFO []MsgKey
+	doneHead int
+}
+
+type rangeState struct {
+	seen     map[int]struct{} // packet offsets that have landed
+	received int
+	total    int
+}
+
+// doneRingCap bounds the completed-message memory of a RangeAssembler.
+const doneRingCap = 4096
+
+// NewRangeAssembler returns an empty duplicate-aware assembler.
+func NewRangeAssembler() *RangeAssembler {
+	return &RangeAssembler{
+		inflight: make(map[MsgKey]*rangeState),
+		done:     make(map[MsgKey]struct{}),
+	}
+}
+
+// Add records a packet carrying size bytes at byte offset within message
+// key of the given total size. It returns the number of bytes that were
+// new (0 for a duplicate), whether this packet completed the message, and
+// whether the packet was a duplicate of one already received.
+func (a *RangeAssembler) Add(key MsgKey, offset, size, total int) (newBytes int, completed, duplicate bool) {
+	if _, ok := a.done[key]; ok {
+		return 0, false, true
+	}
+	st, ok := a.inflight[key]
+	if !ok {
+		if size >= total {
+			a.markDone(key)
+			return size, true, false
+		}
+		st = &rangeState{seen: make(map[int]struct{}), total: total}
+		a.inflight[key] = st
+	}
+	if _, dup := st.seen[offset]; dup {
+		return 0, false, true
+	}
+	st.seen[offset] = struct{}{}
+	st.received += size
+	if st.received >= st.total {
+		delete(a.inflight, key)
+		a.markDone(key)
+		return size, true, false
+	}
+	return size, false, false
+}
+
+// Done reports whether key completed reassembly and is still remembered.
+func (a *RangeAssembler) Done(key MsgKey) bool {
+	_, ok := a.done[key]
+	return ok
+}
+
+// Drop forgets an incomplete message, returning how many bytes it had
+// received. Receivers call this when a reclaim (epoch rewind) abandons a
+// holed buffer; the message's retransmit then reassembles from scratch.
+func (a *RangeAssembler) Drop(key MsgKey) int {
+	st, ok := a.inflight[key]
+	if !ok {
+		return 0
+	}
+	delete(a.inflight, key)
+	return st.received
+}
+
+// Pending returns the number of incomplete messages (for leak tests).
+func (a *RangeAssembler) Pending() int { return len(a.inflight) }
+
+func (a *RangeAssembler) markDone(key MsgKey) {
+	if len(a.doneFIFO) < doneRingCap {
+		a.doneFIFO = append(a.doneFIFO, key)
+	} else {
+		delete(a.done, a.doneFIFO[a.doneHead])
+		a.doneFIFO[a.doneHead] = key
+		a.doneHead = (a.doneHead + 1) % doneRingCap
+	}
+	a.done[key] = struct{}{}
+}

@@ -122,6 +122,7 @@ type Stats struct {
 	FencesHeld     uint64 // completion sends that had to wait for data
 	Drops          uint64
 	ReadsServed    uint64
+	DupPackets     uint64 // retransmit duplicates discarded by the receiver
 }
 
 // Endpoint is one node's RDMA instance (host verbs library + NIC model).
@@ -136,7 +137,8 @@ type Endpoint struct {
 
 	// Initiator-side bookkeeping.
 	pendingRegs  map[uint64]*RegOp
-	pendingAcks  map[uint64]func() // put msgID -> action on transport ACK
+	pendingAcks  map[uint64]func()     // put msgID -> action on transport ACK
+	pendingRel   map[uint64]reliableOp // msgID -> reliable op awaiting ack
 	pendingReads map[uint64]*ReadOp
 	readBuf      map[uint64][]byte
 	readAsm      *nic.Assembler
@@ -152,6 +154,7 @@ type Endpoint struct {
 	lastByteWaits []*LastByteWait
 	byteWaits     []*byteWait
 	asm           *nic.Assembler
+	relAsm        *nic.RangeAssembler // duplicate-aware reassembly of reliable ops
 
 	tracer *trace.Tracer
 	reg    *metrics.Registry
@@ -201,6 +204,7 @@ func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
 		nextRKey:     1,
 		pendingRegs:  make(map[uint64]*RegOp),
 		pendingAcks:  make(map[uint64]func()),
+		pendingRel:   make(map[uint64]reliableOp),
 		pendingReads: make(map[uint64]*ReadOp),
 		readBuf:      make(map[uint64][]byte),
 		readAsm:      nic.NewAssembler(),
@@ -209,6 +213,7 @@ func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
 		recvQueues:   make(map[qpKey][]*RecvOp),
 		pendingSends: make(map[qpKey][]*pendingSend),
 		asm:          nic.NewAssembler(),
+		relAsm:       nic.NewRangeAssembler(),
 	}
 	n.SetHandler(ep.handlePacket)
 	return ep
@@ -348,6 +353,11 @@ type command struct {
 	// wantAck asks the target NIC to emit a transport acknowledgment when
 	// the whole message has landed (RC write completion semantics).
 	wantAck bool
+	// reliable marks packets of a recovery-layer operation: the target
+	// deduplicates them by offset (retransmits reuse the msgID) and counts
+	// only unique bytes, so retransmitted packets can never falsely
+	// satisfy a fence or double-deliver a send.
+	reliable bool
 
 	// qp is the queue-pair index a send belongs to.
 	qp int

@@ -12,22 +12,24 @@ import "rvma/internal/sim"
 // placed into a posted buffer or explicitly dropped — bytes can neither
 // vanish nor be invented by the placement logic.
 type debugAccounting struct {
-	putBytesArrived uint64 // payload bytes of put packets entering handlePut
-	putBytesPlaced  uint64 // bytes steered or appended into buffers
-	putBytesDropped uint64 // bytes discarded by rejects (including lost tails)
+	putBytesArrived   uint64 // payload bytes of put packets entering handlePut
+	putBytesPlaced    uint64 // bytes steered or appended into buffers
+	putBytesDropped   uint64 // bytes discarded by rejects (including lost tails)
+	putBytesDuplicate uint64 // retransmit duplicates discarded by dedup
 }
 
 // debugCheckEndpoint asserts the endpoint-level conservation laws after
 // each received packet has been fully handled:
 //
-//   - put-byte conservation: arrived == placed + dropped
+//   - put-byte conservation: arrived == placed + dropped + duplicate
+//     (duplicates are retransmit re-hits the dedup layer discarded)
 //   - a NACK is only ever sent for a drop: Nacks <= Drops
 //   - per window: the completion counter never goes negative, and no
 //     buffer claims more bytes than its region holds
 func (ep *Endpoint) debugCheckEndpoint() {
-	sim.Assertf(ep.dbg.putBytesArrived == ep.dbg.putBytesPlaced+ep.dbg.putBytesDropped,
-		"rvma node %d put-byte conservation: arrived %d != placed %d + dropped %d",
-		ep.Node(), ep.dbg.putBytesArrived, ep.dbg.putBytesPlaced, ep.dbg.putBytesDropped)
+	sim.Assertf(ep.dbg.putBytesArrived == ep.dbg.putBytesPlaced+ep.dbg.putBytesDropped+ep.dbg.putBytesDuplicate,
+		"rvma node %d put-byte conservation: arrived %d != placed %d + dropped %d + duplicate %d",
+		ep.Node(), ep.dbg.putBytesArrived, ep.dbg.putBytesPlaced, ep.dbg.putBytesDropped, ep.dbg.putBytesDuplicate)
 	sim.Assertf(ep.Stats.Nacks <= ep.Stats.Drops,
 		"rvma node %d sent %d NACKs for only %d drops", ep.Node(), ep.Stats.Nacks, ep.Stats.Drops)
 	//rvmalint:allow maprange -- order-independent assertions, no state writes

@@ -77,6 +77,110 @@ func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *Pu
 	return op
 }
 
+// ReliablePut tracks a put whose target acknowledges full placement — the
+// sender-side handle the recovery layer drives. The wire protocol is the
+// ordinary unacknowledged put plus one NIC-generated ack control packet
+// on full reassembly, so the data path the paper argues for is unchanged;
+// only senders that opt into timeout/retransmit pay for return traffic.
+type ReliablePut struct {
+	dst    int
+	vaddr  VAddr
+	offset int
+	size   int
+	msgID  uint64
+
+	attempt *PutAttempt
+}
+
+// MsgID returns the operation's wire message id (stable across attempts:
+// retransmits reuse it so the target can deduplicate packets).
+func (rp *ReliablePut) MsgID() uint64 { return rp.msgID }
+
+// PutAttempt is one wire attempt of a reliable put. Each attempt gets
+// fresh futures because futures are one-shot and every attempt can fail
+// independently.
+type PutAttempt struct {
+	// Local completes when the initiating NIC has handed the attempt's
+	// last packet to the fabric.
+	Local *sim.Future
+	// Acked completes when the target acknowledged full placement of the
+	// message (any attempt's packets may have contributed).
+	Acked *sim.Future
+	// Nack completes if the target rejected a packet of this operation;
+	// its value is the error.
+	Nack *sim.Future
+}
+
+// PutNAcked initiates a reliable put (no payload bytes, like PutN) and
+// returns the operation handle plus its first attempt. The target window
+// must be Steered: offset-carrying packets are what make retransmitted
+// duplicates exact re-hits the receiver can discard.
+func (ep *Endpoint) PutNAcked(dst int, vaddr VAddr, offset, size int) (*ReliablePut, *PutAttempt) {
+	if size < 0 || offset < 0 {
+		panic(fmt.Sprintf("rvma: put with negative size %d or offset %d", size, offset))
+	}
+	rp := &ReliablePut{dst: dst, vaddr: vaddr, offset: offset, size: size, msgID: ep.nextMsgID}
+	ep.nextMsgID++
+	ep.pendingRel[rp.msgID] = rp
+	sp := ep.reg.BeginSpan(ep.Engine().Now(), metrics.SpanKey{Node: ep.Node(), ID: rp.msgID}, "rvma.put", ep.Node())
+	return rp, ep.sendAttempt(rp, sp)
+}
+
+// Retransmit re-sends a reliable put that has neither been acked nor
+// abandoned, reusing the message id so the target deduplicates against
+// packets of earlier attempts, and returns the fresh attempt.
+func (ep *Endpoint) Retransmit(rp *ReliablePut) *PutAttempt {
+	if _, ok := ep.pendingRel[rp.msgID]; !ok {
+		panic(fmt.Sprintf("rvma: retransmit of msg %d that is not pending", rp.msgID))
+	}
+	return ep.sendAttempt(rp, nil)
+}
+
+// AbandonPut drops a reliable put the recovery layer has given up on, so
+// a straggler ack cannot resolve a retired operation.
+func (ep *Endpoint) AbandonPut(rp *ReliablePut) {
+	delete(ep.pendingRel, rp.msgID)
+	if sp := ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: rp.msgID}); sp != nil {
+		eng := ep.Engine()
+		sp.Stage(eng.Now(), "abandon")
+		sp.End(eng.Now())
+	}
+}
+
+// sendAttempt issues one wire attempt of rp. The first attempt opens the
+// message span; retransmits ride the existing one.
+func (ep *Endpoint) sendAttempt(rp *ReliablePut, sp *metrics.Span) *PutAttempt {
+	ep.Stats.PutsInitiated++
+	at := &PutAttempt{Local: sim.NewFuture(), Acked: sim.NewFuture(), Nack: sim.NewFuture()}
+	rp.attempt = at
+
+	eng := ep.Engine()
+	post := ep.nic.Profile().HostPostOverhead
+	eng.Schedule(post, func() {
+		if sp != nil {
+			sp.Stage(eng.Now(), "host_post")
+		}
+		f := ep.nic.SendMessage(rp.dst, rp.size, func(off, n int) any {
+			return &command{
+				op:        opPut,
+				msgID:     rp.msgID,
+				vaddr:     rp.vaddr,
+				msgOffset: rp.offset,
+				pktOffset: off,
+				total:     rp.size,
+				wantAck:   true,
+			}
+		})
+		f.OnComplete(func() {
+			if sp != nil {
+				sp.Stage(eng.Now(), "nic_tx")
+			}
+			at.Local.Complete(eng, nil)
+		})
+	})
+	return at
+}
+
 // GetOp tracks one initiated get.
 type GetOp struct {
 	// Done completes when the full reply has arrived; in CarryData mode

@@ -27,6 +27,8 @@ func (ep *Endpoint) handlePacket(pkt *fabric.Packet) {
 		ep.handleGetReq(pkt, cmd)
 	case opGetReply:
 		ep.handleGetReply(pkt, cmd)
+	case opAck:
+		ep.handleAck(cmd)
 	default:
 		panic("rvma: unknown opcode")
 	}
@@ -67,6 +69,41 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 
 	size := pkt.Size
 	eng := ep.Engine()
+	key := nic.MsgKey{Src: pkt.Src, MsgID: cmd.msgID}
+
+	// Reliable (wantAck) puts pass through the duplicate-aware assembler
+	// before any placement or counting — but after every reject check, so
+	// a rejected packet's bytes are never marked seen and its retransmit
+	// counts fresh. Duplicates from overlapping attempts are discarded
+	// here: they must not inflate counters, high-water marks or epoch-ops
+	// progress, or a retransmit could falsely complete a holed buffer.
+	var relDone bool
+	if cmd.wantAck {
+		if w.mode != Steered {
+			panic("rvma: reliable put into a managed window (retransmit dedup needs offset placement)")
+		}
+		if cmd.msgOffset+cmd.pktOffset+size > buf.Region.Size() {
+			if sim.DebugEnabled {
+				ep.dbg.putBytesDropped += uint64(size)
+			}
+			ep.reject(pkt.Src, cmd, ErrNoBuffer)
+			return
+		}
+		_, done, dup := ep.relAsm.Add(key, cmd.pktOffset, size, cmd.total)
+		if dup {
+			if sim.DebugEnabled {
+				ep.dbg.putBytesDuplicate += uint64(size)
+			}
+			ep.Stats.DupPackets++
+			if ep.relAsm.Done(key) {
+				// Straggler of an already-placed message: the earlier ack
+				// may itself have been lost, so re-ack.
+				ep.sendAck(pkt.Src, cmd.msgID)
+			}
+			return
+		}
+		relDone = done
+	}
 
 	// Issue the payload DMA. The bus resource is FIFO, so the completion
 	// write issued below (if any) is ordered after this data write, which
@@ -156,7 +193,12 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 		}
 	}
 
-	msgDone := ep.asm.Add(nic.MsgKey{Src: pkt.Src, MsgID: cmd.msgID}, size, cmd.total)
+	msgDone := relDone
+	if !cmd.wantAck {
+		msgDone = ep.asm.Add(key, size, cmd.total)
+	} else if relDone {
+		ep.sendAck(pkt.Src, cmd.msgID)
+	}
 	if w.etype == EpochOps && msgDone {
 		w.counter++
 	}
@@ -207,6 +249,28 @@ func (ep *Endpoint) reject(src int, cmd *command, reason error) {
 	})
 }
 
+// sendAck emits the NIC-generated placement ack for a reliable put. Like
+// RDMA's put-ack it rides InjectControl: no host bus crossing, just the
+// send pipeline and the wire.
+func (ep *Endpoint) sendAck(src int, msgID uint64) {
+	ep.Stats.AcksSent++
+	ep.nic.InjectControl(src, &command{op: opAck, msgID: msgID})
+}
+
+// handleAck resolves a reliable put. Duplicate acks (retransmit raced the
+// first ack) find no pending operation and are ignored.
+func (ep *Endpoint) handleAck(cmd *command) {
+	rp, ok := ep.pendingRel[cmd.msgID]
+	if !ok {
+		return
+	}
+	delete(ep.pendingRel, cmd.msgID)
+	at := rp.attempt
+	if !at.Acked.Done() {
+		at.Acked.Complete(ep.Engine(), nil)
+	}
+}
+
 // handleNack resolves the pending operation's Nack future.
 func (ep *Endpoint) handleNack(cmd *command) {
 	eng := ep.Engine()
@@ -214,6 +278,19 @@ func (ep *Endpoint) handleNack(cmd *command) {
 		if op, ok := ep.pendingGets[cmd.msgID]; ok {
 			delete(ep.pendingGets, cmd.msgID)
 			op.Nack.Complete(eng, cmd.status)
+		}
+		return
+	}
+	if rp, ok := ep.pendingRel[cmd.msgID]; ok {
+		// Reliable puts survive NACKs: the operation stays pending (a
+		// retransmit may land once the target posts a buffer); only the
+		// current attempt learns of the rejection. Several packets of one
+		// attempt can each draw a NACK, and a straggler NACK from an old
+		// attempt can land after a retransmit started — both just re-fire
+		// the recovery layer's bounded retry, so the guard is a cheap
+		// Done check rather than attempt bookkeeping.
+		if at := rp.attempt; !at.Nack.Done() {
+			at.Nack.Complete(eng, cmd.status)
 		}
 		return
 	}

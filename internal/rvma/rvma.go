@@ -163,6 +163,9 @@ type Stats struct {
 	CatchAllHits     uint64
 	CounterSpills    uint64 // counter updates that paid the host-memory penalty
 	GetsServed       uint64
+	AcksSent         uint64 // placement acks for reliable (wantAck) puts
+	DupPackets       uint64 // retransmit duplicates discarded by the receiver
+	Rewinds          uint64 // Rewind calls (epoch recovery events)
 }
 
 // Endpoint is one node's RVMA instance: the host library and the NIC
@@ -181,11 +184,13 @@ type Endpoint struct {
 	asm       *nic.Assembler // op counting for EPOCH_OPS and managed mode
 	nextMsgID uint64
 
-	pendingPuts map[uint64]*PutOp // msgID -> op, for NACK correlation
-	pendingGets map[uint64]*GetOp // getID -> op
-	getAsm      *nic.Assembler    // reassembly of get replies
-	getBuf      map[uint64][]byte // partial get reply data (CarryData mode)
-	activeCtrs  int               // windows currently holding a HW counter
+	pendingPuts map[uint64]*PutOp       // msgID -> op, for NACK correlation
+	pendingGets map[uint64]*GetOp       // getID -> op
+	pendingRel  map[uint64]*ReliablePut // msgID -> reliable put awaiting ack
+	relAsm      *nic.RangeAssembler     // duplicate-aware reassembly of wantAck puts
+	getAsm      *nic.Assembler          // reassembly of get replies
+	getBuf      map[uint64][]byte       // partial get reply data (CarryData mode)
+	activeCtrs  int                     // windows currently holding a HW counter
 
 	tracer *trace.Tracer
 	reg    *metrics.Registry // for span lookup; nil when metrics detached
@@ -219,6 +224,8 @@ func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
 		asm:         nic.NewAssembler(),
 		pendingPuts: make(map[uint64]*PutOp),
 		pendingGets: make(map[uint64]*GetOp),
+		pendingRel:  make(map[uint64]*ReliablePut),
+		relAsm:      nic.NewRangeAssembler(),
 		getAsm:      nic.NewAssembler(),
 		getBuf:      make(map[uint64][]byte),
 	}
@@ -333,6 +340,10 @@ const (
 	opNack
 	opGetReq
 	opGetReply
+	// opAck acknowledges full placement of a reliable (wantAck) put. Plain
+	// RVMA puts stay unacknowledged — the ack exists only for senders that
+	// opted into the recovery layer's timeout/retransmit loop.
+	opAck
 )
 
 // command is the protocol payload carried in fabric packets.
@@ -344,6 +355,7 @@ type command struct {
 	pktOffset int    // offset of this packet's payload within the message
 	total     int    // total message payload bytes
 	data      []byte // this packet's payload bytes (nil when !CarryData)
+	wantAck   bool   // reliable put: target acks full placement (opAck)
 
 	// get fields
 	length int

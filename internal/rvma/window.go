@@ -81,6 +81,13 @@ type Window struct {
 	// EpochBytes completion).
 	pendingSpans []*metrics.Span
 
+	// maxRewound is the highest epoch ever handed back by Rewind (-1 until
+	// the first rewind). Recovery treats a rewound epoch as abandoned, so
+	// the completion unit must never complete an epoch at or below it —
+	// the "no completion after rewind of the same epoch" safety property
+	// (asserted under simdebug in completeHead).
+	maxRewound int64
+
 	// Stats.
 	MessagesPlaced uint64
 	BytesPlaced    uint64
@@ -105,7 +112,7 @@ func (ep *Endpoint) InitWindowMode(vaddr VAddr, threshold int64, etype EpochType
 	if _, exists := ep.lut[vaddr]; exists {
 		return nil, fmt.Errorf("%w: mailbox %#x already has a window", ErrBadArgument, vaddr)
 	}
-	w := &Window{ep: ep, vaddr: vaddr, threshold: threshold, etype: etype, mode: mode}
+	w := &Window{ep: ep, vaddr: vaddr, threshold: threshold, etype: etype, mode: mode, maxRewound: -1}
 	ep.lut[vaddr] = w
 	return w, nil
 }
@@ -337,6 +344,11 @@ func (w *Window) completeHead() *Buffer {
 	ep := w.ep
 	eng := ep.Engine()
 	buf := w.queue[0]
+	if sim.DebugEnabled {
+		sim.Assertf(buf.Epoch > w.maxRewound,
+			"rvma node %d win %#x completing epoch %d at or below rewound epoch %d",
+			ep.Node(), w.vaddr, buf.Epoch, w.maxRewound)
+	}
 	w.queue = w.queue[1:]
 	w.epoch++
 	ep.Stats.Completions++
@@ -431,12 +443,17 @@ func (w *Window) Rewind(k int) (*Buffer, error) {
 	if k > len(w.history) {
 		return nil, fmt.Errorf("%w: only %d epochs retained", ErrNoHistory, len(w.history))
 	}
+	w.ep.Stats.Rewinds++
 	w.ep.mRewinds.Add(1)
 	if w.ep.tracer != nil {
 		w.ep.tracer.Eventf(trace.CatRVMA, "node %d win %#x rewind k=%d",
 			w.ep.Node(), w.vaddr, k)
 	}
-	return w.history[len(w.history)-k], nil
+	buf := w.history[len(w.history)-k]
+	if buf.Epoch > w.maxRewound {
+		w.maxRewound = buf.Epoch
+	}
+	return buf, nil
 }
 
 // HistoryDepth returns how many completed epochs are currently retained.
