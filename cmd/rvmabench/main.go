@@ -47,6 +47,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent figure cells (0 = one per CPU); output is identical at any worker count")
 		dropRates   = flag.String("drop-rate", "", "comma-separated drop probabilities for the faults sweep (default 0.01,0.02,0.05,0.1)")
 		retryBudget = flag.Int("retry-budget", 0, "max retransmits per op in the faults sweep (0 = recovery default)")
+		tailK       = flag.Int("tail-k", 0, "worst-K depth of the latency-attribution tail exchange per cell (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -88,6 +89,9 @@ func main() {
 	}
 	if *retryBudget > 0 {
 		opt.RetryBudget = *retryBudget
+	}
+	if *tailK > 0 {
+		opt.TailK = *tailK
 	}
 	if *jsonOut != "" {
 		effective := opt.Workers

@@ -21,6 +21,12 @@
 //	-perfetto-out F    write a Chrome trace-event timeline to F; open it at
 //	                   ui.perfetto.dev (each node renders as a process,
 //	                   each span scope as a thread)
+//	-attrib-out F      decompose every message's end-to-end latency into
+//	                   per-stage wait vs service components, print the blame
+//	                   table and worst-K tail forensics, and write the full
+//	                   attribution report JSON to F
+//	-tail-k N          worst-K depth of the attribution tail exchange
+//	                   (default 8)
 //
 // Time-resolved telemetry flags:
 //
@@ -65,6 +71,7 @@ import (
 	"sync"
 	"time"
 
+	"rvma/internal/attrib"
 	"rvma/internal/fabric"
 	"rvma/internal/harness"
 	"rvma/internal/metrics"
@@ -96,6 +103,8 @@ func main() {
 		sampleIvl   = flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval (sim time)")
 		recDepth    = flag.Int("flight-recorder", 256, "flight recorder depth in events (0 disables)")
 		nackBurst   = flag.Float64("nack-burst", 0, "dump flight recorder when NACKs per sample window reach this (0 disables)")
+		attribOut   = flag.String("attrib-out", "", "write the latency-attribution report JSON to this file and print the blame table")
+		tailK       = flag.Int("tail-k", 8, "worst-K depth of the latency-attribution tail exchange")
 		seeds       = flag.Int("seeds", 1, "run this many seed replicas (seed, seed+1, ...) and report each plus the mean")
 		workers     = flag.Int("workers", 0, "replica concurrency for -seeds (0 = one per CPU)")
 		dropRate    = flag.Float64("drop-rate", 0, "uniform per-packet drop probability (shorthand for -fault-plan drop=P)")
@@ -170,7 +179,7 @@ func main() {
 	// single engine, so they require a single run.
 	if *seeds > 1 {
 		if *doTrace || *doSpans || *metricsOut != "" || *perfOut != "" ||
-			*tsOut != "" || *heatOut != "" || *nackBurst > 0 {
+			*tsOut != "" || *heatOut != "" || *nackBurst > 0 || *attribOut != "" {
 			fail("observability flags need a single run; drop them or set -seeds 1")
 		}
 		rep := replicaConfig{
@@ -244,15 +253,20 @@ func main() {
 		}()
 	}
 	var reg *metrics.Registry
-	if *doSpans || *metricsOut != "" || *perfOut != "" {
+	var attribCol *attrib.Collector
+	if *doSpans || *metricsOut != "" || *perfOut != "" || *attribOut != "" {
 		reg = metrics.NewRegistry()
-		if *doSpans || *perfOut != "" {
+		if *doSpans || *perfOut != "" || *attribOut != "" {
 			reg.EnableSpans()
 		}
 		if *perfOut != "" {
 			reg.EnableTimeline(0)
 		}
 		cluster.SetMetrics(reg)
+		if *attribOut != "" {
+			attribCol = attrib.NewCollector(*tailK)
+			cluster.AttachAttribution(reg, attribCol)
+		}
 		// Sample collector-backed gauges periodically so queue depths and
 		// utilization show their mid-run values, not just the final state.
 		cluster.Eng.SetHeartbeat(4096, reg.Collect)
@@ -301,6 +315,23 @@ func main() {
 		if open := reg.OpenSpans(); open > 0 {
 			fmt.Printf("spans still open at end of run: %d\n", open)
 		}
+	}
+	if *attribOut != "" {
+		f, err := os.Create(*attribOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := attribCol.WriteJSON(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Println("\nlatency attribution (wait vs service, per stage):")
+		attribCol.FprintBlame(os.Stdout)
+		attribCol.FprintTail(os.Stdout)
+		fmt.Printf("attribution: report written to %s (conservation violations: %d, open spans: %d)\n",
+			*attribOut, attribCol.Violations(), attribCol.Open())
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -1,0 +1,550 @@
+// Package attrib is the deterministic latency-attribution engine: it
+// listens to the span layer (metrics.SpanObserver) and decomposes every
+// message's end-to-end latency into per-stage wait vs service components,
+// aggregates per-cell "blame" profiles (per stage, per transport scope),
+// and keeps a worst-K tail exchange linking each of the slowest operations
+// to its causal context (attempt count, NACK/rewind/retransmit totals,
+// fabric congestion) sampled at the moment the operation ended.
+//
+// The engine is exact by construction: stage durations are integer
+// picoseconds and every span's stage marks telescope — each mark closes at
+// the time the next opens, and the ending mark closes at the span's end —
+// so per-stage durations sum to the measured end-to-end latency for every
+// message. SpanEnd checks that invariant per message (counting Violations,
+// and asserting under simdebug); the JSON export carries integer _ps sums
+// so external validators can re-check it without float rounding.
+//
+// All callbacks run synchronously on the engine goroutine in event order,
+// and every map iteration goes through sorted keys, so two runs of the
+// same cell — and merges of per-cell collectors in a fixed order — produce
+// byte-identical output.
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rvma/internal/metrics"
+	"rvma/internal/sim"
+)
+
+// StageRec is one closed pipeline stage of one message: dur is the stage's
+// wall (simulated) duration, of which wait was spent queued or blocked and
+// the remainder serviced. attempt tags which wire attempt of a
+// retransmitted operation the stage belongs to (0 = first transmission).
+type StageRec struct {
+	Stage   string
+	Attempt int
+	Dur     sim.Time
+	Wait    sim.Time
+}
+
+// ContextSample is one causal-context probe value snapshotted when a tail
+// operation ended.
+type ContextSample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// msgState accumulates the stages of one in-flight message.
+type msgState struct {
+	node   int
+	stages []StageRec
+	sum    sim.Time
+}
+
+// stageAgg aggregates one stage name within one scope.
+type stageAgg struct {
+	count   uint64
+	durSum  sim.Time
+	waitSum sim.Time
+	wait    *metrics.Histogram // wait component, ns
+	service *metrics.Histogram // service component, ns
+}
+
+// scopeAgg aggregates one span scope (one transport's message family).
+type scopeAgg struct {
+	messages uint64
+	statuses map[string]uint64
+	attempts uint64 // total wire attempts across messages
+	retried  uint64 // messages that needed more than one attempt
+	totalSum sim.Time
+	total    *metrics.Histogram
+	stages   map[string]*stageAgg
+}
+
+type contextProbe struct {
+	name string
+	fn   func() float64
+}
+
+// Collector is the attribution engine for one cell (or, after Merge, one
+// figure row). It implements metrics.SpanObserver.
+type Collector struct {
+	tailK      int
+	inflight   map[metrics.SpanKey]*msgState
+	scopes     map[string]*scopeAgg
+	tail       []TailEntry
+	probes     []contextProbe
+	violations uint64
+}
+
+// NewCollector returns a collector keeping the k slowest operations in its
+// tail exchange (k <= 0 selects the default of 8).
+func NewCollector(k int) *Collector {
+	if k <= 0 {
+		k = 8
+	}
+	return &Collector{
+		tailK:    k,
+		inflight: make(map[metrics.SpanKey]*msgState),
+		scopes:   make(map[string]*scopeAgg),
+	}
+}
+
+// AddContext registers a causal-context probe sampled (in registration
+// order) whenever an operation enters the tail exchange. Probes must be
+// cheap and side-effect free; they run on the engine goroutine.
+func (c *Collector) AddContext(name string, fn func() float64) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.probes = append(c.probes, contextProbe{name: name, fn: fn})
+}
+
+// Violations returns how many messages ended with stage durations that did
+// not sum to the measured end-to-end latency. Always zero unless a span
+// call site breaks the telescoping contract.
+func (c *Collector) Violations() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.violations
+}
+
+// Open returns the number of messages with recorded stages that have not
+// ended yet (should be zero after a drained run).
+func (c *Collector) Open() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.inflight)
+}
+
+func (c *Collector) scope(name string) *scopeAgg {
+	sa, ok := c.scopes[name]
+	if !ok {
+		sa = &scopeAgg{
+			statuses: make(map[string]uint64),
+			total:    new(metrics.Histogram),
+			stages:   make(map[string]*stageAgg),
+		}
+		c.scopes[name] = sa
+	}
+	return sa
+}
+
+func (sa *scopeAgg) stage(name string) *stageAgg {
+	g, ok := sa.stages[name]
+	if !ok {
+		g = &stageAgg{wait: new(metrics.Histogram), service: new(metrics.Histogram)}
+		sa.stages[name] = g
+	}
+	return g
+}
+
+// SpanStage implements metrics.SpanObserver: it buffers the stage on the
+// message's in-flight record (aggregation waits for SpanEnd so abandoned
+// and completed messages attribute alike).
+func (c *Collector) SpanStage(key metrics.SpanKey, scope, stage string, node, attempt int, from, dur, wait sim.Time) {
+	if c == nil {
+		return
+	}
+	st, ok := c.inflight[key]
+	if !ok {
+		st = &msgState{}
+		c.inflight[key] = st
+	}
+	st.node = node
+	st.stages = append(st.stages, StageRec{Stage: stage, Attempt: attempt, Dur: dur, Wait: wait})
+	st.sum += dur
+}
+
+// SpanEnd implements metrics.SpanObserver: it checks stage conservation,
+// folds the message into its scope's blame profile, and offers it to the
+// tail exchange.
+func (c *Collector) SpanEnd(key metrics.SpanKey, scope, status string, attempts, node int, start, end sim.Time) {
+	if c == nil {
+		return
+	}
+	st, ok := c.inflight[key]
+	if ok {
+		delete(c.inflight, key)
+	} else {
+		st = &msgState{node: node}
+	}
+	total := end - start
+	if st.sum != total {
+		c.violations++
+		if sim.DebugEnabled {
+			sim.Assertf(false,
+				"attrib: span %s %d/%d stage sum %s != end-to-end %s (conservation violated)",
+				scope, key.Node, key.ID, st.sum, total)
+		}
+	}
+
+	sa := c.scope(scope)
+	sa.messages++
+	sa.statuses[status]++
+	sa.attempts += uint64(attempts)
+	if attempts > 1 {
+		sa.retried++
+	}
+	sa.totalSum += total
+	sa.total.ObserveTime(total)
+	for i := range st.stages {
+		r := &st.stages[i]
+		g := sa.stage(r.Stage)
+		g.count++
+		g.durSum += r.Dur
+		g.waitSum += r.Wait
+		g.wait.ObserveTime(r.Wait)
+		g.service.ObserveTime(r.Dur - r.Wait)
+	}
+
+	c.offerTail(TailEntry{
+		Node: key.Node, ID: key.ID, Scope: scope, Status: status,
+		Attempts: attempts, Start: start, End: end, Total: total,
+		Stages: st.stages,
+	})
+}
+
+// snapshotContext samples every registered probe, in registration order.
+func (c *Collector) snapshotContext() []ContextSample {
+	if len(c.probes) == 0 {
+		return nil
+	}
+	out := make([]ContextSample, len(c.probes))
+	for i, p := range c.probes {
+		out[i] = ContextSample{Name: p.name, Value: p.fn()}
+	}
+	return out
+}
+
+// Merge folds every aggregate of o into c, iterating scopes, statuses and
+// stages in sorted-key order so that merging per-cell collectors in a
+// fixed canonical order yields byte-identical output at any worker count.
+// Tail entries keep the context sampled in their original cell.
+func (c *Collector) Merge(o *Collector) {
+	if c == nil || o == nil {
+		return
+	}
+	c.violations += o.violations
+	for _, scope := range sortedKeys(o.scopes) {
+		os := o.scopes[scope]
+		sa := c.scope(scope)
+		sa.messages += os.messages
+		sa.attempts += os.attempts
+		sa.retried += os.retried
+		sa.totalSum += os.totalSum
+		sa.total.Merge(os.total)
+		for _, k := range sortedKeys(os.statuses) {
+			sa.statuses[k] += os.statuses[k]
+		}
+		for _, name := range sortedKeys(os.stages) {
+			og := os.stages[name]
+			g := sa.stage(name)
+			g.count += og.count
+			g.durSum += og.durSum
+			g.waitSum += og.waitSum
+			g.wait.Merge(og.wait)
+			g.service.Merge(og.service)
+		}
+	}
+	for i := range o.tail {
+		c.insertTail(o.tail[i])
+	}
+}
+
+// sortedKeys returns m's keys in ascending order; every map iteration in
+// this package goes through it to keep output deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// stageRank fixes the pipeline order for reports; unknown stages sort
+// after the known ones, alphabetically.
+var stageRank = map[string]int{
+	"host_post":  0,
+	"nic_tx":     1,
+	"wire":       2,
+	"place":      3,
+	"complete":   4,
+	"fence_hold": 5,
+	"retry_wait": 6,
+	"nack":       7,
+	"abandon":    8,
+}
+
+// orderedStages returns the scope's stage names in pipeline order.
+func orderedStages(sa *scopeAgg) []string {
+	names := sortedKeys(sa.stages)
+	sort.SliceStable(names, func(i, j int) bool {
+		ri, iok := stageRank[names[i]]
+		rj, jok := stageRank[names[j]]
+		if !iok {
+			ri = len(stageRank)
+		}
+		if !jok {
+			rj = len(stageRank)
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Scopes returns the collector's scope names, sorted.
+func (c *Collector) Scopes() []string {
+	if c == nil {
+		return nil
+	}
+	return sortedKeys(c.scopes)
+}
+
+// BlameRow is one stage's aggregate, exported for report builders.
+type BlameRow struct {
+	Stage      string
+	Count      uint64
+	Share      float64 // fraction of the scope's total end-to-end time
+	WaitShare  float64 // fraction of the stage's time spent waiting
+	WaitP50Ns  float64
+	WaitP99Ns  float64
+	WaitP999Ns float64
+	SvcP50Ns   float64
+	SvcP99Ns   float64
+	SvcP999Ns  float64
+}
+
+// Blame returns the per-stage blame profile of one scope, in pipeline
+// order (nil for an unknown scope).
+func (c *Collector) Blame(scope string) []BlameRow {
+	if c == nil {
+		return nil
+	}
+	sa, ok := c.scopes[scope]
+	if !ok {
+		return nil
+	}
+	rows := make([]BlameRow, 0, len(sa.stages))
+	for _, name := range orderedStages(sa) {
+		g := sa.stages[name]
+		row := BlameRow{
+			Stage: name, Count: g.count,
+			WaitP50Ns: g.wait.Quantile(0.50), WaitP99Ns: g.wait.Quantile(0.99), WaitP999Ns: g.wait.Quantile(0.999),
+			SvcP50Ns: g.service.Quantile(0.50), SvcP99Ns: g.service.Quantile(0.99), SvcP999Ns: g.service.Quantile(0.999),
+		}
+		if sa.totalSum > 0 {
+			row.Share = float64(g.durSum) / float64(sa.totalSum)
+		}
+		if g.durSum > 0 {
+			row.WaitShare = float64(g.waitSum) / float64(g.durSum)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ScopeSummary is one scope's message-level aggregate.
+type ScopeSummary struct {
+	Messages   uint64
+	Completed  uint64
+	Nacked     uint64
+	Abandoned  uint64
+	Retried    uint64
+	Attempts   uint64
+	TotalP50Ns float64
+	TotalP99Ns float64
+}
+
+// Summary returns scope-level counts and end-to-end quantiles.
+func (c *Collector) Summary(scope string) ScopeSummary {
+	if c == nil {
+		return ScopeSummary{}
+	}
+	sa, ok := c.scopes[scope]
+	if !ok {
+		return ScopeSummary{}
+	}
+	return ScopeSummary{
+		Messages:   sa.messages,
+		Completed:  sa.statuses["completed"],
+		Nacked:     sa.statuses["nacked"],
+		Abandoned:  sa.statuses["abandoned"],
+		Retried:    sa.retried,
+		Attempts:   sa.attempts,
+		TotalP50Ns: sa.total.Quantile(0.50),
+		TotalP99Ns: sa.total.Quantile(0.99),
+	}
+}
+
+// FprintBlame writes the per-stage blame tables, one per scope.
+func (c *Collector) FprintBlame(w io.Writer) {
+	if c == nil {
+		return
+	}
+	for _, scope := range sortedKeys(c.scopes) {
+		sa := c.scopes[scope]
+		fmt.Fprintf(w, "== latency attribution: %s ==\n", scope)
+		fmt.Fprintf(w, "messages %d", sa.messages)
+		for _, st := range sortedKeys(sa.statuses) {
+			fmt.Fprintf(w, "  %s %d", st, sa.statuses[st])
+		}
+		if sa.messages > 0 {
+			fmt.Fprintf(w, "  retried %d  attempts/msg %.3f",
+				sa.retried, float64(sa.attempts)/float64(sa.messages))
+		}
+		fmt.Fprintf(w, "\nend-to-end p50 %s  p99 %s  p99.9 %s\n",
+			fmtNs(sa.total.Quantile(0.50)), fmtNs(sa.total.Quantile(0.99)), fmtNs(sa.total.Quantile(0.999)))
+		fmt.Fprintf(w, "%-10s %9s %7s %7s %11s %11s %11s %11s %11s %11s\n",
+			"stage", "count", "share", "wait%",
+			"wait.p50", "wait.p99", "wait.p99.9", "svc.p50", "svc.p99", "svc.p99.9")
+		for _, row := range c.Blame(scope) {
+			fmt.Fprintf(w, "%-10s %9d %6.1f%% %6.1f%% %11s %11s %11s %11s %11s %11s\n",
+				row.Stage, row.Count, row.Share*100, row.WaitShare*100,
+				fmtNs(row.WaitP50Ns), fmtNs(row.WaitP99Ns), fmtNs(row.WaitP999Ns),
+				fmtNs(row.SvcP50Ns), fmtNs(row.SvcP99Ns), fmtNs(row.SvcP999Ns))
+		}
+	}
+}
+
+// fmtNs renders a nanosecond value as a human-scale duration.
+func fmtNs(ns float64) string { return sim.FromNanos(ns).String() }
+
+// JSON export shapes. Time sums are integer picoseconds (exact — external
+// validators re-check stage conservation on them); quantiles are float
+// nanoseconds. All arrays are sorted, so output is byte-deterministic.
+
+type stageJSON struct {
+	Stage      string  `json:"stage"`
+	Count      uint64  `json:"count"`
+	DurPs      int64   `json:"dur_ps"`
+	WaitPs     int64   `json:"wait_ps"`
+	WaitP50Ns  float64 `json:"wait_p50_ns"`
+	WaitP99Ns  float64 `json:"wait_p99_ns"`
+	WaitP999Ns float64 `json:"wait_p999_ns"`
+	SvcP50Ns   float64 `json:"service_p50_ns"`
+	SvcP99Ns   float64 `json:"service_p99_ns"`
+	SvcP999Ns  float64 `json:"service_p999_ns"`
+}
+
+type statusJSON struct {
+	Status string `json:"status"`
+	Count  uint64 `json:"count"`
+}
+
+type scopeJSON struct {
+	Scope      string       `json:"scope"`
+	Messages   uint64       `json:"messages"`
+	Attempts   uint64       `json:"attempts"`
+	Retried    uint64       `json:"retried"`
+	Statuses   []statusJSON `json:"statuses"`
+	TotalPs    int64        `json:"total_ps"`
+	TotalP50Ns float64      `json:"total_p50_ns"`
+	TotalP99Ns float64      `json:"total_p99_ns"`
+	TotalP999  float64      `json:"total_p999_ns"`
+	Stages     []stageJSON  `json:"stages"`
+}
+
+type tailStageJSON struct {
+	Stage   string `json:"stage"`
+	Attempt int    `json:"attempt"`
+	DurPs   int64  `json:"dur_ps"`
+	WaitPs  int64  `json:"wait_ps"`
+}
+
+type tailJSON struct {
+	Node     int             `json:"node"`
+	ID       uint64          `json:"id"`
+	Scope    string          `json:"scope"`
+	Status   string          `json:"status"`
+	Attempts int             `json:"attempts"`
+	StartPs  int64           `json:"start_ps"`
+	EndPs    int64           `json:"end_ps"`
+	TotalPs  int64           `json:"total_ps"`
+	Stages   []tailStageJSON `json:"stages"`
+	Context  []ContextSample `json:"context,omitempty"`
+}
+
+type attribJSON struct {
+	Scopes     []scopeJSON `json:"scopes"`
+	Tail       []tailJSON  `json:"tail"`
+	Violations uint64      `json:"violations"`
+	Open       int         `json:"open"`
+}
+
+// WriteJSON writes the full attribution state — blame profiles, tail
+// exchange, conservation counters — as one indented JSON object.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	if c == nil {
+		return fmt.Errorf("attrib: nil collector")
+	}
+	out := attribJSON{
+		Scopes:     make([]scopeJSON, 0, len(c.scopes)),
+		Tail:       make([]tailJSON, 0, len(c.tail)),
+		Violations: c.violations,
+		Open:       len(c.inflight),
+	}
+	for _, scope := range sortedKeys(c.scopes) {
+		sa := c.scopes[scope]
+		sj := scopeJSON{
+			Scope: scope, Messages: sa.messages, Attempts: sa.attempts, Retried: sa.retried,
+			TotalPs:    int64(sa.totalSum),
+			TotalP50Ns: sa.total.Quantile(0.50),
+			TotalP99Ns: sa.total.Quantile(0.99),
+			TotalP999:  sa.total.Quantile(0.999),
+			Statuses:   make([]statusJSON, 0, len(sa.statuses)),
+			Stages:     make([]stageJSON, 0, len(sa.stages)),
+		}
+		for _, st := range sortedKeys(sa.statuses) {
+			sj.Statuses = append(sj.Statuses, statusJSON{Status: st, Count: sa.statuses[st]})
+		}
+		for _, name := range orderedStages(sa) {
+			g := sa.stages[name]
+			sj.Stages = append(sj.Stages, stageJSON{
+				Stage: name, Count: g.count,
+				DurPs: int64(g.durSum), WaitPs: int64(g.waitSum),
+				WaitP50Ns: g.wait.Quantile(0.50), WaitP99Ns: g.wait.Quantile(0.99), WaitP999Ns: g.wait.Quantile(0.999),
+				SvcP50Ns: g.service.Quantile(0.50), SvcP99Ns: g.service.Quantile(0.99), SvcP999Ns: g.service.Quantile(0.999),
+			})
+		}
+		out.Scopes = append(out.Scopes, sj)
+	}
+	for i := range c.tail {
+		e := &c.tail[i]
+		tj := tailJSON{
+			Node: e.Node, ID: e.ID, Scope: e.Scope, Status: e.Status, Attempts: e.Attempts,
+			StartPs: int64(e.Start), EndPs: int64(e.End), TotalPs: int64(e.Total),
+			Stages:  make([]tailStageJSON, 0, len(e.Stages)),
+			Context: e.Context,
+		}
+		for _, s := range e.Stages {
+			tj.Stages = append(tj.Stages, tailStageJSON{
+				Stage: s.Stage, Attempt: s.Attempt, DurPs: int64(s.Dur), WaitPs: int64(s.Wait),
+			})
+		}
+		out.Tail = append(out.Tail, tj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,220 @@
+package attrib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rvma/internal/metrics"
+	"rvma/internal/sim"
+)
+
+// feedSpan plays one message through a span-enabled registry wired to the
+// collector: stages are (name, endTime, wait) triples applied in order.
+func feedSpan(reg *metrics.Registry, node int, id uint64, scope string, start sim.Time, stages []struct {
+	name string
+	at   sim.Time
+	wait sim.Time
+}, status string) {
+	sp := reg.BeginSpan(start, metrics.SpanKey{Node: node, ID: id}, scope, node)
+	last := len(stages) - 1
+	for i, s := range stages {
+		if i == last && status != "completed" {
+			break
+		}
+		sp.StageWait(s.at, s.name, s.wait)
+	}
+	switch status {
+	case "completed":
+		sp.End(stages[last].at)
+	case "nacked":
+		sp.EndNacked(stages[last].at)
+	case "abandoned":
+		sp.EndAbandoned(stages[last].at)
+	}
+}
+
+// collectorWith returns a registry+collector pair wired together.
+func collectorWith(k int) (*metrics.Registry, *Collector) {
+	reg := metrics.NewRegistry()
+	reg.EnableSpans()
+	col := NewCollector(k)
+	reg.SetSpanObserver(col)
+	return reg, col
+}
+
+var pipelineStages = []struct {
+	name string
+	at   sim.Time
+	wait sim.Time
+}{
+	{"host_post", 100, 0},
+	{"nic_tx", 400, 200},
+	{"wire", 2400, 1500},
+	{"place", 2600, 50},
+	{"complete", 2700, 0},
+}
+
+// TestConservationAndBlame checks the collector's core contract: per-stage
+// durations sum to end-to-end for every message (zero violations), the
+// blame profile's shares sum to one, and scope summaries count statuses.
+func TestConservationAndBlame(t *testing.T) {
+	reg, col := collectorWith(0)
+	for id := uint64(0); id < 10; id++ {
+		feedSpan(reg, 1, id, "rvma.put", 0, pipelineStages, "completed")
+	}
+	feedSpan(reg, 2, 100, "rvma.put", 0, pipelineStages, "nacked")
+	feedSpan(reg, 2, 101, "rvma.put", 0, pipelineStages, "abandoned")
+
+	if v := col.Violations(); v != 0 {
+		t.Fatalf("Violations() = %d, want 0", v)
+	}
+	if open := col.Open(); open != 0 {
+		t.Fatalf("Open() = %d, want 0", open)
+	}
+	sum := col.Summary("rvma.put")
+	if sum.Messages != 12 || sum.Completed != 10 || sum.Nacked != 1 || sum.Abandoned != 1 {
+		t.Fatalf("summary %+v, want 12 messages (10/1/1)", sum)
+	}
+
+	var share float64
+	for _, row := range col.Blame("rvma.put") {
+		share += row.Share
+		if row.WaitShare < 0 || row.WaitShare > 1 {
+			t.Errorf("stage %s: wait share %g outside [0, 1]", row.Stage, row.WaitShare)
+		}
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("blame shares sum to %g, want 1 (stages must cover the whole latency)", share)
+	}
+
+	// Pipeline ordering: host_post must lead, terminal statuses trail.
+	rows := col.Blame("rvma.put")
+	if rows[0].Stage != "host_post" {
+		t.Fatalf("first blame row is %q, want host_post", rows[0].Stage)
+	}
+}
+
+// TestConservationViolationCounted checks a broken call site (stage sum !=
+// end-to-end) is detected and counted rather than silently aggregated.
+func TestConservationViolationCounted(t *testing.T) {
+	if sim.DebugEnabled {
+		t.Skip("simdebug turns the violation counter into a hard assert")
+	}
+	col := NewCollector(0)
+	key := metrics.SpanKey{Node: 1, ID: 1}
+	col.SpanStage(key, "rvma.put", "host_post", 1, 0, 0, 100, 0)
+	col.SpanEnd(key, "rvma.put", "completed", 1, 1, 0, 999) // stages say 100
+	if v := col.Violations(); v != 1 {
+		t.Fatalf("Violations() = %d, want 1", v)
+	}
+}
+
+// TestMergeDeterministic checks the harness's merge path: folding per-cell
+// collectors in a fixed order produces byte-identical JSON to feeding one
+// collector serially — the property that makes blame tables identical at
+// any worker count.
+func TestMergeDeterministic(t *testing.T) {
+	regAll, colAll := collectorWith(4)
+	regA, colA := collectorWith(4)
+	regB, colB := collectorWith(4)
+
+	for id := uint64(0); id < 6; id++ {
+		start := sim.Time(id) * 10
+		stages := append([]struct {
+			name string
+			at   sim.Time
+			wait sim.Time
+		}(nil), pipelineStages...)
+		for i := range stages {
+			stages[i].at += start
+		}
+		feedSpan(regAll, 1, id, "rvma.put", start, stages, "completed")
+		if id < 3 {
+			feedSpan(regA, 1, id, "rvma.put", start, stages, "completed")
+		} else {
+			feedSpan(regB, 1, id, "rvma.put", start, stages, "completed")
+		}
+	}
+
+	merged := NewCollector(4)
+	merged.Merge(colA)
+	merged.Merge(colB)
+
+	var serial, viaMerge bytes.Buffer
+	if err := colAll.WriteJSON(&serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&viaMerge); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != viaMerge.String() {
+		t.Fatalf("merged JSON differs from serial JSON:\n--- serial ---\n%s\n--- merged ---\n%s",
+			serial.String(), viaMerge.String())
+	}
+}
+
+// TestTailExchange checks the worst-K tail: slowest-first ordering,
+// trimming to K, retained stage decomposition, and context probes sampled
+// only for qualifying operations.
+func TestTailExchange(t *testing.T) {
+	reg, col := collectorWith(3)
+	probes := 0
+	col.AddContext("probe", func() float64 { probes++; return float64(probes) })
+
+	totals := []sim.Time{500, 2700, 100, 9000, 1300, 60}
+	for i, total := range totals {
+		key := metrics.SpanKey{Node: i, ID: uint64(i)}
+		sp := reg.BeginSpan(0, key, "rvma.put", i)
+		sp.StageWait(total, "wire", total/2)
+		sp.End(total)
+	}
+
+	tail := col.Tail()
+	if len(tail) != 3 {
+		t.Fatalf("tail has %d entries, want 3", len(tail))
+	}
+	want := []sim.Time{9000, 2700, 1300}
+	for i, e := range tail {
+		if e.Total != want[i] {
+			t.Fatalf("tail[%d].Total = %d, want %d (slowest first)", i, e.Total, want[i])
+		}
+		if len(e.Stages) == 0 || e.Stages[0].Stage != "wire" {
+			t.Fatalf("tail[%d] lost its stage decomposition: %+v", i, e.Stages)
+		}
+		if len(e.Context) != 1 {
+			t.Fatalf("tail[%d] has %d context samples, want 1", i, len(e.Context))
+		}
+	}
+	// Everything qualified while the exchange was filling or displacing
+	// slower entries — except the final 60ps op, which arrived with three
+	// slower entries already held and must not have run the probes.
+	if probes != 5 {
+		t.Fatalf("context probes ran %d times, want 5 (fast path must not sample)", probes)
+	}
+
+	var buf bytes.Buffer
+	col.FprintTail(&buf)
+	if !strings.Contains(buf.String(), "worst 3") {
+		t.Fatalf("FprintTail output missing header:\n%s", buf.String())
+	}
+}
+
+// TestWriteJSONShape spot-checks the export invariants external validators
+// rely on: integer picosecond sums present and stage dur_ps summing to the
+// scope total_ps.
+func TestWriteJSONShape(t *testing.T) {
+	reg, col := collectorWith(2)
+	feedSpan(reg, 0, 1, "rvma.put", 0, pipelineStages, "completed")
+
+	var buf bytes.Buffer
+	if err := col.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"dur_ps"`, `"wait_ps"`, `"total_ps"`, `"violations": 0`, `"open": 0`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON export missing %s:\n%s", want, out)
+		}
+	}
+}

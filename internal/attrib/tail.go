@@ -1,0 +1,100 @@
+package attrib
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rvma/internal/sim"
+)
+
+// TailEntry is one operation in the worst-K tail exchange: the message's
+// identity, how it ended, its full per-stage decomposition, and the
+// causal-context probe values sampled the moment it ended.
+type TailEntry struct {
+	Node     int // initiating node (the span key's node)
+	ID       uint64
+	Scope    string
+	Status   string
+	Attempts int
+	Start    sim.Time
+	End      sim.Time
+	Total    sim.Time
+	Stages   []StageRec
+	Context  []ContextSample
+}
+
+// tailLess orders tail entries: slowest first, ties broken by end time,
+// then initiating node, then message id — a total order, so the exchange
+// is deterministic and merges identically at any worker count.
+func tailLess(a, b *TailEntry) bool {
+	if a.Total != b.Total {
+		return a.Total > b.Total
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.ID < b.ID
+}
+
+// offerTail considers a freshly ended operation for the exchange,
+// snapshotting the context probes only if it qualifies (probes never run
+// for the fast path).
+func (c *Collector) offerTail(e TailEntry) {
+	if len(c.tail) >= c.tailK && !tailLess(&e, &c.tail[len(c.tail)-1]) {
+		return
+	}
+	e.Context = c.snapshotContext()
+	c.insertTail(e)
+}
+
+// insertTail places e at its sorted position and trims to K entries.
+func (c *Collector) insertTail(e TailEntry) {
+	i := sort.Search(len(c.tail), func(i int) bool { return tailLess(&e, &c.tail[i]) })
+	c.tail = append(c.tail, TailEntry{})
+	copy(c.tail[i+1:], c.tail[i:])
+	c.tail[i] = e
+	if len(c.tail) > c.tailK {
+		c.tail = c.tail[:c.tailK]
+	}
+}
+
+// Tail returns the worst-K entries, slowest first.
+func (c *Collector) Tail() []TailEntry {
+	if c == nil {
+		return nil
+	}
+	return c.tail
+}
+
+// FprintTail writes the tail exchange as a forensics report: one block per
+// slow operation with its stage decomposition and sampled context.
+func (c *Collector) FprintTail(w io.Writer) {
+	if c == nil || len(c.tail) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "== tail exchange: worst %d ==\n", len(c.tail))
+	for i := range c.tail {
+		e := &c.tail[i]
+		fmt.Fprintf(w, "#%d %s node %d msg %d: %s, %d attempt(s), total %s [%s .. %s]\n",
+			i+1, e.Scope, e.Node, e.ID, e.Status, e.Attempts, e.Total, e.Start, e.End)
+		for _, s := range e.Stages {
+			tag := ""
+			if s.Attempt > 0 {
+				tag = fmt.Sprintf(" (attempt %d)", s.Attempt)
+			}
+			fmt.Fprintf(w, "    %-10s %12s  wait %12s  service %12s%s\n",
+				s.Stage, s.Dur, s.Wait, s.Dur-s.Wait, tag)
+		}
+		if len(e.Context) > 0 {
+			fmt.Fprintf(w, "    context:")
+			for _, cs := range e.Context {
+				fmt.Fprintf(w, " %s=%g", cs.Name, cs.Value)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

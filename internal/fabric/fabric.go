@@ -156,8 +156,14 @@ type Packet struct {
 	Payload any
 
 	// Bookkeeping maintained by the fabric.
-	Injected  sim.Time
-	Hops      int
+	Injected sim.Time
+	Hops     int
+	// QueueWait accumulates the time this packet spent queued for
+	// contended resources (host injection link, switch crossbars, output
+	// ports) rather than being serialized or on a cable. The receiving
+	// protocol layer reads it to attribute the wire stage's wait
+	// component.
+	QueueWait sim.Time
 	misrouted bool
 }
 
@@ -429,9 +435,25 @@ func (n *Network) Inject(pkt *Packet) {
 
 	ser := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps)
 	txDone := n.hostTx[pkt.Src].Acquire(n.eng, ser)
+	pkt.QueueWait += txDone - pkt.Injected - ser
 	arrive := txDone + n.linkDelay()
 	sw, _ := n.topo.HostPort(pkt.Src)
 	n.eng.At(arrive, func() { n.atSwitch(sw, pkt) })
+}
+
+// MaxQueueBacklog returns the largest backlog any switch output port
+// holds at the current time — the attribution layer samples it as the
+// "switch congestion right now" context for tail operations.
+func (n *Network) MaxQueueBacklog() sim.Time {
+	var max sim.Time
+	for _, ports := range n.outPorts {
+		for _, p := range ports {
+			if b := p.Backlog(n.eng); b > max {
+				max = b
+			}
+		}
+	}
+	return max
 }
 
 // linkDelay returns the (possibly jittered) cable latency for one hop.
@@ -459,6 +481,7 @@ func (n *Network) atSwitch(sw int, pkt *Packet) {
 	xbarDone := n.xbars[sw].AcquireAt(now, xbarHold)
 	ser := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps)
 	txDone := n.outPorts[sw][outPort].AcquireAt(xbarDone+n.cfg.SwitchLatency, ser)
+	pkt.QueueWait += (xbarDone - now - xbarHold) + (txDone - xbarDone - n.cfg.SwitchLatency - ser)
 	arrive := txDone + n.linkDelay()
 
 	switch port.Kind {

@@ -46,6 +46,9 @@ type Options struct {
 	// RetryBudget overrides the recovery layer's per-operation retransmit
 	// budget in the FaultSweep (0 keeps recovery.DefaultConfig's).
 	RetryBudget int
+	// TailK is the worst-K depth of each cell's latency-attribution tail
+	// exchange (0 keeps the attrib default of 8).
+	TailK int
 }
 
 // workerCount resolves Options.Workers: 0 (the default) saturates the

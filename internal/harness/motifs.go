@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rvma/internal/attrib"
 	"rvma/internal/fabric"
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
@@ -74,6 +75,7 @@ type cellInstr struct {
 	reg     *metrics.Registry
 	sampler *telemetry.Sampler
 	bench   *BenchLog
+	attrib  *attrib.Collector
 	cell    string // bench/telemetry label: "motif|network|transport|gbps"
 }
 
@@ -108,6 +110,9 @@ func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.T
 	}
 	if inst.reg != nil {
 		c.SetMetrics(inst.reg)
+		if inst.attrib != nil {
+			c.AttachAttribution(inst.reg, inst.attrib)
+		}
 	}
 	if inst.sampler != nil {
 		c.RegisterTelemetry(inst.sampler)
@@ -232,7 +237,60 @@ func motifFigure(o Options, m MotifName, figure string) *Table {
 			sum/float64(len(speedups)), len(speedups), best, bestAt)
 	}
 	t.AddNote("RDMA is specification-compliant (trailing send/recv completion) under every routing mode, as in the paper's SST model")
+	if sec := attributionSection(o, outs); sec != nil {
+		t.Sections = append(t.Sections, sec)
+	}
 	return t
+}
+
+// attributionSection merges every successful cell's attribution collector —
+// always in spec order, never completion order, so the section's bytes do
+// not depend on Options.Workers — and renders the figure-level per-stage
+// blame profile, one collector per transport.
+func attributionSection(o Options, outs []cellOutput) *Table {
+	rv := attrib.NewCollector(o.TailK)
+	rd := attrib.NewCollector(o.TailK)
+	for i := range outs {
+		out := &outs[i]
+		if out.Err != nil || out.Attrib == nil {
+			continue
+		}
+		if out.Spec.Kind == motif.KindRVMA {
+			rv.Merge(out.Attrib)
+		} else {
+			rd.Merge(out.Attrib)
+		}
+	}
+	sec := &Table{
+		Title: "Latency attribution (per-stage, wait vs service)",
+		Header: []string{"transport", "stage", "count", "share", "wait%",
+			"wait p99", "wait p99.9", "svc p99", "svc p99.9"},
+	}
+	ns := func(v float64) string { return sim.FromNanos(v).String() }
+	addScopes := func(kind string, col *attrib.Collector) {
+		for _, scope := range col.Scopes() {
+			s := col.Summary(scope)
+			for _, row := range col.Blame(scope) {
+				sec.AddRow(kind, row.Stage, fmt.Sprintf("%d", row.Count),
+					fmt.Sprintf("%.1f%%", row.Share*100),
+					fmt.Sprintf("%.1f%%", row.WaitShare*100),
+					ns(row.WaitP99Ns), ns(row.WaitP999Ns),
+					ns(row.SvcP99Ns), ns(row.SvcP999Ns))
+			}
+			sec.AddNote("%s %s: %d messages (%d completed, %d nacked, %d abandoned, %d retried), e2e p50 %s p99 %s",
+				kind, scope, s.Messages, s.Completed, s.Nacked, s.Abandoned, s.Retried,
+				ns(s.TotalP50Ns), ns(s.TotalP99Ns))
+		}
+		if v := col.Violations(); v > 0 {
+			sec.AddNote("WARNING: %s stage-conservation violations: %d", kind, v)
+		}
+	}
+	addScopes("RVMA", rv)
+	addScopes("RDMA", rd)
+	if len(sec.Rows) == 0 {
+		return nil
+	}
+	return sec
 }
 
 // Fig7 reproduces Figure 7: Sweep3D across topologies, routings and link

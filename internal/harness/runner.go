@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"rvma/internal/attrib"
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/recovery"
@@ -85,6 +86,10 @@ type cellOutput struct {
 	Ranks int
 	// PacketsDropped is the fabric's drop count for the cell.
 	PacketsDropped uint64
+	// Attrib is the cell's latency-attribution collector (spans decomposed
+	// into per-stage wait/service); the figure sweeps merge these in spec
+	// order into per-transport blame sections.
+	Attrib *attrib.Collector
 }
 
 // runOneCell executes a single cell against the given registry with the
@@ -93,6 +98,10 @@ type cellOutput struct {
 func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 	out := cellOutput{Spec: spec, Reg: reg}
 	inst := cellInstr{reg: reg, cell: spec.cellName()}
+	if reg.SpansEnabled() {
+		out.Attrib = attrib.NewCollector(o.TailK)
+		inst.attrib = out.Attrib
+	}
 	var local *BenchLog
 	if o.Bench != nil {
 		local = &BenchLog{}

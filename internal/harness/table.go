@@ -13,12 +13,15 @@ import (
 	"strings"
 )
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. Sections are subsidiary tables
+// (e.g. a figure's latency-attribution breakdown) rendered after the main
+// table by Fprint; CSV emits only the main table.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Title    string
+	Header   []string
+	Rows     [][]string
+	Notes    []string
+	Sections []*Table
 }
 
 // AddRow appends a row of cells.
@@ -67,6 +70,9 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, s := range t.Sections {
+		s.Fprint(w)
 	}
 }
 

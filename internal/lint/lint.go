@@ -113,6 +113,9 @@ var ModelPackages = map[string]bool{
 	// telemetry schedules its sampler ticks on the engine, so it must obey
 	// the same determinism rules as the models it observes.
 	"rvma/internal/telemetry": true,
+	// attrib consumes span-observer callbacks fired from model code, so its
+	// aggregation must be just as deterministic (sorted iteration, no clocks).
+	"rvma/internal/attrib": true,
 }
 
 // IsModelPackage reports whether the import path is subject to the

@@ -41,6 +41,7 @@ type Registry struct {
 	spansEnabled bool
 	spansOpened  uint64
 	spansClosed  uint64
+	spanObs      SpanObserver
 
 	timeline *Timeline
 }
@@ -219,6 +220,27 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveTime records a simulated duration in nanoseconds.
 func (h *Histogram) ObserveTime(d sim.Time) { h.Observe(d.Nanoseconds()) }
+
+// Merge folds every sample of o into h. Buckets, counts and sums add;
+// min/max widen. The harness merges per-worker-cell histograms in a fixed
+// canonical order, so merged sums (floating point, order-sensitive) are
+// byte-identical at any worker count.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range o.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
 
 // bucketIndex maps a sample to its bucket.
 func bucketIndex(v float64) int {

@@ -206,9 +206,9 @@ func TestWriteJSONSnapshot(t *testing.T) {
 		t.Fatal("WriteJSON did not run collectors")
 	}
 	var snap struct {
-		SimTimeNs float64            `json:"sim_time_ns"`
-		Counters  map[string]uint64  `json:"counters"`
-		Gauges    map[string]struct{ Value, Max float64 } `json:"gauges"`
+		SimTimeNs  float64                                 `json:"sim_time_ns"`
+		Counters   map[string]uint64                       `json:"counters"`
+		Gauges     map[string]struct{ Value, Max float64 } `json:"gauges"`
 		Histograms map[string]struct {
 			Count    uint64
 			Mean     float64

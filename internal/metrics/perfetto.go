@@ -41,6 +41,8 @@ type traceEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -124,9 +126,39 @@ func (t *Timeline) Instant(node int, scope, name string, at sim.Time) {
 	}
 	t.events = append(t.events, traceEvent{
 		Name: name, Cat: scope, Ph: "i",
-		TS: at.Microseconds(),
+		TS:  at.Microseconds(),
 		PID: node, TID: t.tid(node, scope),
 		Args: map[string]any{"s": "t"}, // thread-scoped instant
+	})
+}
+
+// FlowBegin starts a flow ("s") event: an arrow Perfetto draws from the
+// enclosing slice at the given time to the matching FlowEnd. The retry
+// chain of a retransmitted operation uses one flow per attempt, with an id
+// derived deterministically from the span key.
+func (t *Timeline) FlowBegin(node int, scope, name string, id uint64, at sim.Time) {
+	t.flow(node, scope, name, "s", "", id, at)
+}
+
+// FlowEnd terminates a flow ("f" with bp="e"): the arrow lands on the
+// slice enclosing the given time.
+func (t *Timeline) FlowEnd(node int, scope, name string, id uint64, at sim.Time) {
+	t.flow(node, scope, name, "f", "e", id, at)
+}
+
+func (t *Timeline) flow(node int, scope, name, ph, bp string, id uint64, at sim.Time) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.cap {
+		t.drops++
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: scope, Ph: ph,
+		TS:  at.Microseconds(),
+		PID: node, TID: t.tid(node, scope),
+		ID: id, BP: bp,
 	})
 }
 

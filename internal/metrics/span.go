@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"io"
 
 	"rvma/internal/sim"
@@ -15,7 +16,32 @@ type SpanKey struct {
 	ID   uint64
 }
 
-// Span follows one message through its pipeline stages. Each Stage call
+// SpanObserver receives every stage mark and span ending as it happens.
+// The attribution engine (internal/attrib) implements it to decompose
+// end-to-end latency without the registry having to know about it.
+// Callbacks run synchronously on the engine goroutine in deterministic
+// event order.
+type SpanObserver interface {
+	// SpanStage reports one closed stage: it covered [from, from+dur) on
+	// the given node's track, during the given wire attempt (0 = first
+	// transmission), of which wait was spent queued rather than serviced
+	// (0 <= wait <= dur).
+	SpanStage(key SpanKey, scope, stage string, node, attempt int, from, dur, wait sim.Time)
+	// SpanEnd reports the span's ending: status is "completed", "nacked"
+	// or "abandoned"; attempts is the total number of wire attempts.
+	SpanEnd(key SpanKey, scope, status string, attempts, node int, start, end sim.Time)
+}
+
+// SetSpanObserver attaches obs to the registry; every subsequent stage
+// mark and span ending is forwarded to it. A nil obs detaches.
+func (r *Registry) SetSpanObserver(obs SpanObserver) {
+	if r == nil {
+		return
+	}
+	r.spanObs = obs
+}
+
+// Span follows one message through its pipeline stages. Each stage mark
 // closes the stage that began at the previous mark, feeding the per-stage
 // latency histogram "span.<scope>/<stage>" and (when the timeline is
 // enabled) emitting one Perfetto slice on the node's track. End closes the
@@ -28,13 +54,22 @@ type SpanKey struct {
 //
 // plus the standalone rdma.handshake and rdma.registration spans for the
 // setup path RVMA does not have.
+//
+// Retransmitted operations ride the same span: NextAttempt closes the gap
+// since the last mark as an all-wait "retry_wait" stage and increments the
+// attempt tag carried by subsequent stage marks. Spans end exactly once —
+// End, EndNacked and EndAbandoned set a terminal flag and every later
+// mutation is a no-op, so a straggler completion racing an abandon (or a
+// duplicate ack after a retransmit) cannot corrupt or double-count a span.
 type Span struct {
-	reg   *Registry
-	key   SpanKey
-	scope string
-	node  int // node whose track current stages render on
-	start sim.Time
-	last  sim.Time
+	reg     *Registry
+	key     SpanKey
+	scope   string
+	node    int // node whose track current stages render on
+	start   sim.Time
+	last    sim.Time
+	attempt int
+	ended   bool
 }
 
 // EnableSpans turns on span tracking. With spans disabled BeginSpan
@@ -81,34 +116,145 @@ func (r *Registry) OpenSpans() uint64 {
 }
 
 // Stage closes the stage that began at the previous mark, recording its
-// latency under "span.<scope>/<stage>".
+// latency under "span.<scope>/<stage>". The whole stage counts as service
+// time; use StageWait or StageService when part of it was queueing.
 func (sp *Span) Stage(now sim.Time, stage string) {
-	if sp == nil {
+	sp.mark(now, stage, 0)
+}
+
+// StageWait closes the stage like Stage, additionally attributing wait of
+// its duration to queueing (clamped to [0, stage duration]). The remainder
+// is service time.
+func (sp *Span) StageWait(now sim.Time, stage string, wait sim.Time) {
+	sp.mark(now, stage, wait)
+}
+
+// StageService closes the stage like Stage, attributing service of its
+// duration to useful work; the remainder (clamped to >= 0) is wait. Used
+// when the service time is the directly measurable part — e.g. the
+// completion-pointer write — and the wait is everything that delayed it.
+func (sp *Span) StageService(now sim.Time, stage string, service sim.Time) {
+	if sp == nil || sp.ended {
+		return
+	}
+	sp.mark(now, stage, now-sp.last-service)
+}
+
+// mark closes the stage begun at the previous mark. wait is clamped to
+// [0, dur]; the observer sees the clamped value, so per-stage wait+service
+// always telescopes exactly to the stage duration.
+func (sp *Span) mark(now sim.Time, stage string, wait sim.Time) {
+	if sp == nil || sp.ended {
 		return
 	}
 	d := now - sp.last
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > d {
+		wait = d
+	}
 	sp.reg.Histogram("span." + sp.scope + "/" + stage).ObserveTime(d)
-	sp.reg.timeline.slice(sp.node, sp.scope, stage, sp.last, d)
+	name := stage
+	if sp.attempt > 0 {
+		name = fmt.Sprintf("%s#%d", stage, sp.attempt)
+	}
+	sp.reg.timeline.slice(sp.node, sp.scope, name, sp.last, d)
+	if sp.reg.spanObs != nil {
+		sp.reg.spanObs.SpanStage(sp.key, sp.scope, stage, sp.node, sp.attempt, sp.last, d, wait)
+	}
 	sp.last = now
+}
+
+// NextAttempt records that the operation is being retransmitted: the gap
+// since the last mark becomes an all-wait "retry_wait" stage (timeout arm
+// time, NACK backoff), a Perfetto flow event chains the attempts on the
+// trace, and subsequent stage marks carry the incremented attempt tag.
+func (sp *Span) NextAttempt(now sim.Time) {
+	if sp == nil || sp.ended {
+		return
+	}
+	flowFrom := sp.last
+	sp.mark(now, "retry_wait", now-sp.last)
+	sp.attempt++
+	id := flowID(sp.key, sp.attempt)
+	sp.reg.timeline.FlowBegin(sp.node, sp.scope, "retry", id, flowFrom)
+	sp.reg.timeline.FlowEnd(sp.node, sp.scope, "retry", id, now)
+}
+
+// Attempt returns the current wire attempt (0 = first transmission).
+func (sp *Span) Attempt() int {
+	if sp == nil {
+		return 0
+	}
+	return sp.attempt
+}
+
+// flowID derives a deterministic Perfetto flow-event id from the span key
+// and attempt number.
+func flowID(key SpanKey, attempt int) uint64 {
+	return uint64(key.Node)<<48 ^ key.ID<<8 ^ uint64(attempt)&0xff
 }
 
 // SetNode moves the span onto another node's Perfetto track — called when
 // a message crosses from initiator to target.
 func (sp *Span) SetNode(node int) {
-	if sp == nil {
+	if sp == nil || sp.ended {
 		return
 	}
 	sp.node = node
 }
 
-// End closes the span: records "span.<scope>/total" from the span's start
-// and removes it from the in-flight table. Calling Stage first to close
-// the final stage is the caller's job.
+// End closes the span as completed: records "span.<scope>/total" from the
+// span's start and removes it from the in-flight table. Calling a stage
+// mark first to close the final stage is the caller's job.
 func (sp *Span) End(now sim.Time) {
-	if sp == nil {
+	sp.endWith(now, "completed")
+}
+
+// EndNacked closes the span as rejected by the target: the interval since
+// the last mark becomes an all-wait "nack" stage and the span ends with
+// status "nacked".
+func (sp *Span) EndNacked(now sim.Time) {
+	if sp == nil || sp.ended {
 		return
 	}
+	sp.mark(now, "nack", now-sp.last)
+	sp.endWith(now, "nacked")
+}
+
+// EndAbandoned closes the span of an operation the recovery layer gave up
+// on: the interval since the last mark becomes an all-wait "abandon" stage
+// and the span ends with status "abandoned" instead of leaking open.
+func (sp *Span) EndAbandoned(now sim.Time) {
+	if sp == nil || sp.ended {
+		return
+	}
+	sp.mark(now, "abandon", now-sp.last)
+	sp.endWith(now, "abandoned")
+}
+
+// endWith terminally closes the span. Every ending path must leave
+// sp.last == now (the last stage mark closes at the ending time), which is
+// exactly the stage-conservation invariant: per-stage durations telescope
+// to end - start.
+func (sp *Span) endWith(now sim.Time, status string) {
+	if sp == nil || sp.ended {
+		return
+	}
+	if sim.DebugEnabled {
+		sim.Assertf(now == sp.last,
+			"span %s %d/%d ended with %s at %s but last stage mark was %s: unattributed tail",
+			sp.scope, sp.key.Node, sp.key.ID, status, now, sp.last)
+	}
+	sp.ended = true
 	sp.reg.Histogram("span." + sp.scope + "/total").ObserveTime(now - sp.start)
+	if status != "completed" {
+		sp.reg.Counter("span." + sp.scope + "/" + status).Add(1)
+	}
+	if sp.reg.spanObs != nil {
+		sp.reg.spanObs.SpanEnd(sp.key, sp.scope, status, sp.attempt+1, sp.node, sp.start, now)
+	}
 	delete(sp.reg.spans, sp.key)
 	sp.reg.spansClosed++
 }

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rvma/internal/sim"
+)
+
+// stageEvent / endEvent record SpanObserver callbacks for inspection.
+type stageEvent struct {
+	key       SpanKey
+	scope     string
+	stage     string
+	node      int
+	attempt   int
+	dur, wait sim.Time
+}
+
+type endEvent struct {
+	key        SpanKey
+	scope      string
+	status     string
+	attempts   int
+	start, end sim.Time
+}
+
+type recordingObserver struct {
+	stages []stageEvent
+	ends   []endEvent
+}
+
+func (r *recordingObserver) SpanStage(key SpanKey, scope, stage string, node, attempt int, from, dur, wait sim.Time) {
+	r.stages = append(r.stages, stageEvent{key: key, scope: scope, stage: stage, node: node, attempt: attempt, dur: dur, wait: wait})
+}
+
+func (r *recordingObserver) SpanEnd(key SpanKey, scope, status string, attempts, node int, start, end sim.Time) {
+	r.ends = append(r.ends, endEvent{key: key, scope: scope, status: status, attempts: attempts, start: start, end: end})
+}
+
+// TestSpanAttemptTaggingAndConservation drives a span through a retransmit
+// and checks the observer sees attempt-tagged stages whose durations
+// telescope exactly to the end-to-end latency.
+func TestSpanAttemptTaggingAndConservation(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableSpans()
+	obs := &recordingObserver{}
+	reg.SetSpanObserver(obs)
+
+	key := SpanKey{Node: 3, ID: 7}
+	sp := reg.BeginSpan(100, key, "rvma.put", 3)
+	sp.Stage(150, "host_post")
+	sp.StageWait(450, "nic_tx", 120)
+	sp.NextAttempt(2450) // timeout fired, retransmitting
+	if got := sp.Attempt(); got != 1 {
+		t.Fatalf("Attempt() = %d after one retransmit, want 1", got)
+	}
+	sp.StageWait(2700, "nic_tx", 90)
+	sp.StageWait(4000, "wire", 1000)
+	sp.StageService(4200, "place", 150)
+	sp.End(4200)
+
+	if open := reg.OpenSpans(); open != 0 {
+		t.Fatalf("OpenSpans() = %d after End, want 0", open)
+	}
+	if len(obs.ends) != 1 {
+		t.Fatalf("observer saw %d span endings, want 1", len(obs.ends))
+	}
+	end := obs.ends[0]
+	if end.status != "completed" || end.attempts != 2 {
+		t.Fatalf("SpanEnd status %q attempts %d, want completed / 2", end.status, end.attempts)
+	}
+
+	var sum sim.Time
+	attempts := map[string]int{}
+	for _, s := range obs.stages {
+		sum += s.dur
+		attempts[s.stage] = s.attempt
+		if s.wait < 0 || s.wait > s.dur {
+			t.Errorf("stage %s: wait %d outside [0, %d]", s.stage, s.wait, s.dur)
+		}
+	}
+	if total := end.end - end.start; sum != total {
+		t.Fatalf("stage durations sum to %d, end-to-end is %d (conservation broken)", sum, total)
+	}
+	if attempts["host_post"] != 0 || attempts["retry_wait"] != 0 {
+		t.Errorf("first-attempt stages tagged %d/%d, want 0", attempts["host_post"], attempts["retry_wait"])
+	}
+	if attempts["wire"] != 1 || attempts["place"] != 1 {
+		t.Errorf("post-retransmit stages tagged %d/%d, want 1", attempts["wire"], attempts["place"])
+	}
+}
+
+// TestSpanEndsExactlyOnce checks the terminal flag: after End, every
+// mutation — including a racing abandon or duplicate completion — is a
+// no-op, and the observer sees exactly one ending.
+func TestSpanEndsExactlyOnce(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableSpans()
+	obs := &recordingObserver{}
+	reg.SetSpanObserver(obs)
+
+	sp := reg.BeginSpan(0, SpanKey{Node: 1, ID: 1}, "rvma.put", 1)
+	sp.Stage(10, "host_post")
+	sp.End(10)
+
+	// A straggler path trying to mutate the ended span must change nothing.
+	sp.Stage(20, "wire")
+	sp.NextAttempt(30)
+	sp.SetNode(9)
+	sp.End(40)
+	sp.EndAbandoned(50)
+	sp.EndNacked(60)
+
+	if len(obs.ends) != 1 {
+		t.Fatalf("observer saw %d endings, want exactly 1", len(obs.ends))
+	}
+	if len(obs.stages) != 1 {
+		t.Fatalf("observer saw %d stages, want 1 (post-end marks must be no-ops)", len(obs.stages))
+	}
+	if got := reg.Counter("span.rvma.put/abandoned").Value(); got != 0 {
+		t.Fatalf("abandoned counter = %d after completed span, want 0", got)
+	}
+	if got := reg.Histogram("span.rvma.put/total").Count(); got != 1 {
+		t.Fatalf("total histogram count = %d, want 1", got)
+	}
+}
+
+// TestSpanEndAbandoned checks the abandoned ending: the open interval
+// closes as an all-wait "abandon" stage, the status counter increments and
+// the observer sees status "abandoned".
+func TestSpanEndAbandoned(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableSpans()
+	obs := &recordingObserver{}
+	reg.SetSpanObserver(obs)
+
+	sp := reg.BeginSpan(0, SpanKey{Node: 2, ID: 5}, "rdma.put", 2)
+	sp.Stage(100, "host_post")
+	sp.EndAbandoned(900)
+
+	if got := reg.Counter("span.rdma.put/abandoned").Value(); got != 1 {
+		t.Fatalf("abandoned counter = %d, want 1", got)
+	}
+	if len(obs.ends) != 1 || obs.ends[0].status != "abandoned" {
+		t.Fatalf("observer endings %+v, want one abandoned", obs.ends)
+	}
+	last := obs.stages[len(obs.stages)-1]
+	if last.stage != "abandon" || last.dur != 800 || last.wait != 800 {
+		t.Fatalf("final stage %+v, want all-wait abandon of 800ps", last)
+	}
+	if open := reg.OpenSpans(); open != 0 {
+		t.Fatalf("OpenSpans() = %d, want 0", open)
+	}
+}
+
+// TestSpanRetryFlowEvents checks NextAttempt chains attempts on the
+// Perfetto timeline with flow begin/end events.
+func TestSpanRetryFlowEvents(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableSpans()
+	reg.EnableTimeline(0)
+
+	sp := reg.BeginSpan(0, SpanKey{Node: 4, ID: 9}, "rvma.put", 4)
+	sp.Stage(50, "host_post")
+	sp.NextAttempt(1000)
+	sp.Stage(1200, "nic_tx")
+	sp.End(1200)
+
+	var buf bytes.Buffer
+	if err := reg.Timeline().WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"bp":"e"`, `"nic_tx#1"`, `"retry_wait"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramMerge checks Merge adds counts and buckets and widens the
+// extrema — the primitive the harness's deterministic per-cell merge
+// builds on.
+func TestHistogramMerge(t *testing.T) {
+	a, b := new(Histogram), new(Histogram)
+	for _, v := range []float64{10, 20, 30} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{5, 500} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 5 {
+		t.Fatalf("merged count = %d, want 5", a.Count())
+	}
+	if a.Min() != 5 || a.Max() != 500 {
+		t.Fatalf("merged extrema [%g, %g], want [5, 500]", a.Min(), a.Max())
+	}
+
+	// Merging into an empty histogram reproduces the source.
+	c := new(Histogram)
+	c.Merge(b)
+	if c.Count() != 2 || c.Min() != 5 || c.Max() != 500 {
+		t.Fatalf("merge into empty: count %d extrema [%g, %g]", c.Count(), c.Min(), c.Max())
+	}
+	// Nil and empty sources are no-ops.
+	c.Merge(nil)
+	c.Merge(new(Histogram))
+	if c.Count() != 2 {
+		t.Fatalf("no-op merges changed count to %d", c.Count())
+	}
+}

@@ -21,6 +21,7 @@ package motif
 import (
 	"fmt"
 
+	"rvma/internal/attrib"
 	"rvma/internal/fabric"
 	"rvma/internal/metrics"
 	"rvma/internal/nic"
@@ -132,12 +133,34 @@ func (c *Cluster) SetMetrics(reg *metrics.Registry) {
 	for _, ep := range c.rdmaEPs {
 		ep.SetMetrics(reg)
 	}
+	for i, m := range c.recMgrs {
+		m.SetMetrics(reg, i) // managers are built per node, in node order
+	}
 	if reg != nil {
 		reg.AddCollector(func() {
 			reg.Gauge("sim.queue_depth").Set(float64(c.Eng.Pending()))
 			reg.Gauge("sim.events_executed").Set(float64(c.Eng.EventsExecuted()))
 		})
 	}
+}
+
+// AttachAttribution wires the latency-attribution collector into the
+// cluster: it becomes the registry's span observer (spans must be enabled
+// for it to see anything) and gains causal-context probes over the
+// cluster's recovery, NACK/rewind and fabric-congestion state, which it
+// samples whenever an operation enters the worst-K tail exchange. Call
+// after SetMetrics and before the run.
+func (c *Cluster) AttachAttribution(reg *metrics.Registry, col *attrib.Collector) {
+	if reg == nil || col == nil {
+		return
+	}
+	reg.SetSpanObserver(col)
+	col.AddContext("nacks_total", func() float64 { return float64(c.NACKTotal()) })
+	col.AddContext("rewinds_total", func() float64 { return float64(c.RewindTotal()) })
+	col.AddContext("retransmits_total", func() float64 { return float64(c.RecoveryStats().Retransmits) })
+	col.AddContext("timeouts_total", func() float64 { return float64(c.RecoveryStats().Timeouts) })
+	col.AddContext("fabric_max_queue_ns", func() float64 { return c.Net.MaxQueueBacklog().Nanoseconds() })
+	col.AddContext("fabric_packets_dropped", func() float64 { return float64(c.Net.Stats.PacketsDropped) })
 }
 
 // maxPerNodeProbes caps per-node telemetry columns: beyond this many nodes

@@ -76,6 +76,7 @@ func (ep *Endpoint) put(rb RemoteBuffer, offset, size int, data []byte, scheme C
 	sp := ep.reg.BeginSpan(eng.Now(), metrics.SpanKey{Node: ep.Node(), ID: msgID}, "rdma.put", ep.Node())
 	eng.Schedule(prof.HostPostOverhead, func() {
 		sp.Stage(eng.Now(), "host_post")
+		txWait := ep.nic.SendBacklog() + ep.nic.DMABacklog()
 		wantAck := scheme == CompleteSendRecv && !ep.cfg.PipelinedFence
 		dataF := ep.nic.SendMessage(rb.Node, size, func(off, n int) any {
 			var chunk []byte
@@ -94,7 +95,7 @@ func (ep *Endpoint) put(rb RemoteBuffer, offset, size int, data []byte, scheme C
 			}
 		})
 		ep.sentBytes[rb.Node] += uint64(size)
-		dataF.OnComplete(func() { sp.Stage(eng.Now(), "nic_tx") })
+		dataF.OnComplete(func() { sp.StageWait(eng.Now(), "nic_tx", txWait) })
 		if scheme != CompleteSendRecv {
 			dataF.OnComplete(func() { op.Local.Complete(eng, nil) })
 			return

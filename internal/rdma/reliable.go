@@ -66,23 +66,24 @@ func (ep *Endpoint) PutNReliable(rb RemoteBuffer, offset, size int) (*ReliablePu
 }
 
 // RetransmitPut re-sends a reliable put that is still unacked, reusing its
-// message id, and returns the fresh attempt.
+// message id, and returns the fresh attempt. The attempt rides the
+// message's existing span with an incremented attempt tag, so
+// retransmitted operations never produce orphan spans.
 func (ep *Endpoint) RetransmitPut(rp *ReliablePut) *Attempt {
 	if _, ok := ep.pendingRel[rp.msgID]; !ok {
 		panic(fmt.Sprintf("rdma: retransmit of put %d that is not pending", rp.msgID))
 	}
-	return ep.sendPutAttempt(rp, nil)
+	sp := ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: rp.msgID})
+	sp.NextAttempt(ep.Engine().Now())
+	return ep.sendPutAttempt(rp, sp)
 }
 
 // AbandonReliable drops a reliable operation the recovery layer gave up
-// on, so a straggler ack cannot resolve a retired handle.
+// on, so a straggler ack cannot resolve a retired handle. The operation's
+// span (if still open) closes with status "abandoned" instead of leaking.
 func (ep *Endpoint) AbandonReliable(msgID uint64) {
 	delete(ep.pendingRel, msgID)
-	if sp := ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: msgID}); sp != nil {
-		eng := ep.Engine()
-		sp.Stage(eng.Now(), "abandon")
-		sp.End(eng.Now())
-	}
+	ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: msgID}).EndAbandoned(ep.Engine().Now())
 }
 
 func (ep *Endpoint) sendPutAttempt(rp *ReliablePut, sp *metrics.Span) *Attempt {
@@ -91,9 +92,8 @@ func (ep *Endpoint) sendPutAttempt(rp *ReliablePut, sp *metrics.Span) *Attempt {
 	rp.attempt = at
 	eng := ep.Engine()
 	eng.Schedule(ep.nic.Profile().HostPostOverhead, func() {
-		if sp != nil {
-			sp.Stage(eng.Now(), "host_post")
-		}
+		sp.Stage(eng.Now(), "host_post")
+		txWait := ep.nic.SendBacklog() + ep.nic.DMABacklog()
 		f := ep.nic.SendMessage(rp.rb.Node, rp.size, func(off, n int) any {
 			return &command{
 				op:        opPutData,
@@ -107,9 +107,7 @@ func (ep *Endpoint) sendPutAttempt(rp *ReliablePut, sp *metrics.Span) *Attempt {
 			}
 		})
 		f.OnComplete(func() {
-			if sp != nil {
-				sp.Stage(eng.Now(), "nic_tx")
-			}
+			sp.StageWait(eng.Now(), "nic_tx", txWait)
 			at.Local.Complete(eng, nil)
 		})
 	})

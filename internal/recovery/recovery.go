@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rvma/internal/metrics"
 	"rvma/internal/rvma"
 	"rvma/internal/sim"
 )
@@ -101,6 +102,11 @@ type Manager struct {
 	cfg Config
 
 	Stats Stats
+
+	// tl/node feed the recovery counter tracks (retransmits, timeouts,
+	// reclaims) into the Perfetto timeline; nil when metrics are detached.
+	tl   *metrics.Timeline
+	node int
 }
 
 // NewManager builds a manager, filling Config defaults for zero fields.
@@ -125,6 +131,14 @@ func NewManager(eng *sim.Engine, cfg Config) *Manager {
 
 // Config returns the effective (default-filled) policy.
 func (m *Manager) Config() Config { return m.cfg }
+
+// SetMetrics attaches the registry's timeline so recovery decisions render
+// as counter tracks on the given node's Perfetto process. A nil registry
+// (or one without a timeline) detaches.
+func (m *Manager) SetMetrics(reg *metrics.Registry, node int) {
+	m.tl = reg.Timeline()
+	m.node = node
+}
 
 // Run drives one operation: send(try) issues attempt number try (0 is the
 // initial transmission) and returns its futures. Attempts that neither
@@ -159,6 +173,7 @@ func (m *Manager) Run(send func(try int) Attempt, onFail func()) *Op {
 			acted = true
 			if timedOut {
 				m.Stats.Timeouts++
+				m.tl.Counter(m.node, "recovery.timeouts", m.eng.Now(), float64(m.Stats.Timeouts))
 			} else {
 				m.Stats.NackRetries++
 			}
@@ -171,6 +186,7 @@ func (m *Manager) Run(send func(try int) Attempt, onFail func()) *Op {
 				return
 			}
 			m.Stats.Retransmits++
+			m.tl.Counter(m.node, "recovery.retransmits", m.eng.Now(), float64(m.Stats.Retransmits))
 			if sim.DebugEnabled {
 				m.debugCheckBudget()
 			}
@@ -267,6 +283,7 @@ func (g *WindowGuard) check(epoch int64) {
 		return
 	}
 	g.m.Stats.Reclaims++
+	g.m.tl.Counter(g.m.node, "recovery.reclaims", g.m.eng.Now(), float64(g.m.Stats.Reclaims))
 	f.OnComplete(func() {
 		// Retrieve the salvaged buffer through the paper's rewind handle;
 		// the completion handler installed by the transport reposts in

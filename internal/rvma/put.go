@@ -54,6 +54,9 @@ func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *Pu
 	post := ep.nic.Profile().HostPostOverhead
 	eng.Schedule(post, func() {
 		sp.Stage(eng.Now(), "host_post")
+		// NIC queue depth at post time: the part of the nic_tx stage the
+		// message spends behind earlier sends rather than being pipelined.
+		txWait := ep.nic.SendBacklog() + ep.nic.DMABacklog()
 		f := ep.nic.SendMessage(dst, size, func(off, n int) any {
 			var chunk []byte
 			if data != nil && ep.cfg.CarryData {
@@ -70,7 +73,7 @@ func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *Pu
 			}
 		})
 		f.OnComplete(func() {
-			sp.Stage(eng.Now(), "nic_tx")
+			sp.StageWait(eng.Now(), "nic_tx", txWait)
 			op.Local.Complete(eng, nil)
 		})
 	})
@@ -128,23 +131,26 @@ func (ep *Endpoint) PutNAcked(dst int, vaddr VAddr, offset, size int) (*Reliable
 
 // Retransmit re-sends a reliable put that has neither been acked nor
 // abandoned, reusing the message id so the target deduplicates against
-// packets of earlier attempts, and returns the fresh attempt.
+// packets of earlier attempts, and returns the fresh attempt. The attempt
+// rides the message's existing span with an incremented attempt tag — no
+// orphan spans — unless the span already ended (the target completed it
+// off an earlier attempt whose ack is still in flight), in which case the
+// attempt is unrecorded by design.
 func (ep *Endpoint) Retransmit(rp *ReliablePut) *PutAttempt {
 	if _, ok := ep.pendingRel[rp.msgID]; !ok {
 		panic(fmt.Sprintf("rvma: retransmit of msg %d that is not pending", rp.msgID))
 	}
-	return ep.sendAttempt(rp, nil)
+	sp := ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: rp.msgID})
+	sp.NextAttempt(ep.Engine().Now())
+	return ep.sendAttempt(rp, sp)
 }
 
 // AbandonPut drops a reliable put the recovery layer has given up on, so
-// a straggler ack cannot resolve a retired operation.
+// a straggler ack cannot resolve a retired operation. The message's span
+// (if still open) closes with status "abandoned" instead of leaking.
 func (ep *Endpoint) AbandonPut(rp *ReliablePut) {
 	delete(ep.pendingRel, rp.msgID)
-	if sp := ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: rp.msgID}); sp != nil {
-		eng := ep.Engine()
-		sp.Stage(eng.Now(), "abandon")
-		sp.End(eng.Now())
-	}
+	ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: rp.msgID}).EndAbandoned(ep.Engine().Now())
 }
 
 // sendAttempt issues one wire attempt of rp. The first attempt opens the
@@ -157,9 +163,8 @@ func (ep *Endpoint) sendAttempt(rp *ReliablePut, sp *metrics.Span) *PutAttempt {
 	eng := ep.Engine()
 	post := ep.nic.Profile().HostPostOverhead
 	eng.Schedule(post, func() {
-		if sp != nil {
-			sp.Stage(eng.Now(), "host_post")
-		}
+		sp.Stage(eng.Now(), "host_post")
+		txWait := ep.nic.SendBacklog() + ep.nic.DMABacklog()
 		f := ep.nic.SendMessage(rp.dst, rp.size, func(off, n int) any {
 			return &command{
 				op:        opPut,
@@ -172,9 +177,7 @@ func (ep *Endpoint) sendAttempt(rp *ReliablePut, sp *metrics.Span) *PutAttempt {
 			}
 		})
 		f.OnComplete(func() {
-			if sp != nil {
-				sp.Stage(eng.Now(), "nic_tx")
-			}
+			sp.StageWait(eng.Now(), "nic_tx", txWait)
 			at.Local.Complete(eng, nil)
 		})
 	})

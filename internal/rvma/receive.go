@@ -113,6 +113,7 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 	// the completion-pointer write land later, in bus order. A hardware
 	// completion unit works the same way: it cannot let a packet's bus
 	// latency reorder its bookkeeping against the next packet's.
+	busWait := ep.nic.Bus().Backlog(eng)
 	dmaDone := ep.nic.Bus().TransferTime(eng, size)
 
 	switch w.mode {
@@ -212,8 +213,10 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 		// completion unit ends the span when this window's epoch completes.
 		if sp := ep.reg.Span(metrics.SpanKey{Node: pkt.Src, ID: cmd.msgID}); sp != nil {
 			sp.SetNode(ep.Node())
-			sp.Stage(eng.Now(), "wire")
-			eng.At(dmaDone, func() { sp.Stage(eng.Now(), "place") })
+			// Wire wait is the fabric queueing the last packet accumulated;
+			// place wait is the receive-bus backlog ahead of the payload DMA.
+			sp.StageWait(eng.Now(), "wire", pkt.QueueWait)
+			eng.At(dmaDone, func() { sp.StageWait(eng.Now(), "place", busWait) })
 			w.pendingSpans = append(w.pendingSpans, sp)
 		}
 	}
@@ -297,10 +300,7 @@ func (ep *Endpoint) handleNack(cmd *command) {
 	if op, ok := ep.pendingPuts[cmd.msgID]; ok {
 		delete(ep.pendingPuts, cmd.msgID)
 		// A NACKed put never completes at the target; close its span here.
-		if sp := ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: cmd.msgID}); sp != nil {
-			sp.Stage(eng.Now(), "nack")
-			sp.End(eng.Now())
-		}
+		ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: cmd.msgID}).EndNacked(eng.Now())
 		op.Nack.Complete(eng, cmd.status)
 	}
 }

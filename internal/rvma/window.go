@@ -373,6 +373,7 @@ func (w *Window) completeHead() *Buffer {
 	if w.mode == Managed {
 		length = buf.Fill
 	}
+	unitAt := eng.Now() // completion unit fires; the pointer write is service
 	writeDone := ep.nic.Bus().TransferTime(eng, 16)
 	waiters := w.completionWaiters
 	w.completionWaiters = nil
@@ -384,7 +385,12 @@ func (w *Window) completeHead() *Buffer {
 		buf.CompletedAt = eng.Now()
 		buf.Cell.Set(buf.Region.Base, length) // watchers (MWait) fire here
 		for _, sp := range spans {
-			sp.Stage(eng.Now(), "complete")
+			// The complete stage's service is the completion-pointer write
+			// itself; anything before the unit fired (waiting for the
+			// epoch's other messages, a counter spill) is wait. Abandoned
+			// stragglers still on the pending list ended already — these
+			// calls are no-ops for them.
+			sp.StageService(eng.Now(), "complete", eng.Now()-unitAt)
 			sp.End(eng.Now())
 		}
 		if ep.tracer != nil {
@@ -445,6 +451,8 @@ func (w *Window) Rewind(k int) (*Buffer, error) {
 	}
 	w.ep.Stats.Rewinds++
 	w.ep.mRewinds.Add(1)
+	w.ep.reg.Timeline().Counter(w.ep.Node(), "rvma.rewinds",
+		w.ep.Engine().Now(), float64(w.ep.Stats.Rewinds))
 	if w.ep.tracer != nil {
 		w.ep.tracer.Eventf(trace.CatRVMA, "node %d win %#x rewind k=%d",
 			w.ep.Node(), w.vaddr, k)
