@@ -2,12 +2,17 @@
 // invariant linter (see internal/lint). It enforces the rules the
 // simulation kernel's reproducibility depends on: no wall-clock time or
 // ambient randomness in model packages, no order-sensitive work inside
-// map iteration, sim-time hygiene around Engine scheduling, and no
-// goroutines escaping the engine.
+// map iteration, sim-time hygiene around Engine scheduling, no
+// goroutines escaping the engine, and — via the dataflow layer in
+// internal/lint/flow — no laundered nondeterminism reaching schedulers
+// (detaint), no leaked or double-ended metrics spans (spanleak), no
+// heap allocations on //rvmalint:hot paths (hotalloc), and no unit
+// mixups between integer nanoseconds and picoseconds (psunits).
 //
 // Standalone (the common path):
 //
 //	go run ./cmd/rvmalint ./...
+//	go run ./cmd/rvmalint -json ./...   # machine-readable findings on stdout
 //
 // As a vet tool (one package variant per invocation, driven by the go
 // command's unit-checker protocol):
@@ -51,6 +56,12 @@ func main() {
 		os.Exit(runVetUnit(args[0]))
 	}
 
+	jsonOut := false
+	if len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+
 	patterns := args
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -60,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	found := 0
+	var all []lint.Diagnostic
 	for _, pkg := range pkgs {
 		if !lint.IsModelPackage(pkg.PkgPath) {
 			continue
@@ -71,13 +82,49 @@ func main() {
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Println(d)
-			found++
+			all = append(all, d)
+			if !jsonOut {
+				fmt.Println(d)
+			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "rvmalint: %d violation(s)\n", found)
+	if jsonOut {
+		printJSON(all)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "rvmalint: %d violation(s)\n", len(all))
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the machine-readable finding shape CI archives.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printJSON writes the findings as a JSON array on stdout — always an
+// array, so a clean run emits [] and downstream tooling never special-
+// cases the empty result.
+func printJSON(diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 }
 

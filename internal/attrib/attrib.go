@@ -354,10 +354,10 @@ func (c *Collector) Blame(scope string) []BlameRow {
 			SvcP50Ns: g.service.Quantile(0.50), SvcP99Ns: g.service.Quantile(0.99), SvcP999Ns: g.service.Quantile(0.999),
 		}
 		if sa.totalSum > 0 {
-			row.Share = float64(g.durSum) / float64(sa.totalSum)
+			row.Share = sim.Ratio(g.durSum, sa.totalSum)
 		}
 		if g.durSum > 0 {
-			row.WaitShare = float64(g.waitSum) / float64(g.durSum)
+			row.WaitShare = sim.Ratio(g.waitSum, g.durSum)
 		}
 		rows = append(rows, row)
 	}

@@ -31,6 +31,8 @@ func feedSpan(reg *metrics.Registry, node int, id uint64, scope string, start si
 		sp.EndNacked(stages[last].at)
 	case "abandoned":
 		sp.EndAbandoned(stages[last].at)
+	default:
+		panic("feedSpan: unknown status " + status)
 	}
 }
 

@@ -64,7 +64,7 @@ func Allreduce(p *sim.Process, tp motif.Transport, elems, elemBytes int, reduceT
 
 	compute := func() {
 		if reduceTimePerElem > 0 {
-			p.Sleep(sim.Time(elems) * reduceTimePerElem)
+			p.Sleep(sim.Scale(elems, reduceTimePerElem))
 		}
 	}
 

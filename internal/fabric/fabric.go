@@ -354,7 +354,7 @@ func (n *Network) RegisterTelemetry(s *telemetry.Sampler) {
 			if dt <= 0 || len(ports) == 0 {
 				return 0
 			}
-			return float64(db) / float64(dt) / float64(len(ports))
+			return sim.Ratio(db, dt) / float64(len(ports))
 		})
 	}
 }

@@ -340,7 +340,7 @@ func TestFixedOverheadDominanceAtHighSpeed(t *testing.T) {
 		return at
 	}
 	small, big := oneShot(64), oneShot(256)
-	if float64(big) > float64(small)*1.02 {
+	if big*100 > small*102 {
 		t.Fatalf("at 2 Tbps, 64B->256B grew latency %v -> %v (>2%%)", small, big)
 	}
 }

@@ -188,7 +188,7 @@ func parseSimTime(s string) (sim.Time, error) {
 			if err != nil || v < 0 {
 				return 0, fmt.Errorf("fabric: bad time %q", s)
 			}
-			return sim.Time(v * float64(u.scale)), nil
+			return sim.ScaleF(u.scale, v), nil
 		}
 	}
 	return 0, fmt.Errorf("fabric: time %q needs a ns/us/ms/s suffix", s)

@@ -108,7 +108,7 @@ func ByName(name string) (Profile, error) {
 // error bars Figure 5 reports.
 func (p Profile) Scale(factor float64) Profile {
 	s := p
-	mul := func(t sim.Time) sim.Time { return sim.Time(float64(t) * factor) }
+	mul := func(t sim.Time) sim.Time { return sim.ScaleF(t, factor) }
 	s.NIC.HostPostOverhead = mul(p.NIC.HostPostOverhead)
 	s.NIC.HostCompletionOverhead = mul(p.NIC.HostCompletionOverhead)
 	s.NIC.CQProcessOverhead = mul(p.NIC.CQProcessOverhead)

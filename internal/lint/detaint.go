@@ -1,0 +1,702 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rvma/internal/lint/flow"
+)
+
+// Detaint tracks nondeterminism from its sources to the places where it
+// would corrupt reproducibility.
+var Detaint = &Analyzer{
+	Name: "detaint",
+	Doc: "taint analysis from nondeterminism sources (wall clock, global rand, map " +
+		"iteration order, pointer formatting, unsafe pointers) through assignments, " +
+		"returns and call summaries into sinks: event scheduling, metrics/attrib " +
+		"recording, and printed output. Catches laundering the syntactic bans " +
+		"(wallclock, maprange) cannot see, e.g. a map key stored in a local and " +
+		"scheduled three statements later",
+	Run: runDetaint,
+}
+
+// Taint causes, joined to the lexicographic minimum. The strings appear
+// verbatim in diagnostics.
+const (
+	causeMapOrder = "map iteration order"
+	causePointer  = "pointer identity"
+	causeRand     = "unseeded global randomness"
+	causeWall     = "wall-clock time"
+)
+
+// taintState maps variables (and named-result objects) to their taint.
+type taintState map[types.Object]flow.Taint
+
+var taintLattice = flow.Lattice[taintState]{
+	Bottom: func() taintState { return taintState{} },
+	Clone: func(s taintState) taintState {
+		out := make(taintState, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	},
+	Join: func(dst, src taintState) bool {
+		changed := false
+		for k, v := range src {
+			merged := flow.JoinTaint(dst[k], v)
+			if merged != dst[k] {
+				dst[k] = merged
+				changed = true
+			}
+		}
+		return changed
+	},
+}
+
+// taintFinding is one deferred detaint diagnostic, recorded during
+// summary construction and replayed when the analyzer runs.
+type taintFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// computeTaintSummary runs the taint fixpoint over one function body,
+// fills in the function's call summary (result causes, param-to-result
+// flow, param sinks), and records diagnostics for cause-tainted values
+// reaching sinks. Called once per function in bottom-up order.
+func computeTaintSummary(ctx *flowCtx, fi *funcInfo) {
+	info := ctx.pkg.TypesInfo
+	ev := &taintEval{ctx: ctx, info: info}
+
+	// Seed parameters (receiver first) with their bit so flows into
+	// returns and sinks are attributed to the right parameter.
+	boundary := taintState{}
+	var paramObjs []types.Object
+	if sig := fi.sig(info); sig != nil {
+		if sig.Recv() != nil {
+			paramObjs = append(paramObjs, sig.Recv())
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			paramObjs = append(paramObjs, sig.Params().At(i))
+		}
+	}
+	for i, obj := range paramObjs {
+		if i < 64 {
+			boundary[obj] = flow.Taint{Params: 1 << i}
+		}
+	}
+
+	var sum *flow.Summary
+	if fi.obj != nil {
+		sum = ctx.sums.GetOrCreate(fi.obj)
+		// Recompute idempotently: a package analyzed twice (tests) must
+		// not accumulate stale flow bits.
+		sum.ResultCause = ""
+		for i := range sum.ParamToResult {
+			sum.ParamToResult[i] = false
+			sum.ParamSink[i] = ""
+		}
+	}
+
+	transfer := func(b *flow.Block, in taintState) taintState {
+		ev.state = in
+		ev.transferBlock(b, nil, nil)
+		return in
+	}
+	in := flow.Forward(fi.graph, taintLattice, boundary, transfer)
+
+	// Final pass: re-apply the transfer over each live block from its
+	// fixpoint IN state, this time collecting sink hits and return flows.
+	for _, b := range fi.graph.Blocks {
+		if !b.Live {
+			continue
+		}
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		ev.state = taintLattice.Clone(st)
+		ev.transferBlock(b, sum, func(pos token.Pos, msg string) {
+			ctx.taintFindings = append(ctx.taintFindings, taintFinding{pos: pos, msg: msg})
+		})
+		// Return flows into the summary.
+		if sum != nil {
+			for _, n := range b.Nodes {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					continue
+				}
+				var t flow.Taint
+				if len(ret.Results) == 0 {
+					// Naked return: named results carry the flow.
+					if sig := fi.sig(info); sig != nil {
+						for i := 0; i < sig.Results().Len(); i++ {
+							t = flow.JoinTaint(t, ev.state[sig.Results().At(i)])
+						}
+					}
+				}
+				for _, r := range ret.Results {
+					t = flow.JoinTaint(t, ev.taintOf(r))
+				}
+				if t.Cause != "" {
+					sum.ResultCause = flow.JoinTaint(flow.Taint{Cause: sum.ResultCause}, flow.Taint{Cause: t.Cause}).Cause
+				}
+				for i := range sum.ParamToResult {
+					if t.Params&(1<<i) != 0 {
+						sum.ParamToResult[i] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// runDetaint replays the findings recorded while building the package's
+// flow context.
+func runDetaint(pass *Pass) error {
+	ctx := pass.fl
+	if ctx == nil {
+		return nil
+	}
+	for _, f := range ctx.taintFindings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}
+
+// taintEval evaluates expression taint against a state and applies
+// statement transfer functions.
+type taintEval struct {
+	ctx   *flowCtx
+	info  *types.Info
+	state taintState
+}
+
+// transferBlock applies every node of a block to the state. When report
+// is non-nil, sink hits are emitted and (when sum is non-nil) parameter
+// sinks are recorded; the extra work only happens in the final pass.
+func (ev *taintEval) transferBlock(b *flow.Block, sum *flow.Summary, report func(token.Pos, string)) {
+	if b.Range != nil {
+		ev.transferRange(b.Range)
+	}
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			ev.transferAssign(n)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						ev.transferValueSpec(vs)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			ev.transferCallStmt(n.X)
+		}
+		// Sinks can appear in any expression position (a scheduled call in
+		// a condition, a defer, a return value).
+		if report != nil && !b.Panics {
+			ev.checkSinks(n, sum, report)
+		}
+	}
+}
+
+// transferRange applies a range clause: map iteration taints the
+// iteration variables with the map-order cause; other range kinds
+// propagate the operand's taint to the value variable.
+func (ev *taintEval) transferRange(r *ast.RangeStmt) {
+	xt := ev.taintOf(r.X)
+	isMap := false
+	if tv, ok := ev.info.Types[r.X]; ok && tv.Type != nil {
+		_, isMap = tv.Type.Underlying().(*types.Map)
+	}
+	set := func(e ast.Expr, t flow.Taint) {
+		if e == nil {
+			return
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := ev.info.Defs[id]
+		if obj == nil {
+			obj = ev.info.Uses[id]
+		}
+		if obj != nil {
+			ev.state[obj] = t
+		}
+	}
+	if isMap {
+		t := flow.JoinTaint(xt, flow.Taint{Cause: causeMapOrder})
+		set(r.Key, t)
+		set(r.Value, t)
+	} else {
+		set(r.Key, flow.Taint{})
+		set(r.Value, xt)
+	}
+}
+
+// commutativeOps are the compound-assignment operators under which
+// map-iteration order cannot be observed: accumulating with them over a
+// map range yields the same result in any order, so the map-order cause
+// is dropped (other causes still propagate — summing wall-clock samples
+// is still nondeterministic).
+var commutativeOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.AND_ASSIGN: true,
+	token.OR_ASSIGN:  true,
+	token.XOR_ASSIGN: true,
+}
+
+func (ev *taintEval) transferAssign(as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		// Compound assignment: join RHS into LHS.
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		rt := ev.taintOf(as.Rhs[0])
+		if commutativeOps[as.Tok] && rt.Cause == causeMapOrder {
+			rt.Cause = ""
+		}
+		ev.assignTo(as.Lhs[0], flow.JoinTaint(ev.taintOfLHS(as.Lhs[0]), rt), false)
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		// Evaluate all RHS first (Go semantics), then assign.
+		ts := make([]flow.Taint, len(as.Rhs))
+		for i, r := range as.Rhs {
+			ts[i] = ev.taintOf(r)
+		}
+		for i, l := range as.Lhs {
+			ev.assignTo(l, ts[i], true)
+		}
+		return
+	}
+	// Tuple assignment from a single multi-value expression.
+	if len(as.Rhs) == 1 {
+		t := ev.taintOf(as.Rhs[0])
+		for _, l := range as.Lhs {
+			ev.assignTo(l, t, true)
+		}
+	}
+}
+
+func (ev *taintEval) transferValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	if len(vs.Values) == len(vs.Names) {
+		for i, name := range vs.Names {
+			if obj := ev.info.Defs[name]; obj != nil {
+				ev.state[obj] = ev.taintOf(vs.Values[i])
+			}
+		}
+		return
+	}
+	t := ev.taintOf(vs.Values[0])
+	for _, name := range vs.Names {
+		if obj := ev.info.Defs[name]; obj != nil {
+			ev.state[obj] = t
+		}
+	}
+}
+
+// transferCallStmt handles statement-position calls with sanitizing
+// side effects: sorting a slice destroys any iteration-order taint it
+// carried, which is exactly the repository's sanctioned laundering
+// pattern (collect map keys, sort, then iterate the slice).
+func (ev *taintEval) transferCallStmt(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := calleeFunc(ev.info, call)
+	if callee == nil {
+		return
+	}
+	pkg := funcPkgPath(callee)
+	if pkg != "sort" && pkg != "slices" {
+		return
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := ev.info.Uses[id]; obj != nil {
+				delete(ev.state, obj)
+			}
+		}
+	}
+}
+
+// assignTo writes taint t through an assignment target. strong reports
+// whether the write overwrites (plain assignment to an identifier) or
+// must join (element and field stores). Stores into a map or slice
+// element do not taint the container: element order inside a map is not
+// observable until iteration, which transferRange re-taints.
+func (ev *taintEval) assignTo(lhs ast.Expr, t flow.Taint, strong bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := ev.info.Defs[l]
+		if obj == nil {
+			obj = ev.info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if strong {
+			if t.IsZero() {
+				delete(ev.state, obj)
+			} else {
+				ev.state[obj] = t
+			}
+		} else {
+			ev.state[obj] = flow.JoinTaint(ev.state[obj], t)
+		}
+	case *ast.SelectorExpr:
+		// x.f = v: the struct now carries v's taint.
+		if base := rootIdent(l.X); base != nil {
+			if obj := ev.info.Uses[base]; obj != nil {
+				ev.state[obj] = flow.JoinTaint(ev.state[obj], t)
+			}
+		}
+	case *ast.StarExpr:
+		ev.assignTo(l.X, t, false)
+	case *ast.IndexExpr:
+		// m[k] = v / s[i] = v: keyed stores are order-insensitive.
+	}
+}
+
+// taintOfLHS reads the current taint of an assignment target.
+func (ev *taintEval) taintOfLHS(lhs ast.Expr) flow.Taint {
+	return ev.taintOf(lhs)
+}
+
+// rootIdent unwraps selectors, indexes, stars and parens to the leftmost
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// taintOf evaluates the taint of an expression under the current state.
+func (ev *taintEval) taintOf(e ast.Expr) flow.Taint {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := ev.info.Uses[e]; obj != nil {
+			return ev.state[obj]
+		}
+		if obj := ev.info.Defs[e]; obj != nil {
+			return ev.state[obj]
+		}
+		return flow.Taint{}
+	case *ast.SelectorExpr:
+		// Field read: the container's taint. Package selectors resolve to
+		// an object with no tracked state and contribute nothing.
+		if pkgNameOf(ev.info, e.X) != nil {
+			return flow.Taint{}
+		}
+		t := ev.taintOf(e.X)
+		if obj := ev.info.Uses[e.Sel]; obj != nil {
+			t = flow.JoinTaint(t, ev.state[obj])
+		}
+		return t
+	case *ast.CallExpr:
+		return ev.taintOfCall(e)
+	case *ast.BinaryExpr:
+		return flow.JoinTaint(ev.taintOf(e.X), ev.taintOf(e.Y))
+	case *ast.UnaryExpr:
+		return ev.taintOf(e.X)
+	case *ast.StarExpr:
+		return ev.taintOf(e.X)
+	case *ast.IndexExpr:
+		return ev.taintOf(e.X)
+	case *ast.SliceExpr:
+		return ev.taintOf(e.X)
+	case *ast.TypeAssertExpr:
+		return ev.taintOf(e.X)
+	case *ast.CompositeLit:
+		var t flow.Taint
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t = flow.JoinTaint(t, ev.taintOf(el))
+		}
+		return t
+	}
+	return flow.Taint{}
+}
+
+// taintOfCall evaluates calls: conversions, nondeterminism sources,
+// summarized callees, and the conservative default.
+func (ev *taintEval) taintOfCall(call *ast.CallExpr) flow.Taint {
+	// Type conversion.
+	if tv, ok := ev.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		t := ev.taintOf(call.Args[0])
+		if cause := conversionCause(ev.info, tv.Type, call.Args[0]); cause != "" {
+			t = flow.JoinTaint(t, flow.Taint{Cause: cause})
+		}
+		return t
+	}
+
+	callee := calleeFunc(ev.info, call)
+
+	// Builtins: len and cap of anything are deterministic counts; the
+	// rest propagate their arguments.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && callee == nil {
+		if _, isBuiltin := ev.info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap", "make", "new":
+				return flow.Taint{}
+			}
+			var t flow.Taint
+			for _, a := range call.Args {
+				t = flow.JoinTaint(t, ev.taintOf(a))
+			}
+			return t
+		}
+	}
+
+	if cause := sourceCause(ev.info, call, callee); cause != "" {
+		return flow.Taint{Cause: cause}
+	}
+
+	// fmt formatting returns a string derived from its inputs; %p (or an
+	// unsafe.Pointer argument) injects address nondeterminism.
+	if pkg := funcPkgPath(callee); pkg == "fmt" && callee != nil {
+		name := callee.Name()
+		if strings.HasPrefix(name, "Sprint") || name == "Errorf" || strings.HasPrefix(name, "Append") {
+			t := ev.taintOfArgs(call)
+			if cause := formatPointerCause(ev.info, call); cause != "" {
+				t = flow.JoinTaint(t, flow.Taint{Cause: cause})
+			}
+			return t
+		}
+	}
+
+	// Summarized callee: precise flow.
+	if sum := ev.ctx.sums.Get(callee); sum != nil {
+		t := flow.Taint{Cause: sum.ResultCause}
+		for i, arg := range callArgs(ev.info, call, callee) {
+			if i < len(sum.ParamToResult) && sum.ParamToResult[i] {
+				t = flow.JoinTaint(t, ev.taintOf(arg))
+			}
+		}
+		return t
+	}
+
+	// Unknown callee: assume arguments and receiver can flow to results.
+	return ev.taintOfArgs(call)
+}
+
+// taintOfArgs joins the taints of a call's receiver and arguments.
+func (ev *taintEval) taintOfArgs(call *ast.CallExpr) flow.Taint {
+	var t flow.Taint
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && pkgNameOf(ev.info, sel.X) == nil {
+		t = flow.JoinTaint(t, ev.taintOf(sel.X))
+	}
+	for _, a := range call.Args {
+		t = flow.JoinTaint(t, ev.taintOf(a))
+	}
+	return t
+}
+
+// callArgs returns the call's effective argument list aligned with the
+// callee's summary slots: the receiver (for method values invoked via a
+// selector) followed by the ordinary arguments.
+func callArgs(info *types.Info, call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	var args []ast.Expr
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				args = append(args, sel.X)
+			} else {
+				args = append(args, nil) // method expression: receiver is args[0]... keep slots aligned
+			}
+		}
+	}
+	return append(args, call.Args...)
+}
+
+// sourceCause recognizes calls that mint nondeterminism.
+func sourceCause(info *types.Info, call *ast.CallExpr, callee *types.Func) string {
+	if callee == nil {
+		return ""
+	}
+	switch funcPkgPath(callee) {
+	case "time":
+		switch callee.Name() {
+		case "Now", "Since", "Until":
+			return causeWall
+		}
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		// Any call into the global-rand packages (top-level funcs or
+		// methods of a source the caller seeded ambiently).
+		return causeRand
+	case "os":
+		if callee.Name() == "Getpid" {
+			return causePointer
+		}
+	}
+	return ""
+}
+
+// conversionCause flags conversions that expose address bits: a pointer
+// (or unsafe.Pointer) converted to uintptr, or anything converted to
+// unsafe.Pointer.
+func conversionCause(info *types.Info, target types.Type, arg ast.Expr) string {
+	tb, _ := target.Underlying().(*types.Basic)
+	argType := info.Types[arg].Type
+	if argType == nil {
+		return ""
+	}
+	if tb != nil && tb.Kind() == types.Uintptr {
+		switch argType.Underlying().(type) {
+		case *types.Pointer:
+			return causePointer
+		case *types.Basic:
+			if argType.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+				return causePointer
+			}
+		}
+	}
+	if tb != nil && tb.Kind() == types.UnsafePointer {
+		return causePointer
+	}
+	return ""
+}
+
+// formatPointerCause flags %p verbs in a constant format string and
+// unsafe.Pointer arguments to fmt calls.
+func formatPointerCause(info *types.Info, call *ast.CallExpr) string {
+	for _, a := range call.Args {
+		if tv, ok := info.Types[a]; ok {
+			if tv.Value != nil && tv.Value.Kind() == constant.String {
+				if strings.Contains(constant.StringVal(tv.Value), "%p") {
+					return causePointer
+				}
+			}
+			if tv.Type != nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+					return causePointer
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// checkSinks inspects every call under n for tainted arguments reaching
+// a sink, reporting cause taints and recording parameter taints into the
+// function's summary.
+func (ev *taintEval) checkSinks(n ast.Node, sum *flow.Summary, report func(token.Pos, string)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // literal bodies are analyzed as their own functions
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(ev.info, call)
+		sink := sinkName(callee)
+		args := callArgs(ev.info, call, callee)
+		if sink != "" {
+			// Skip the receiver slot: field stores taint whole objects
+			// (assignTo is field-insensitive), so receiver taint mostly
+			// means "some field of this struct is tainted", not that the
+			// scheduling decision itself depends on the cause.
+			sinkArgs := args
+			if callee != nil {
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+					sinkArgs = args[1:]
+				}
+			}
+			for _, arg := range sinkArgs {
+				if arg == nil {
+					continue
+				}
+				t := ev.taintOf(arg)
+				if t.Cause != "" {
+					report(arg.Pos(), "value derived from "+t.Cause+" reaches "+sink+
+						"; determinism requires this input to be seed-derived or sorted first")
+					break
+				}
+				if sum != nil {
+					for i := range sum.ParamSink {
+						if t.Params&(1<<i) != 0 && sum.ParamSink[i] == "" {
+							sum.ParamSink[i] = sink
+						}
+					}
+				}
+			}
+			return true
+		}
+		// Calls into summarized functions that sink one of their
+		// parameters: the caller passing a cause-tainted argument owns
+		// the diagnostic.
+		if cs := ev.ctx.sums.Get(callee); cs != nil {
+			for i, arg := range args {
+				if arg == nil || i >= len(cs.ParamSink) || cs.ParamSink[i] == "" {
+					continue
+				}
+				t := ev.taintOf(arg)
+				if t.Cause != "" {
+					report(arg.Pos(), "value derived from "+t.Cause+" flows into "+
+						callee.Name()+", which passes it to "+cs.ParamSink[i])
+					break
+				}
+				if sum != nil {
+					for j := range sum.ParamSink {
+						if t.Params&(1<<j) != 0 && sum.ParamSink[j] == "" {
+							sum.ParamSink[j] = cs.ParamSink[i]
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sinkName classifies a callee as a determinism-critical sink.
+func sinkName(callee *types.Func) string {
+	if callee == nil {
+		return ""
+	}
+	if isEngineMethod(callee, "Schedule", "ScheduleP", "ScheduleDaemonP", "At") {
+		return "event scheduling (sim.Engine." + callee.Name() + ")"
+	}
+	switch funcPkgPath(callee) {
+	case "rvma/internal/metrics":
+		return "metrics recording (metrics." + callee.Name() + ")"
+	case "rvma/internal/attrib":
+		return "latency attribution (attrib." + callee.Name() + ")"
+	case "fmt":
+		switch callee.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return "printed output (fmt." + callee.Name() + ")"
+		}
+	}
+	return ""
+}

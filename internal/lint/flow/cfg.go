@@ -1,0 +1,501 @@
+package flow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: a maximal straight-line sequence of leaf
+// statements and condition expressions, ended by a branch, a loop edge,
+// a return, or a panic.
+type Block struct {
+	// Index is the creation order, which for structured code is close to
+	// a topological order; the solver's worklist uses it for
+	// deterministic iteration.
+	Index int
+	// Nodes are the block's statements and condition expressions in
+	// execution order. Compound statements never appear: their leaves are
+	// distributed into blocks, their conditions appear as expressions,
+	// and range clauses live on Range.
+	Nodes []ast.Node
+	// Range is non-nil on the head block of a range loop: the analyzers
+	// read its Key/Value/X; the body statements live in successor blocks.
+	Range *ast.RangeStmt
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+	// Panics marks a block whose terminator is a call to panic: a cold
+	// path that cannot reach a normal return.
+	Panics bool
+	// Live reports reachability from the entry block. Dead blocks (after
+	// an unconditional return, or pruned by a constant condition) are
+	// kept for position queries but skipped by the solver.
+	Live bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	// Entry is the first block; Exit is the single synthetic exit every
+	// return, fallen-off-the-end path and panic edge leads to.
+	Entry, Exit *Block
+	// Defers are the function's defer statements in source order; their
+	// calls conceptually run at every exit edge.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of one function body. info may be nil; when
+// present it is used to prune branches on compile-time-constant
+// conditions (the `if sim.DebugEnabled` pattern).
+func New(body *ast.BlockStmt, info *types.Info) *Graph {
+	g := &Graph{}
+	b := &builder{
+		g:          g,
+		info:       info,
+		labelBreak: make(map[string]*Block),
+		labelCont:  make(map[string]*Block),
+		gotoTarget: make(map[string]*Block),
+	}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		addEdge(b.cur, g.Exit)
+	}
+	g.markLive()
+	return g
+}
+
+// markLive flags every block reachable from the entry.
+func (g *Graph) markLive() {
+	stack := []*Block{g.Entry}
+	g.Entry.Live = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !s.Live {
+				s.Live = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+type builder struct {
+	g    *Graph
+	info *types.Info
+	cur  *Block // nil after a terminator; addNode revives into a dead block
+
+	// break/continue targets, innermost last. contPushed records, per
+	// break frame, whether a continue target was pushed with it (loops
+	// yes, switches/selects no).
+	breaks, conts []*Block
+	contPushed    []bool
+	labelBreak    map[string]*Block
+	labelCont     map[string]*Block
+	gotoTarget    map[string]*Block
+	// pendingLabel is set between a labeled statement and the loop or
+	// switch it labels, so labeled break/continue resolve to the right
+	// join blocks.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// addNode appends a leaf node to the current block, reviving a dead
+// (unreachable) block after a terminator so later statements still have
+// a home for position queries.
+func (b *builder) addNode(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// ensure returns the current block, reviving a dead one.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// constBool evaluates e as a compile-time boolean constant.
+func (b *builder) constBool(e ast.Expr) (val, isConst bool) {
+	if b.info == nil {
+		return false, false
+	}
+	tv, ok := b.info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// isPanic reports whether e is a call to the predeclared panic.
+func (b *builder) isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info != nil {
+		_, isBuiltin := b.info.Uses[id].(*types.Builtin)
+		return isBuiltin
+	}
+	return true
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the loop/switch that owns it
+// and returns it.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Any statement other than a loop or switch consumes a pending
+	// label as a plain goto target (already wired by LabeledStmt).
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.addNode(s.Cond)
+		head := b.cur
+		val, isConst := b.constBool(s.Cond)
+		thenB := b.newBlock()
+		join := b.newBlock()
+		if !isConst || val {
+			addEdge(head, thenB)
+		}
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock()
+			if !isConst || !val {
+				addEdge(head, elseB)
+			}
+		} else if !isConst || !val {
+			addEdge(head, join)
+		}
+		b.cur = thenB
+		b.stmt(s.Body)
+		if b.cur != nil {
+			addEdge(b.cur, join)
+		}
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				addEdge(b.cur, join)
+			}
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		addEdge(b.ensure(), head)
+		b.cur = head
+		val, isConst := true, s.Cond == nil
+		if s.Cond != nil {
+			b.addNode(s.Cond)
+			val, isConst = b.constBool(s.Cond)
+		}
+		body := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		join := b.newBlock()
+		if !isConst || val {
+			addEdge(head, body)
+		}
+		if !isConst || !val {
+			addEdge(head, join)
+		}
+		b.pushLoop(label, join, post)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			addEdge(b.cur, post)
+		}
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			if b.cur != nil {
+				addEdge(b.cur, head)
+			}
+		}
+		b.popLoop(label)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		addEdge(b.ensure(), head)
+		head.Range = s
+		body := b.newBlock()
+		join := b.newBlock()
+		addEdge(head, body)
+		addEdge(head, join)
+		b.pushLoop(label, join, head)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			addEdge(b.cur, head)
+		}
+		b.popLoop(label)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.addNode(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt) {
+			cc := c.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range cc.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, cc.Body
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.addNode(s.Assign)
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt) {
+			cc := c.(*ast.CaseClause)
+			return nil, cc.Body
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.ensure()
+		join := b.newBlock()
+		b.pushLoop(label, join, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			addEdge(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				addEdge(b.cur, join)
+			}
+		}
+		if len(s.Body.List) == 0 {
+			// An empty select blocks forever: no edge to join.
+			b.cur = nil
+		}
+		b.popLoop(label)
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		// The label is a goto target; a loop/switch directly under it
+		// additionally registers labeled break/continue joins.
+		target, ok := b.gotoTarget[s.Label.Name]
+		if !ok {
+			target = b.newBlock()
+			b.gotoTarget[s.Label.Name] = target
+		}
+		if b.cur != nil {
+			addEdge(b.cur, target)
+		}
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.pendingLabel = ""
+		switch s.Tok {
+		case token.BREAK:
+			if tgt := b.breakTarget(s.Label); tgt != nil {
+				b.addNode(s)
+				addEdge(b.cur, tgt)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if tgt := b.contTarget(s.Label); tgt != nil {
+				b.addNode(s)
+				addEdge(b.cur, tgt)
+			}
+			b.cur = nil
+		case token.GOTO:
+			target, ok := b.gotoTarget[s.Label.Name]
+			if !ok {
+				target = b.newBlock()
+				b.gotoTarget[s.Label.Name] = target
+			}
+			b.addNode(s)
+			addEdge(b.cur, target)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by switchClauses; a stray one is a compile error.
+		}
+
+	case *ast.ReturnStmt:
+		b.pendingLabel = ""
+		b.addNode(s)
+		addEdge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.pendingLabel = ""
+		b.addNode(s)
+		if b.isPanic(s.X) {
+			b.cur.Panics = true
+			addEdge(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+
+	case *ast.DeferStmt:
+		b.pendingLabel = ""
+		b.g.Defers = append(b.g.Defers, s)
+		b.addNode(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, GoStmt, SendStmt, ...
+		b.pendingLabel = ""
+		b.addNode(s)
+	}
+}
+
+// switchClauses lowers the clause list of a switch or type switch.
+// split extracts each clause's guard expressions and body.
+func (b *builder) switchClauses(label string, clauses []ast.Stmt, split func(ast.Stmt) ([]ast.Node, []ast.Stmt)) {
+	head := b.ensure()
+	join := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		addEdge(head, blocks[i])
+		if exprs, _ := split(c); len(exprs) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		addEdge(head, join)
+	}
+	b.pushLoop(label, join, nil)
+	for i, c := range clauses {
+		exprs, body := split(c)
+		b.cur = blocks[i]
+		for _, e := range exprs {
+			b.addNode(e)
+		}
+		// A trailing fallthrough transfers into the next clause body.
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(blocks) {
+				addEdge(b.cur, blocks[i+1])
+			} else {
+				addEdge(b.cur, join)
+			}
+		}
+	}
+	b.popLoop(label)
+	b.cur = join
+}
+
+// pushLoop registers break/continue targets (cont == nil for switches
+// and selects, whose continue belongs to an enclosing loop).
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.contPushed = append(b.contPushed, cont != nil)
+	if cont != nil {
+		b.conts = append(b.conts, cont)
+	}
+	if label != "" {
+		b.labelBreak[label] = brk
+		if cont != nil {
+			b.labelCont[label] = cont
+		}
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if b.contPushed[len(b.contPushed)-1] {
+		b.conts = b.conts[:len(b.conts)-1]
+	}
+	b.contPushed = b.contPushed[:len(b.contPushed)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelCont, label)
+	}
+}
+
+func (b *builder) breakTarget(label *ast.Ident) *Block {
+	b.ensure()
+	if label != nil {
+		return b.labelBreak[label.Name]
+	}
+	if n := len(b.breaks); n > 0 {
+		return b.breaks[n-1]
+	}
+	return nil
+}
+
+func (b *builder) contTarget(label *ast.Ident) *Block {
+	b.ensure()
+	if label != nil {
+		return b.labelCont[label.Name]
+	}
+	if n := len(b.conts); n > 0 {
+		return b.conts[n-1]
+	}
+	return nil
+}

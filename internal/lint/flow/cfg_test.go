@@ -1,0 +1,382 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// fixture couples a parsed function's CFG with its source text so tests
+// can locate blocks by source substring instead of hardcoded lines.
+type fixture struct {
+	g    *Graph
+	fset *token.FileSet
+	src  string
+}
+
+// parseFunc type-checks one function body and returns its CFG pieces.
+func parseFunc(t *testing.T, src string) fixture {
+	t.Helper()
+	fset := token.NewFileSet()
+	file := fmt.Sprintf("package p\n\n%s\n", src)
+	f, err := parser.ParseFile(fset, "t.go", file, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var target *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			if target == nil || fd.Name.Name == "f" {
+				target = fd
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("no function found")
+	}
+	return fixture{g: New(target.Body, info), fset: fset, src: file}
+}
+
+// lineOf returns the 1-based line of the first occurrence of marker in
+// the fixture's source text.
+func (fx fixture) lineOf(t *testing.T, marker string) int {
+	t.Helper()
+	idx := strings.Index(fx.src, marker)
+	if idx < 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	return 1 + strings.Count(fx.src[:idx], "\n")
+}
+
+// blockAt finds the block (live or dead) containing a node that starts
+// on the line of marker.
+func (fx fixture) blockAt(t *testing.T, marker string) *Block {
+	t.Helper()
+	line := fx.lineOf(t, marker)
+	for _, b := range fx.g.Blocks {
+		for _, n := range b.Nodes {
+			if fx.fset.Position(n.Pos()).Line == line {
+				return b
+			}
+		}
+		if b.Range != nil && fx.fset.Position(b.Range.Pos()).Line == line {
+			return b
+		}
+	}
+	return nil
+}
+
+// canReach reports whether from can reach to along successor edges.
+func canReach(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(x *Block) bool {
+		if x == to {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for _, s := range x.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestIfElseShape(t *testing.T) {
+	fx := parseFunc(t, `
+func f(a int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	if !fx.g.Exit.Live {
+		t.Fatal("exit unreachable")
+	}
+	then := fx.blockAt(t, "x = 1")
+	els := fx.blockAt(t, "x = 2")
+	ret := fx.blockAt(t, "return x")
+	if then == nil || els == nil || ret == nil {
+		t.Fatal("arm blocks missing")
+	}
+	if then == els {
+		t.Fatal("then and else arms share a block")
+	}
+	for _, arm := range []*Block{then, els} {
+		if !arm.Live || !canReach(arm, ret) {
+			t.Errorf("arm %d: live=%v, reaches return=%v", arm.Index, arm.Live, canReach(arm, ret))
+		}
+	}
+}
+
+func TestConstantConditionPrunes(t *testing.T) {
+	fx := parseFunc(t, `
+const debug = false
+
+func f(a int) int {
+	if debug {
+		a = a * 2
+	}
+	return a
+}`)
+	dead := fx.blockAt(t, "a = a * 2")
+	if dead == nil {
+		t.Fatal("guarded statement not placed in any block")
+	}
+	if dead.Live {
+		t.Error("block guarded by constant-false condition must be dead")
+	}
+	ret := fx.blockAt(t, "return a")
+	if ret == nil || !ret.Live {
+		t.Error("fallthrough return must stay live")
+	}
+}
+
+func TestConstantTrueKeepsBranchElidesElse(t *testing.T) {
+	fx := parseFunc(t, `
+const on = true
+
+func f(a int) int {
+	if on {
+		a++
+	} else {
+		a--
+	}
+	return a
+}`)
+	kept := fx.blockAt(t, "a++")
+	elided := fx.blockAt(t, "a--")
+	if kept == nil || !kept.Live {
+		t.Error("constant-true branch must stay live")
+	}
+	if elided != nil && elided.Live {
+		t.Error("else arm of constant-true condition must be dead")
+	}
+}
+
+func TestPanicBlockTerminates(t *testing.T) {
+	fx := parseFunc(t, `
+func f(a int) int {
+	if a < 0 {
+		panic("negative")
+	}
+	return a
+}`)
+	pb := fx.blockAt(t, `panic("negative")`)
+	if pb == nil {
+		t.Fatal("panic statement not placed in any block")
+	}
+	if !pb.Panics {
+		t.Error("panic block not marked Panics")
+	}
+}
+
+func TestDeferCollected(t *testing.T) {
+	fx := parseFunc(t, `
+func f() {
+	defer println("a")
+	defer println("b")
+	println("body")
+}`)
+	if len(fx.g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(fx.g.Defers))
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	fx := parseFunc(t, `
+func f(a int) int {
+	i := 0
+loop:
+	i++
+	if i < a {
+		goto loop
+	}
+	if a == 7 {
+		goto done
+	}
+	i *= 2
+done:
+	return i
+}`)
+	inc := fx.blockAt(t, "i++")
+	if inc == nil || !inc.Live {
+		t.Fatal("i++ block missing or dead")
+	}
+	if !canReach(inc, inc) {
+		// canReach walks successors; a self-cycle through the goto means
+		// inc reaches itself again.
+		t.Error("backward goto did not form a cycle")
+	}
+	dbl := fx.blockAt(t, "i *= 2")
+	if dbl == nil || !dbl.Live {
+		t.Fatal("i *= 2 block missing or dead")
+	}
+	if !canReach(dbl, fx.g.Exit) {
+		t.Error("fallthrough path lost")
+	}
+	// The forward goto must provide a path from the condition to the
+	// return that bypasses the doubling.
+	ret := fx.blockAt(t, "return i")
+	if ret == nil {
+		t.Fatal("return block missing")
+	}
+	if len(ret.Preds) < 2 {
+		t.Errorf("return has %d preds, want >=2 (goto + fallthrough)", len(ret.Preds))
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	fx := parseFunc(t, `
+func f(m [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(m); i++ {
+		for j := 0; j < len(m[i]); j++ {
+			if m[i][j] < 0 {
+				break outer
+			}
+			if m[i][j] == 0 {
+				continue outer
+			}
+			total += m[i][j]
+		}
+	}
+	return total
+}`)
+	ret := fx.blockAt(t, "return total")
+	acc := fx.blockAt(t, "total += m[i][j]")
+	if ret == nil || acc == nil {
+		t.Fatal("return or accumulation block missing")
+	}
+	// break outer exits both loops: the inner condition block that
+	// branches to it must reach the return without passing through the
+	// accumulation. Check via the branch structure: the accumulation's
+	// block must not appear on every path from the break's source.
+	inner := fx.blockAt(t, "m[i][j] < 0")
+	if inner == nil || !inner.Live {
+		t.Fatal("inner condition block missing")
+	}
+	if !canReach(inner, ret) {
+		t.Error("labeled break cannot reach exit")
+	}
+	// continue outer must re-enter the outer loop and be able to run the
+	// accumulation on a later iteration.
+	contCond := fx.blockAt(t, "m[i][j] == 0")
+	if contCond == nil || !contCond.Live {
+		t.Fatal("continue condition block missing")
+	}
+	if !canReach(contCond, acc) {
+		t.Error("continue outer cannot re-reach the loop body")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	fx := parseFunc(t, `
+func f(a int) int {
+	x := 0
+	switch a {
+	case 1:
+		x = 1
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 9
+	}
+	return x
+}`)
+	c1 := fx.blockAt(t, "x = 1")
+	c2 := fx.blockAt(t, "x += 2")
+	if c1 == nil || c2 == nil {
+		t.Fatal("case blocks missing")
+	}
+	direct := false
+	for _, s := range c1.Succs {
+		if s == c2 {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestRangeHeadCarriesClause(t *testing.T) {
+	fx := parseFunc(t, `
+func f(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}`)
+	var head *Block
+	for _, b := range fx.g.Blocks {
+		if b.Range != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no range head block")
+	}
+	if !head.Live || len(head.Succs) != 2 {
+		t.Errorf("range head: live=%v succs=%d, want live with 2 succs", head.Live, len(head.Succs))
+	}
+	body := fx.blockAt(t, "total += v")
+	if body == nil || !canReach(body, head) {
+		t.Error("loop body does not cycle back to the range head")
+	}
+}
+
+func TestUnreachableAfterGoto(t *testing.T) {
+	fx := parseFunc(t, `
+func f() int {
+	goto end
+	println("dead")
+end:
+	return 1
+}`)
+	dead := fx.blockAt(t, `println("dead")`)
+	if dead == nil {
+		t.Fatal("dead statement not placed in any block")
+	}
+	if dead.Live {
+		t.Error("statement jumped over by goto must be dead")
+	}
+}
+
+func TestInfiniteLoopHasNoExit(t *testing.T) {
+	fx := parseFunc(t, `
+func f() {
+	for {
+		println("spin")
+	}
+}`)
+	if fx.g.Exit.Live {
+		t.Error("exit of an infinite loop must be unreachable")
+	}
+}

@@ -1,0 +1,72 @@
+package flow
+
+// Lattice describes one dataflow domain for the worklist solver: how to
+// make the bottom element, copy a state, and join another state into an
+// existing one. Join mutates dst in place and reports whether anything
+// changed; the solver stops when no join changes anything.
+type Lattice[S any] struct {
+	Bottom func() S
+	Clone  func(S) S
+	Join   func(dst, src S) bool
+}
+
+// Forward solves a forward dataflow problem to fixpoint and returns the
+// IN state of every reachable block. boundary is the entry block's IN
+// state; transfer maps a block's IN state to its OUT state (it may
+// mutate and return its argument — the solver passes a private clone).
+// Dead blocks never appear in the result.
+//
+// The worklist is FIFO with membership dedup, seeded in block-index
+// order, so iteration order — and therefore any deterministic tie-break
+// inside Join — is reproducible run to run.
+func Forward[S any](g *Graph, lat Lattice[S], boundary S, transfer func(*Block, S) S) map[*Block]S {
+	in := map[*Block]S{g.Entry: boundary}
+	return solve(g, lat, in, transfer, func(b *Block) []*Block { return b.Succs })
+}
+
+// Backward solves a backward dataflow problem to fixpoint and returns
+// the OUT state of every reachable block. boundary is the exit block's
+// OUT state; transfer maps a block's OUT state to its IN state, which
+// propagates to the block's predecessors.
+func Backward[S any](g *Graph, lat Lattice[S], boundary S, transfer func(*Block, S) S) map[*Block]S {
+	out := map[*Block]S{g.Exit: boundary}
+	return solve(g, lat, out, transfer, func(b *Block) []*Block { return b.Preds })
+}
+
+func solve[S any](g *Graph, lat Lattice[S], state map[*Block]S, transfer func(*Block, S) S, next func(*Block) []*Block) map[*Block]S {
+	queue := make([]*Block, 0, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			queue = append(queue, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		if b.Live {
+			if _, seeded := state[b]; seeded {
+				push(b)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+		res := transfer(b, lat.Clone(state[b]))
+		for _, n := range next(b) {
+			if !n.Live {
+				continue
+			}
+			cur, ok := state[n]
+			if !ok {
+				cur = lat.Bottom()
+				state[n] = cur
+			}
+			if lat.Join(cur, res) || !ok {
+				push(n)
+			}
+		}
+	}
+	return state
+}

@@ -56,6 +56,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// fl is the package's dataflow context (CFGs, bottom-up order, call
+	// summaries), shared by the flow-based analyzers.
+	fl    *flowCtx
 	diags *[]Diagnostic
 }
 
@@ -82,9 +85,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order: the four
+// syntactic checks first (wallclock, maprange, simtime, goroutine), then
+// the four dataflow checks built on internal/lint/flow (detaint,
+// spanleak, hotalloc, psunits).
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapRange, SimTime, Goroutine}
+	return []*Analyzer{Wallclock, MapRange, SimTime, Goroutine, Detaint, SpanLeak, HotAlloc, PSUnits}
 }
 
 // ModelPackages are the import paths whose code runs on the simulation
@@ -126,6 +132,7 @@ func IsModelPackage(path string) bool { return ModelPackages[path] }
 // findings that survive allow-directive filtering, sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	fl := buildFlowCtx(pkg)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -133,6 +140,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			fl:        fl,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

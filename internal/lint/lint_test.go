@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -17,6 +18,10 @@ var fixtureCases = []struct {
 	{"maprange", "maprange"},
 	{"simtime", "simtime"},
 	{"goroutine", "goroutine"},
+	{"detaint", "detaint"},
+	{"spanleak", "spanleak"},
+	{"hotalloc", "hotalloc"},
+	{"psunits", "psunits"},
 	{"clean", "clean"},
 }
 
@@ -94,5 +99,71 @@ func TestModelPackageSet(t *testing.T) {
 	}
 	if IsModelPackage("rvma/internal/harness") {
 		t.Error("harness must stay host-side (it may time real executions)")
+	}
+}
+
+// hostSidePackages are the internal packages deliberately outside the
+// determinism rules, each with the reason it is exempt. A package must
+// appear here or in ModelPackages: TestModelPackagesCoverInternalTree
+// fails on any unaccounted directory, so adding a package forces an
+// explicit classification decision.
+var hostSidePackages = map[string]string{
+	"rvma/internal/harness":     "times real executions of the binary under test",
+	"rvma/internal/lint":        "the linter itself; runs at build time, not sim time",
+	"rvma/internal/matchengine": "offline figure matcher; compares CSVs after runs finish",
+	"rvma/internal/metrics":     "recording substrate; sinks for model data, runs no model logic",
+	"rvma/internal/microbench":  "host-side wall-clock benchmarking of the simulator",
+	"rvma/internal/rstream":     "offline result-stream codec for harness artifacts",
+	"rvma/internal/stats":       "pure math over finished samples; no engine interaction",
+	"rvma/internal/trace":       "trace file writer; consumes events after the fact",
+}
+
+// TestModelPackagesCoverInternalTree keeps lint.ModelPackages in sync
+// with the directory tree: every package under internal/ holding Go
+// files must be classified, and every classified path must still exist.
+func TestModelPackagesCoverInternalTree(t *testing.T) {
+	root := filepath.Join("..") // internal/
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading internal/: %v", err)
+	}
+	onDisk := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(root, e.Name()))
+		if err != nil {
+			t.Fatalf("reading internal/%s: %v", e.Name(), err)
+		}
+		hasGo := false
+		for _, f := range sub {
+			if !f.IsDir() && strings.HasSuffix(f.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			continue
+		}
+		path := "rvma/internal/" + e.Name()
+		onDisk[path] = true
+		model, host := ModelPackages[path], hostSidePackages[path] != ""
+		switch {
+		case model && host:
+			t.Errorf("%s is listed both as a model package and as host-side", path)
+		case !model && !host:
+			t.Errorf("%s is unclassified: add it to lint.ModelPackages (determinism rules apply) or to hostSidePackages with a reason", path)
+		}
+	}
+	for path := range ModelPackages {
+		if !onDisk[path] {
+			t.Errorf("ModelPackages lists %s, which no longer exists under internal/", path)
+		}
+	}
+	for path := range hostSidePackages {
+		if !onDisk[path] {
+			t.Errorf("hostSidePackages lists %s, which no longer exists under internal/", path)
+		}
 	}
 }

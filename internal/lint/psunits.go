@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rvma/internal/lint/flow"
+)
+
+// PSUnits enforces unit safety for the integer-picosecond clock.
+var PSUnits = &Analyzer{
+	Name: "psunits",
+	Doc: "unit-safety for integer-picosecond time: flags float conversions of " +
+		"sim.Time outside Time's own accessor methods (precision loss breaks " +
+		"reproducibility across FPUs), integers carrying nanoseconds (from " +
+		"time.Duration) mixed or converted into picosecond values, and unguarded " +
+		"sim.Time multiplications that can overflow int64 at 8k-node scale — " +
+		"use sim.Scale / sim.ScaleF for checked arithmetic",
+	Run: runPSUnits,
+}
+
+// unit tags for integer values whose unit is known.
+const (
+	unitNS = "nanoseconds (via time.Duration)"
+	unitPS = "picoseconds (via sim.Time)"
+)
+
+func isSimTime(t types.Type) bool  { return t != nil && isNamed(t, simPkgPath, "Time") }
+func isDuration(t types.Type) bool { return t != nil && isNamed(t, "time", "Duration") }
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func runPSUnits(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Syntactic checks: float boundary crossings and unguarded
+	// multiplications. Time's own accessor methods are the sanctioned
+	// int->float boundary and are exempt.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if timeReceiverMethod(info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkFloatBoundary(pass, info, n)
+				case *ast.BinaryExpr:
+					checkOverflowProneMul(pass, info, n)
+				}
+				return true
+			})
+		}
+	}
+
+	// Flow check: integer variables that carry a unit (extracted from a
+	// Duration or a Time) must not mix or cross back without conversion.
+	ctx := pass.fl
+	if ctx == nil {
+		return nil
+	}
+	for _, fi := range ctx.funcs {
+		checkUnitFlow(pass, info, fi)
+	}
+	return nil
+}
+
+// timeReceiverMethod reports whether fd is a method on sim.Time (or, in
+// the fixture/sim package itself, on the local Time type): those
+// accessors are the one place int->float conversion is sanctioned.
+func timeReceiverMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	if tv, ok := info.Types[fd.Recv.List[0].Type]; ok {
+		return isSimTime(tv.Type)
+	}
+	return false
+}
+
+// checkFloatBoundary flags conversions between sim.Time and floats.
+func checkFloatBoundary(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	argT := info.Types[call.Args[0]].Type
+	if argT == nil {
+		return
+	}
+	if isFloat(tv.Type) && isSimTime(argT) {
+		pass.Reportf(call.Pos(),
+			"float conversion of sim.Time loses picosecond precision and varies across FPUs; "+
+				"use Time's accessor methods (Seconds/Nanoseconds) at the edge, never in model arithmetic")
+	}
+	if isSimTime(tv.Type) && isFloat(argT) {
+		pass.Reportf(call.Pos(),
+			"sim.Time built from a float rounds implicitly; use sim.FromNanos/sim.ScaleF, "+
+				"which own the rounding, or integer arithmetic via sim.Scale")
+	}
+}
+
+// checkOverflowProneMul flags a multiplication producing sim.Time where
+// neither operand is a compile-time constant: at 8k-node scale a
+// payload-size times per-byte-cost product overflows int64 picoseconds
+// silently. sim.Scale performs the same multiply with an overflow check.
+func checkOverflowProneMul(pass *Pass, info *types.Info, bin *ast.BinaryExpr) {
+	if bin.Op != token.MUL {
+		return
+	}
+	tv, ok := info.Types[bin]
+	if !ok || !isSimTime(tv.Type) {
+		return
+	}
+	if info.Types[bin.X].Value != nil || info.Types[bin.Y].Value != nil {
+		return // a constant factor is bounded and auditable
+	}
+	pass.Reportf(bin.Pos(),
+		"unguarded sim.Time multiplication can overflow int64 picoseconds at scale; "+
+			"use sim.Scale(n, per), which panics on overflow instead of wrapping")
+}
+
+// unitState tags integer variables with the time unit they carry.
+type unitState map[types.Object]string
+
+var unitLattice = flow.Lattice[unitState]{
+	Bottom: func() unitState { return unitState{} },
+	Clone: func(s unitState) unitState {
+		out := make(unitState, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	},
+	Join: func(dst, src unitState) bool {
+		changed := false
+		for k, v := range src {
+			if cur, ok := dst[k]; !ok {
+				dst[k] = v
+				changed = true
+			} else if cur != v && cur != "" {
+				// Conflicting units on merging paths: drop to unknown rather
+				// than guessing (the mixing point itself was already flagged).
+				dst[k] = ""
+				changed = true
+			}
+		}
+		return changed
+	},
+}
+
+// checkUnitFlow runs the unit-tag dataflow over one function body and
+// reports mixing and unconverted crossings in a final pass.
+func checkUnitFlow(pass *Pass, info *types.Info, fi *funcInfo) {
+	eval := &unitEval{info: info}
+	transfer := func(b *flow.Block, in unitState) unitState {
+		eval.state = in
+		eval.apply(b, nil)
+		return in
+	}
+	in := flow.Forward(fi.graph, unitLattice, unitState{}, transfer)
+	for _, b := range fi.graph.Blocks {
+		if !b.Live {
+			continue
+		}
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		eval.state = unitLattice.Clone(st)
+		eval.apply(b, pass)
+	}
+}
+
+type unitEval struct {
+	info  *types.Info
+	state unitState
+}
+
+// apply runs one block's transfer; with a non-nil pass it also reports.
+func (ev *unitEval) apply(b *flow.Block, pass *Pass) {
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						obj := ev.info.Defs[id]
+						if obj == nil {
+							obj = ev.info.Uses[id]
+						}
+						if obj != nil {
+							if u := ev.unitOf(n.Rhs[i]); u != "" {
+								ev.state[obj] = u
+							} else {
+								delete(ev.state, obj)
+							}
+						}
+					}
+				}
+			}
+		}
+		if pass != nil {
+			ev.report(n, pass)
+		}
+	}
+}
+
+// unitOf evaluates the unit tag of an integer expression.
+func (ev *unitEval) unitOf(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := ev.info.Uses[e]; obj != nil {
+			return ev.state[obj]
+		}
+	case *ast.CallExpr:
+		// Integer conversion of a unit-bearing value mints the tag.
+		if tv, ok := ev.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if isInteger(tv.Type) && !isSimTime(tv.Type) && !isDuration(tv.Type) {
+				argT := ev.info.Types[e.Args[0]].Type
+				if isDuration(argT) {
+					return unitNS
+				}
+				if isSimTime(argT) {
+					return unitPS
+				}
+				return ev.unitOf(e.Args[0])
+			}
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.REM:
+			ux, uy := ev.unitOf(e.X), ev.unitOf(e.Y)
+			if ux != "" {
+				return ux
+			}
+			return uy
+		case token.MUL, token.QUO:
+			ux, uy := ev.unitOf(e.X), ev.unitOf(e.Y)
+			if ux != "" {
+				return ux
+			}
+			return uy
+		}
+	}
+	return ""
+}
+
+// report flags unit violations inside one node.
+func (ev *unitEval) report(n ast.Node, pass *Pass) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				ux, uy := ev.unitOf(x.X), ev.unitOf(x.Y)
+				if ux != "" && uy != "" && ux != uy {
+					pass.Reportf(x.OpPos,
+						"mixing %s with %s in one expression; convert explicitly (1 ns = 1000 ps) before combining", ux, uy)
+				}
+			}
+		case *ast.CallExpr:
+			tv, ok := ev.info.Types[x.Fun]
+			if !ok || !tv.IsType() || len(x.Args) != 1 {
+				return true
+			}
+			if isSimTime(tv.Type) {
+				if u := ev.unitOf(x.Args[0]); u == unitNS {
+					pass.Reportf(x.Pos(),
+						"integer carrying %s converted to sim.Time without a unit conversion; multiply by sim.Nanosecond first", unitNS)
+				}
+			}
+			if isDuration(tv.Type) {
+				if u := ev.unitOf(x.Args[0]); u == unitPS {
+					pass.Reportf(x.Pos(),
+						"integer carrying %s converted to time.Duration without a unit conversion; divide by sim.Nanosecond first", unitPS)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rvma/internal/lint/flow"
+)
+
+// SpanLeak is the static twin of the simdebug span-conservation assert:
+// a span held in a local must reach a terminal on every path.
+var SpanLeak = &Analyzer{
+	Name: "spanleak",
+	Doc: "prove every metrics span started and kept in a local reaches exactly one " +
+		"terminal (End/EndNacked/EndAbandoned) on all paths, including early returns " +
+		"and error branches. A span that escapes — captured by a closure, passed to a " +
+		"callee, returned, or stored in a field — transfers ownership and is the new " +
+		"owner's responsibility; panic paths are exempt (the run is already dead)",
+	Run: runSpanLeak,
+}
+
+const metricsPkgPath = "rvma/internal/metrics"
+
+// spanTerminals are the Span methods that close a span's lifecycle.
+var spanTerminals = map[string]bool{
+	"End":          true,
+	"EndNacked":    true,
+	"EndAbandoned": true,
+}
+
+// isBeginSpan reports whether the call starts a span on a metrics
+// registry.
+func isBeginSpan(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Name() == "BeginSpan" && funcPkgPath(f) == metricsPkgPath
+}
+
+// terminalOn reports whether node n contains a terminal call on the
+// variable v (sp.End(...), sp.EndNacked(...), sp.EndAbandoned(...)).
+func terminalOn(info *types.Info, n ast.Node, v types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !spanTerminals[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == v {
+			f := calleeFunc(info, call)
+			if f != nil && funcPkgPath(f) == metricsPkgPath {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func runSpanLeak(pass *Pass) error {
+	ctx := pass.fl
+	if ctx == nil {
+		return nil
+	}
+	for _, fi := range ctx.funcs {
+		checkSpansIn(pass, ctx, fi)
+	}
+	return nil
+}
+
+// tracked is one span-holding local under analysis.
+type tracked struct {
+	v     types.Object
+	begin *ast.CallExpr
+	// block and node index of the BeginSpan assignment.
+	block *flow.Block
+	nodeI int
+}
+
+func checkSpansIn(pass *Pass, ctx *flowCtx, fi *funcInfo) {
+	info := ctx.pkg.TypesInfo
+	var spans []tracked
+
+	for _, b := range fi.graph.Blocks {
+		if !b.Live {
+			continue
+		}
+		for i, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isBeginSpan(info, call) {
+					pass.Reportf(call.Pos(),
+						"BeginSpan result discarded: the span can never reach a terminal and will leak")
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					continue
+				}
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok || !isBeginSpan(info, call) {
+					continue
+				}
+				id, ok := n.Lhs[0].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil {
+					spans = append(spans, tracked{v: obj, begin: call, block: b, nodeI: i})
+				}
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return
+	}
+
+	for _, sp := range spans {
+		if escapes(info, fi.body(), sp.v) {
+			continue // ownership transferred; the receiver closes it
+		}
+		checkSpanPaths(pass, info, fi, sp)
+	}
+}
+
+// escapes reports whether v's value leaves the function's hands: used as
+// a call argument, returned, assigned anywhere, captured by a function
+// literal, put in a composite literal, or address-taken. Method calls on
+// v (sp.Stage, sp.End) are uses, not escapes.
+func escapes(info *types.Info, body *ast.BlockStmt, v types.Object) bool {
+	esc := false
+	isV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == v
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && info.Uses[id] == v {
+					esc = true
+				}
+				return !esc
+			})
+			return false
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if isV(a) {
+					esc = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isV(r) {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				// Reassigning the variable from BeginSpan again is handled as
+				// its own tracked span; any other appearance of v on a RHS
+				// hands the pointer to something else.
+				if isV(r) {
+					esc = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isV(el) {
+					esc = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if isV(n.X) {
+				esc = true // address taken or channel receive misuse
+			}
+		case *ast.SendStmt:
+			if isV(n.Value) {
+				esc = true
+			}
+		case *ast.IndexExpr:
+			if isV(n.Index) {
+				esc = true
+			}
+		}
+		return !esc
+	}
+	ast.Inspect(body, walk)
+	return esc
+}
+
+// boolLattice is a must-analysis domain: true means "guaranteed", joins
+// are conjunctions, and the optimistic bottom is true so the fixpoint
+// descends toward false only where a path disproves the guarantee.
+var boolLattice = flow.Lattice[*bool]{
+	Bottom: func() *bool { b := true; return &b },
+	Clone:  func(s *bool) *bool { b := *s; return &b },
+	Join: func(dst, src *bool) bool {
+		if *dst && !*src {
+			*dst = false
+			return true
+		}
+		return false
+	},
+}
+
+// checkSpanPaths verifies one non-escaping span local: every path from
+// its BeginSpan to the function exit must execute a terminal (leak
+// check), and no path may execute a second terminal after one already
+// ran on every route there (double-terminal check).
+func checkSpanPaths(pass *Pass, info *types.Info, fi *funcInfo, sp tracked) {
+	g := fi.graph
+
+	// A deferred terminal covers every exit at once.
+	for _, d := range g.Defers {
+		if terminalOn(info, d, sp.v) {
+			return
+		}
+	}
+
+	// Backward must-reach-terminal: state[b] answers "is a terminal
+	// guaranteed between the end of b and the exit".
+	f := false
+	reach := flow.Backward(g, boolLattice, &f, func(b *flow.Block, out *bool) *bool {
+		if b.Panics {
+			t := true
+			return &t
+		}
+		for _, n := range b.Nodes {
+			if terminalOn(info, n, sp.v) {
+				t := true
+				return &t
+			}
+		}
+		return out
+	})
+
+	// Covered if a terminal runs later in the begin block itself, or is
+	// guaranteed from the block's end onward.
+	for i := sp.nodeI + 1; i < len(sp.block.Nodes); i++ {
+		if terminalOn(info, sp.block.Nodes[i], sp.v) {
+			goto closed
+		}
+	}
+	if r, ok := reach[sp.block]; !ok || !*r {
+		pass.Reportf(sp.begin.Pos(),
+			"span does not reach End/EndNacked/EndAbandoned on every path from here; "+
+				"a missed branch leaks the span and skews stage attribution")
+		return
+	}
+
+closed:
+	// Forward must-closed: state[b] answers "has a terminal definitely
+	// run before the start of b". A terminal executing under
+	// must-closed is a double close.
+	f2 := false
+	closedIn := flow.Forward(g, boolLattice, &f2, func(b *flow.Block, in *bool) *bool {
+		closed := *in
+		for _, n := range b.Nodes {
+			if terminalOn(info, n, sp.v) {
+				closed = true
+			}
+		}
+		return &closed
+	})
+	for _, b := range g.Blocks {
+		if !b.Live || b.Panics {
+			continue
+		}
+		in, ok := closedIn[b]
+		if !ok {
+			continue
+		}
+		closed := *in
+		nodes := b.Nodes
+		if b == sp.block {
+			// In the block that begins the span, the incoming state
+			// describes a previous binding of the variable (or nothing);
+			// the new span starts open at the node after BeginSpan.
+			closed = false
+			nodes = b.Nodes[sp.nodeI+1:]
+		}
+		for _, n := range nodes {
+			if terminalOn(info, n, sp.v) {
+				if closed {
+					pass.Reportf(n.Pos(),
+						"span already reached a terminal on every path here; second End call is dead")
+				}
+				closed = true
+			}
+		}
+	}
+}

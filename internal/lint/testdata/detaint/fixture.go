@@ -1,0 +1,83 @@
+// Package fixture seeds taint flows from nondeterminism sources to
+// determinism-critical sinks for the detaint analyzer test. The shapes
+// here are exactly the ones the syntactic analyzers (wallclock,
+// maprange) cannot see: the tainted value is laundered through locals,
+// helpers, and returns before it reaches the sink.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+
+	"rvma/internal/sim"
+)
+
+type comp struct {
+	eng *sim.Engine
+}
+
+// delay launders an int through a helper: the call summary must carry
+// the parameter's taint to the result.
+func delay(k int) sim.Time {
+	return sim.Time(k) * sim.Nanosecond
+}
+
+// fire sinks its parameter: the summary records the parameter sink, and
+// the caller passing a tainted argument owns the diagnostic.
+func (c *comp) fire(t sim.Time) {
+	c.eng.Schedule(t, func() {})
+}
+
+// laundered is the motivating case: the map key is stored in a local
+// and only reaches the scheduler after the loop, where maprange cannot
+// see it.
+func (c *comp) laundered(m map[int]int) {
+	last := 0
+	for k := range m {
+		last = k
+	}
+	c.eng.Schedule(delay(last), func() {})    // want `map iteration order reaches event scheduling`
+	c.eng.Schedule(sim.Time(last), func() {}) // want `map iteration order reaches event scheduling`
+	c.fire(sim.Time(last))                    // want `flows into fire, which passes it to event scheduling`
+}
+
+// printed covers the output sink and the pointer-identity source: %p of
+// a heap object differs run to run even under a fixed seed.
+func (c *comp) printed(b *comp) {
+	id := fmt.Sprintf("%p", b)
+	fmt.Println(id) // want `pointer identity reaches printed output`
+}
+
+// sorted is the approved laundering: sort.Ints is a sanitizer, so the
+// key reaching the scheduler afterwards is deterministic.
+func (c *comp) sorted(m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		c.eng.Schedule(delay(k), func() {})
+	}
+}
+
+// commutative shows the += exemption: summing over a map is order
+// independent, so the total is clean when it reaches the scheduler.
+func (c *comp) commutative(m map[int]int) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	c.eng.Schedule(delay(total), func() {})
+}
+
+// allowed demonstrates suppression where the flow is intentional (e.g.
+// a diagnostic dump whose order genuinely does not matter).
+func (c *comp) allowed(m map[int]int) {
+	last := 0
+	for k := range m {
+		last = k
+	}
+	//rvmalint:allow detaint -- fixture: debug-only output, order is irrelevant
+	c.eng.Schedule(delay(last), func() {})
+}

@@ -1,0 +1,56 @@
+// Package fixture seeds integer-picosecond unit hazards for the
+// psunits analyzer test: float round-trips of sim time, ns/ps values
+// laundered through plain integers (where the simtime analyzer's
+// direct-conversion check cannot see them), and unguarded sim.Time
+// multiplications that can overflow at scale.
+package fixture
+
+import (
+	"time"
+
+	"rvma/internal/sim"
+)
+
+// floats exercises the float boundary in both directions.
+func floats(t sim.Time, f float64) {
+	_ = float64(t)  // want `float conversion of sim.Time loses picosecond precision`
+	_ = sim.Time(f) // want `sim.Time built from a float rounds implicitly`
+	// The approved edges: accessor methods and the owning helpers.
+	_ = t.Seconds()
+	_ = sim.FromNanos(f)
+	_ = sim.ScaleF(t, f)
+}
+
+// laundered tags integers by what they were converted from, so a
+// nanosecond count and a picosecond count cannot meet, and neither can
+// cross back into the wrong wrapper type unscaled. simtime only flags
+// the direct sim.Time(d) conversion; this is the two-step version.
+func laundered(d time.Duration, t sim.Time) {
+	ns := int64(d)
+	ps := int64(t)
+	_ = ns + ps           // want `mixing nanoseconds \(via time.Duration\) with picoseconds \(via sim.Time\)`
+	_ = ps > ns           // want `mixing picoseconds \(via sim.Time\) with nanoseconds \(via time.Duration\)`
+	_ = sim.Time(ns)      // want `integer carrying nanoseconds \(via time.Duration\) converted to sim.Time`
+	_ = time.Duration(ps) // want `integer carrying picoseconds \(via sim.Time\) converted to time.Duration`
+	// Same-unit arithmetic and explicitly scaled crossings are fine.
+	_ = ps + ps
+	_ = sim.Time(ns) * sim.Nanosecond //rvmalint:allow psunits -- fixture: the multiply right here is the unit conversion
+}
+
+// overflow shows the unguarded product of two run-time values: at 8k
+// nodes a bytes*perByte product wraps int64 picoseconds silently.
+func overflow(n int, per sim.Time) sim.Time {
+	bad := sim.Time(n) * per // want `unguarded sim.Time multiplication can overflow`
+	_ = bad
+	// sim.Scale is the checked form; constant factors are auditable.
+	_ = sim.Scale(n, per)
+	_ = 2 * per
+	return sim.Scale(n, per)
+}
+
+// allowed suppresses a deliberate unchecked multiply (e.g. operands
+// proven small by construction).
+func allowed(n int, per sim.Time) sim.Time {
+	//rvmalint:allow psunits -- fixture: n is a port index < 64, cannot overflow
+	return sim.Time(n) * per
+}

@@ -1,0 +1,96 @@
+// Package fixture seeds span lifecycle violations for the spanleak
+// analyzer test: spans that can leak on a branch, spans ended twice,
+// and discarded BeginSpan results, next to the ownership-transfer
+// shapes the analyzer must stay silent on.
+package fixture
+
+import (
+	"rvma/internal/metrics"
+	"rvma/internal/sim"
+)
+
+type host struct {
+	eng *sim.Engine
+	reg *metrics.Registry
+}
+
+// leaky ends the span on only one branch: the else path drops it.
+func (h *host) leaky(key metrics.SpanKey, ok bool) {
+	sp := h.reg.BeginSpan(h.eng.Now(), key, "put", 0) // want `span does not reach End/EndNacked/EndAbandoned on every path`
+	if ok {
+		sp.End(h.eng.Now())
+	}
+}
+
+// discarded never binds the span at all, so no path can terminate it.
+func (h *host) discarded(key metrics.SpanKey) {
+	h.reg.BeginSpan(h.eng.Now(), key, "put", 0) // want `BeginSpan result discarded`
+}
+
+// doubled ends the span twice on the same path: the second terminal is
+// dead and would double-count the ending in the registry.
+func (h *host) doubled(key metrics.SpanKey) {
+	sp := h.reg.BeginSpan(h.eng.Now(), key, "put", 0)
+	sp.End(h.eng.Now())
+	sp.EndNacked(h.eng.Now()) // want `second End call is dead`
+}
+
+// branches is the approved multi-outcome shape: every path reaches
+// exactly one terminal, each a different ending.
+func (h *host) branches(key metrics.SpanKey, nacked, dead bool) {
+	sp := h.reg.BeginSpan(h.eng.Now(), key, "put", 0)
+	sp.Stage(h.eng.Now(), "inject")
+	if nacked {
+		sp.EndNacked(h.eng.Now())
+		return
+	}
+	if dead {
+		sp.EndAbandoned(h.eng.Now())
+		return
+	}
+	sp.End(h.eng.Now())
+}
+
+// deferred closes via defer, which satisfies every exit path at once.
+func (h *host) deferred(key metrics.SpanKey, work func()) {
+	sp := h.reg.BeginSpan(h.eng.Now(), key, "put", 0)
+	defer sp.End(h.eng.Now())
+	work()
+}
+
+// panics may leak on the panic path: crash diagnostics outrank span
+// accounting, so the analyzer exempts panic-terminated blocks.
+func (h *host) panics(key metrics.SpanKey, ok bool) {
+	sp := h.reg.BeginSpan(h.eng.Now(), key, "put", 0)
+	if !ok {
+		panic("fixture: bad state")
+	}
+	sp.End(h.eng.Now())
+}
+
+// handoff transfers ownership: once the span escapes into a callback or
+// a helper, the terminal obligation moves with it and this function is
+// no longer accountable.
+func (h *host) handoff(key metrics.SpanKey) {
+	sp := h.reg.BeginSpan(h.eng.Now(), key, "put", 0)
+	h.eng.Schedule(sim.Nanosecond, func() {
+		sp.End(h.eng.Now())
+	})
+
+	sp2 := h.reg.BeginSpan(h.eng.Now(), key, "get", 0)
+	h.finish(sp2)
+}
+
+func (h *host) finish(sp *metrics.Span) {
+	sp.End(h.eng.Now())
+}
+
+// allowed suppresses a deliberate leak (e.g. a span intentionally held
+// open across a fault-injection window the test tears down wholesale).
+func (h *host) allowed(key metrics.SpanKey, ok bool) {
+	//rvmalint:allow spanleak -- fixture: the fault harness abandons open spans in bulk
+	sp := h.reg.BeginSpan(h.eng.Now(), key, "put", 0)
+	if ok {
+		sp.End(h.eng.Now())
+	}
+}

@@ -50,7 +50,7 @@ func (c Halo3DConfig) zFaceBytes() int { return c.Nx * c.Ny * c.Vars * 8 }
 
 // iterComputeTime is the per-iteration computation.
 func (c Halo3DConfig) iterComputeTime() sim.Time {
-	return sim.Time(c.Nx*c.Ny*c.Nz) * c.ComputePerCell
+	return sim.Scale(c.Nx*c.Ny*c.Nz, c.ComputePerCell)
 }
 
 // RunHalo3D executes the motif and returns the simulated makespan.

@@ -365,7 +365,7 @@ func (cfg *ClusterConfig) ApplyLinkSpeed(gbps float64) {
 	if gbps > base {
 		scale := base / gbps
 		mul := func(t sim.Time) sim.Time {
-			out := sim.Time(float64(t) * scale)
+			out := sim.ScaleF(t, scale)
 			if out < sim.Nanosecond {
 				out = sim.Nanosecond
 			}

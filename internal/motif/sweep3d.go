@@ -62,7 +62,7 @@ func (c Sweep3DConfig) yMsgBytes() int { return c.Nx * c.KBA * c.Vars * 8 }
 
 // blockComputeTime is the per-block computation.
 func (c Sweep3DConfig) blockComputeTime() sim.Time {
-	return sim.Time(c.Nx*c.Ny*c.KBA*c.Vars) * c.ComputePerCell
+	return sim.Scale(c.Nx*c.Ny*c.KBA*c.Vars, c.ComputePerCell)
 }
 
 // sweepCorners are the 8 sweep directions: 4 (dx, dy) quadrants, each

@@ -85,7 +85,7 @@ func DefaultProfile() Profile {
 // RegistrationTime returns the modeled cost of registering size bytes.
 func (p Profile) RegistrationTime(size int) sim.Time {
 	pages := (size + 4095) / 4096
-	return p.RegistrationBase + sim.Time(pages)*p.RegistrationPerPage
+	return p.RegistrationBase + sim.Scale(pages, p.RegistrationPerPage)
 }
 
 // Handler consumes a protocol packet payload on the receive side, after the

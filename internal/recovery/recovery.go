@@ -223,7 +223,7 @@ func (m *Manager) backoff(try int) sim.Time {
 // waits past this horizon so it never races a retransmit that could still
 // legitimately complete the current buffer.
 func (m *Manager) RetryHorizon() sim.Time {
-	h := sim.Time(m.cfg.MaxRetries+1) * m.cfg.Timeout
+	h := sim.Scale(m.cfg.MaxRetries+1, m.cfg.Timeout)
 	for try := 0; try < m.cfg.MaxRetries; try++ {
 		d := m.cfg.BackoffMax
 		if try < 30 {
@@ -231,7 +231,7 @@ func (m *Manager) RetryHorizon() sim.Time {
 				d = shifted
 			}
 		}
-		h += d + sim.Time(float64(d)*m.cfg.Jitter)
+		h += d + sim.ScaleF(d, m.cfg.Jitter)
 	}
 	return h
 }

@@ -57,6 +57,7 @@ const heapArity = 4
 
 // push inserts ev and records its queue index.
 func (q *eventQueue) push(ev *Event) {
+	//rvmalint:allow hotalloc -- heap growth is amortized O(1); the backing array stabilizes at peak occupancy
 	*q = append(*q, ev)
 	q.siftUp(len(*q) - 1)
 }
@@ -219,6 +220,7 @@ func (e *Engine) alloc(at Time, priority int, fn func(), daemon bool) *Event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
+		//rvmalint:allow hotalloc -- pool miss: the free list feeds steady state, so this runs O(peak concurrency) times, not per event
 		ev = &Event{}
 	}
 	ev.at = at
@@ -240,11 +242,14 @@ func (e *Engine) alloc(at Time, priority int, fn func(), daemon bool) *Event {
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
 	ev.state = evFree
+	//rvmalint:allow hotalloc -- free-list growth is amortized; capacity stabilizes at peak event population
 	e.free = append(e.free, ev)
 }
 
 // Schedule runs fn after delay d. A negative delay panics: causality in a
 // discrete-event simulation only moves forward.
+//
+//rvmalint:hot
 func (e *Engine) Schedule(d Time, fn func()) *Event {
 	return e.ScheduleP(d, 0, fn)
 }
@@ -252,6 +257,8 @@ func (e *Engine) Schedule(d Time, fn func()) *Event {
 // ScheduleP runs fn after delay d with an explicit priority; among events
 // at the same timestamp, lower priorities run first. Priorities let models
 // enforce intra-timestep ordering (e.g. "deliver before poll").
+//
+//rvmalint:hot
 func (e *Engine) ScheduleP(d Time, priority int, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
@@ -260,6 +267,8 @@ func (e *Engine) ScheduleP(d Time, priority int, fn func()) *Event {
 }
 
 // At runs fn at absolute time t, which must not be in the past.
+//
+//rvmalint:hot
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
@@ -283,6 +292,8 @@ func (e *Engine) at(t Time, priority int, fn func()) *Event {
 // run's externally observable results are byte-identical with or without
 // daemons attached. Daemon callbacks must be pure readers of the model:
 // no model-event scheduling, no RNG draws, no state mutation.
+//
+//rvmalint:hot
 func (e *Engine) ScheduleDaemonP(d Time, priority int, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
@@ -298,6 +309,8 @@ func (e *Engine) ScheduleDaemonP(d Time, priority int, fn func()) *Event {
 // a no-op; canceling an event that already ran is a use-after-free (the
 // object may already back a different scheduled event) and trips a
 // simdebug invariant when the misuse is detectable.
+//
+//rvmalint:hot
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled {
 		return
@@ -327,11 +340,14 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 
 // RunUntil executes events with timestamps <= limit (or until Stop). The
 // clock is left at min(limit, time of last executed event's successor).
+//
+//rvmalint:hot
 func (e *Engine) RunUntil(limit Time) Time {
 	if e.running {
 		panic("sim: Run re-entered from within an event")
 	}
 	e.running = true
+	//rvmalint:allow hotalloc -- one closure per Run call, not per event; the re-entrancy guard must survive callback panics
 	defer func() { e.running = false }()
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -374,6 +390,8 @@ func (e *Engine) RunUntil(limit Time) Time {
 
 // Step executes exactly one pending event and returns true, or returns
 // false if the queue is empty. It is intended for tests and debuggers.
+//
+//rvmalint:hot
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false

@@ -81,5 +81,5 @@ func (r *Resource) Utilization(e *Engine) float64 {
 	if e.Now() == 0 {
 		return 0
 	}
-	return float64(r.busyTime) / float64(e.Now())
+	return Ratio(r.busyTime, e.Now())
 }

@@ -75,11 +75,7 @@ func (r *RNG) Jitter(d Time, frac float64) Time {
 		return d
 	}
 	f := 1 + frac*(2*r.Float64()-1)
-	out := Time(float64(d) * f)
-	if out < 0 {
-		out = 0
-	}
-	return out
+	return ScaleF(d, f)
 }
 
 // Shuffle permutes the first n elements using swap, Fisher-Yates style.

@@ -65,14 +65,69 @@ func (t Time) String() string {
 
 // FromNanos converts a floating-point nanosecond count into a Time,
 // rounding to the nearest picosecond.
+//
+//rvmalint:allow psunits -- sanctioned float->ps boundary: the rounding policy is explicit here
 func FromNanos(ns float64) Time { return Time(math.Round(ns * float64(Nanosecond))) }
 
 // FromMicros converts a floating-point microsecond count into a Time.
+//
+//rvmalint:allow psunits -- sanctioned float->ps boundary: the rounding policy is explicit here
 func FromMicros(us float64) Time { return Time(math.Round(us * float64(Microsecond))) }
+
+// Scale returns n*per, panicking on int64 overflow instead of silently
+// wrapping. Model code sizing a cost by an element or page count must use
+// this rather than a bare multiplication: at 8k-node scale a payload size
+// times a per-byte cost can exceed 106 days of picoseconds, and a wrapped
+// negative delay would corrupt the event queue invisibly. (The psunits
+// analyzer rejects unguarded Time multiplications and points here.)
+func Scale(n int, per Time) Time {
+	if n == 0 || per == 0 {
+		return 0
+	}
+	//rvmalint:allow psunits -- this is the checked multiply the analyzer directs model code to
+	out := Time(n) * per
+	if out/per != Time(n) {
+		panic(fmt.Sprintf("sim: Scale(%d, %d) overflows int64 picoseconds", n, per))
+	}
+	return out
+}
+
+// ScaleF returns t scaled by factor, truncating toward zero (the same
+// policy as a direct float->int conversion, so existing call sites keep
+// bit-identical results) and clamping to [0, MaxTime]. It is the one
+// sanctioned way to apply a fractional factor (jitter, link-speed
+// derating, host-noise multipliers) to a duration; everywhere else,
+// float conversions of Time are rejected by the psunits analyzer.
+//
+//rvmalint:allow psunits -- sanctioned ps<->float boundary: truncation and clamping are explicit here
+func ScaleF(t Time, factor float64) Time {
+	f := float64(t) * factor
+	if f <= 0 || math.IsNaN(f) {
+		return 0
+	}
+	if f >= float64(MaxTime) {
+		return MaxTime
+	}
+	return Time(f)
+}
+
+// Ratio returns a/b as a float, the sanctioned way to express one
+// duration as a fraction of another (utilization, blame shares). The
+// unit cancels, so this is not a precision-losing time conversion.
+//
+//rvmalint:allow psunits -- dimensionless ratio: the ps unit cancels between numerator and denominator
+func Ratio(a, b Time) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
 
 // SerializationTime returns the time needed to move size bytes over a
 // channel running at gbps gigabits per second. It rounds up to a whole
 // picosecond so that a nonzero payload always consumes nonzero time.
+//
+//rvmalint:allow psunits -- sanctioned float->ps boundary: ceiling rounding is the explicit policy
 func SerializationTime(size int, gbps float64) Time {
 	if size <= 0 || gbps <= 0 {
 		return 0

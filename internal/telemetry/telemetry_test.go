@@ -16,6 +16,7 @@ func pulseModel(eng *sim.Engine, n int, gap sim.Time) *[]float64 {
 	var step func()
 	left := n
 	step = func() {
+		//rvmalint:allow psunits -- test-only: the pulse log records raw picosecond values for exact replay comparison
 		*log = append(*log, float64(eng.Now()), eng.RNG().Float64())
 		left--
 		if left > 0 {

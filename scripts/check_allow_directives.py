@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Audit //rvmalint:allow directives.
+
+Every suppression in the tree must carry a human-readable justification
+after " -- " and may only name analyzers that actually exist, so a
+directive can never silently rot into suppressing nothing (typo) or
+suppressing without a recorded reason. Run from the repository root:
+
+    python3 scripts/check_allow_directives.py
+
+Exit status is 1 if any directive is malformed, with one line per
+offence in file:line: form.
+"""
+
+import os
+import re
+import sys
+
+# The analyzer set registered in internal/lint.All(). Keep in sync when
+# adding an analyzer (the test fixtures exercise each name, so a stale
+# list here fails CI on the fixture directives).
+KNOWN_ANALYZERS = {
+    "wallclock",
+    "maprange",
+    "simtime",
+    "goroutine",
+    "detaint",
+    "spanleak",
+    "hotalloc",
+    "psunits",
+}
+
+# Matches the directive and captures the name list and the remainder of
+# the comment. Mirrors allowDirective in internal/lint/lint.go, which
+# anchors at the start of the comment text.
+DIRECTIVE = re.compile(r"//rvmalint:allow\s+([A-Za-z0-9_,]+)(.*)$")
+
+SKIP_DIRS = {".git", "figures", "results"}
+
+
+def audit_file(path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            m = DIRECTIVE.search(line)
+            if m is None:
+                continue
+            # A quote before the match means the directive sits inside a
+            # string literal or a quoted doc example, not a suppression.
+            if '"' in line[: m.start()]:
+                continue
+            names, rest = m.group(1), m.group(2)
+            where = f"{path}:{lineno}"
+            for name in names.split(","):
+                if not name:
+                    errors.append(f"{where}: empty analyzer name in directive")
+                elif name not in KNOWN_ANALYZERS:
+                    errors.append(
+                        f"{where}: unknown analyzer {name!r} "
+                        f"(known: {', '.join(sorted(KNOWN_ANALYZERS))})"
+                    )
+            justification = rest.split(" -- ", 1)
+            if len(justification) < 2 or not justification[1].strip():
+                errors.append(
+                    f"{where}: directive has no justification; append "
+                    f"' -- <why this suppression is sound>'"
+                )
+    return errors
+
+
+def main():
+    errors = []
+    count = 0
+    for root, dirs, files in os.walk("."):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if not name.endswith(".go"):
+                continue
+            path = os.path.join(root, name)
+            file_errors = audit_file(path)
+            errors.extend(file_errors)
+            with open(path, encoding="utf-8") as f:
+                count += sum("//rvmalint:allow" in l for l in f)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"check_allow_directives: {len(errors)} malformed directive(s)")
+        return 1
+    print(f"ok: {count} allow directive(s), all named and justified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
