@@ -17,6 +17,7 @@
 //	rvmabench -csv fig6 > fig6.csv
 //	rvmabench -json-out BENCH_sim.json fig7   # per-cell perf trajectory
 //	rvmabench -telemetry-dir ts/ fig7         # per-cell time-series CSVs
+//	rvmabench -ledger-dir led/ fig7           # per-cell execution ledgers
 //	rvmabench -workers 4 fig7                 # parallel cells, same bytes out
 //	rvmabench faults                          # loss sweep at default rates
 //	rvmabench -drop-rate 0.05 -retry-budget 4 faults   # one rate, tight budget
@@ -44,6 +45,7 @@ func main() {
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut     = flag.String("json-out", "", "write per-cell perf records (wall time, sim time, events/sec) as JSON to this file")
 		telDir      = flag.String("telemetry-dir", "", "write one in-sim time-series CSV per motif cell into this directory")
+		ledgerDir   = flag.String("ledger-dir", "", "write one execution-ledger JSON per motif cell into this directory (compare with simdiff)")
 		workers     = flag.Int("workers", 0, "concurrent figure cells (0 = one per CPU); output is identical at any worker count")
 		dropRates   = flag.String("drop-rate", "", "comma-separated drop probabilities for the faults sweep (default 0.01,0.02,0.05,0.1)")
 		retryBudget = flag.Int("retry-budget", 0, "max retransmits per op in the faults sweep (0 = recovery default)")
@@ -73,6 +75,13 @@ func main() {
 			os.Exit(1)
 		}
 		opt.TelemetryDir = *telDir
+	}
+	if *ledgerDir != "" {
+		if err := os.MkdirAll(*ledgerDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rvmabench: %v\n", err)
+			os.Exit(1)
+		}
+		opt.LedgerDir = *ledgerDir
 	}
 	if *workers > 0 {
 		opt.Workers = *workers

@@ -28,6 +28,16 @@
 //	-tail-k N          worst-K depth of the attribution tail exchange
 //	                   (default 8)
 //
+// Determinism-forensics flags (see internal/ledger and cmd/simdiff):
+//
+//	-ledger-out F      record the deterministic execution ledger (hash
+//	                   chain over every model event pop) and write it to F;
+//	                   compare two ledgers with simdiff
+//	-ledger-epoch N    ledger epoch size in events (0 = default 65536)
+//	-shard-plan-out F  record the per-component host-time profile and
+//	                   write the shard-planner report to F (.csv suffix
+//	                   selects CSV, anything else JSON)
+//
 // Time-resolved telemetry flags:
 //
 //	-timeseries-out F  attach the in-sim sampler and write the columnar
@@ -68,12 +78,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"rvma/internal/attrib"
 	"rvma/internal/fabric"
 	"rvma/internal/harness"
+	"rvma/internal/ledger"
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/recovery"
@@ -82,6 +94,33 @@ import (
 	"rvma/internal/topology"
 	"rvma/internal/trace"
 )
+
+// replicaUnsupported lists every flag that attaches an observer (tracer,
+// metrics registry, sampler, flight recorder, attribution collector,
+// execution ledger) or tunes one. Each of these binds to a single engine,
+// so explicitly setting any of them alongside -seeds N>1 is an error —
+// previously some (-flight-recorder, -sample-interval, -tail-k) were
+// silently ignored in replica mode. Defaults do not trigger the check:
+// only flags the user actually set on the command line count.
+var replicaUnsupported = []string{
+	"trace", "spans", "metrics-out", "perfetto-out",
+	"attrib-out", "tail-k",
+	"timeseries-out", "heatmap-out", "sample-interval",
+	"flight-recorder", "nack-burst",
+	"ledger-out", "ledger-epoch", "shard-plan-out",
+}
+
+// replicaIncompatible returns, in declaration order, the replica-unsupported
+// flags present in set (the explicitly-set flag names from flag.Visit).
+func replicaIncompatible(set map[string]bool) []string {
+	var bad []string
+	for _, name := range replicaUnsupported {
+		if set[name] {
+			bad = append(bad, name)
+		}
+	}
+	return bad
+}
 
 func main() {
 	var (
@@ -105,6 +144,9 @@ func main() {
 		nackBurst   = flag.Float64("nack-burst", 0, "dump flight recorder when NACKs per sample window reach this (0 disables)")
 		attribOut   = flag.String("attrib-out", "", "write the latency-attribution report JSON to this file and print the blame table")
 		tailK       = flag.Int("tail-k", 8, "worst-K depth of the latency-attribution tail exchange")
+		ledgerOut   = flag.String("ledger-out", "", "write the deterministic execution-ledger JSON to this file (compare with simdiff)")
+		ledgerEpoch = flag.Uint64("ledger-epoch", 0, "ledger epoch size in events (0 = default 65536)")
+		shardOut    = flag.String("shard-plan-out", "", "write the per-component host-time profile (shard-planner report) to this file; .csv selects CSV, else JSON")
 		seeds       = flag.Int("seeds", 1, "run this many seed replicas (seed, seed+1, ...) and report each plus the mean")
 		workers     = flag.Int("workers", 0, "replica concurrency for -seeds (0 = one per CPU)")
 		dropRate    = flag.Float64("drop-rate", 0, "uniform per-packet drop probability (shorthand for -fault-plan drop=P)")
@@ -176,11 +218,15 @@ func main() {
 
 	// Replica mode: N independent seeds on a worker pool, one engine per
 	// replica, printed in seed order. The observability flags attach to a
-	// single engine, so they require a single run.
+	// single engine, so they require a single run; every one of them is
+	// rejected here (explicitly-set defaults included) rather than silently
+	// ignored.
 	if *seeds > 1 {
-		if *doTrace || *doSpans || *metricsOut != "" || *perfOut != "" ||
-			*tsOut != "" || *heatOut != "" || *nackBurst > 0 || *attribOut != "" {
-			fail("observability flags need a single run; drop them or set -seeds 1")
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if bad := replicaIncompatible(set); len(bad) > 0 {
+			fail("flag(s) -%s attach observers to a single engine and are incompatible with -seeds; drop them or set -seeds 1",
+				strings.Join(bad, ", -"))
 		}
 		rep := replicaConfig{
 			motifName: *motifName, kind: kind, topoName: *topoName,
@@ -207,6 +253,22 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+
+	// Execution ledger / shard-plan profile. The recorder is a pure observer
+	// on the engine's pop loop — attaching it cannot change the simulation.
+	spansOn := *doSpans || *perfOut != "" || *attribOut != ""
+	var ledRec *ledger.Recorder
+	if *ledgerOut != "" || *shardOut != "" {
+		lo := ledger.Options{EpochEvents: *ledgerEpoch, Profile: *shardOut != ""}
+		if rs, ok := replayableSpec(*motifName, *transport, *topoName, *routing,
+			*nodes, *gbps, *seed, *rdmaBufs, *rvmaDepth,
+			*faultPlan, *dropRate, *retryBudget, spansOn); ok {
+			lo.Run = &rs
+		}
+		ledRec = ledger.NewRecorder(lo)
+		ledRec.Attach(cluster.Eng)
+	}
+
 	var tr *trace.Tracer
 	if *doTrace {
 		tr = trace.New(cluster.Eng, 64) // counters/series plus a small event ring
@@ -388,10 +450,76 @@ func main() {
 		}
 		fmt.Printf("heatmap:    per-switch utilization matrix written to %s\n", *heatOut)
 	}
+	if *ledgerOut != "" {
+		led := ledRec.Finalize()
+		if err := led.WriteFile(*ledgerOut); err != nil {
+			fail("%v", err)
+		}
+		replayNote := ""
+		if led.Run == nil {
+			replayNote = "; no replayable run spec (non-default knobs), simdiff will localize to epoch only"
+		}
+		fmt.Printf("ledger:     %d events in %d epochs, chain head %s, written to %s%s\n",
+			led.Events, len(led.Epochs), led.ChainHead, *ledgerOut, replayNote)
+	}
+	if *shardOut != "" {
+		prof := ledRec.Profile()
+		f, err := os.Create(*shardOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if strings.HasSuffix(*shardOut, ".csv") {
+			err = prof.WriteCSV(f)
+		} else {
+			err = prof.WriteJSON(f)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("shard plan: %d components over %d events written to %s\n",
+			len(prof.Components), prof.TotalEvents, *shardOut)
+	}
 	if tr != nil {
 		fmt.Println("\ntrace:")
 		tr.Dump(os.Stdout)
 	}
+}
+
+// replayableSpec builds the RunSpec embedded in -ledger-out files so
+// cmd/simdiff can replay the run for event-level divergence resolution.
+// Replay goes through the harness cell runner, which only reproduces runs
+// whose knobs match the harness defaults; anything it cannot express —
+// non-default transport buffer depths, structured fault plans, disabled
+// recovery — yields ok=false and the ledger is written without a spec
+// (epoch-level localization still works, replay does not).
+func replayableSpec(motifName, transport, topoName, routing string,
+	nodes int, gbps float64, seed uint64, rdmaBufs, rvmaDepth int,
+	faultPlan string, dropRate float64, retryBudget int, spans bool) (ledger.RunSpec, bool) {
+	if rdmaBufs != 1 || rvmaDepth != 4 || faultPlan != "" || retryBudget < 0 {
+		return ledger.RunSpec{}, false
+	}
+	rs := ledger.RunSpec{
+		Motif:     motifName,
+		Transport: transport,
+		Topology:  topoName,
+		Routing:   routing,
+		Network:   topoName + "/" + routing,
+		Nodes:     nodes,
+		Gbps:      gbps,
+		Seed:      seed,
+		Spans:     spans,
+		Drop:      dropRate,
+	}
+	if dropRate > 0 {
+		rs.Recover = true
+		if retryBudget > 0 {
+			rs.RetryBudget = retryBudget
+		}
+	}
+	return rs, true
 }
 
 // replicaConfig is one -seeds replica's experiment point (everything but

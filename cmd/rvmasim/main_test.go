@@ -1,0 +1,111 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReplicaIncompatibleMatrix pins the replica-mode flag audit: every
+// observer flag is rejected when explicitly set alongside -seeds, including
+// the ones the old value-based check silently ignored (-flight-recorder,
+// -sample-interval, -tail-k) and the ledger flags.
+func TestReplicaIncompatibleMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		set  map[string]bool
+		want []string
+	}{
+		{"none set", map[string]bool{}, nil},
+		{"replica flags only", map[string]bool{"seeds": true, "workers": true, "gbps": true}, nil},
+		{"trace", map[string]bool{"trace": true}, []string{"trace"}},
+		{"spans", map[string]bool{"spans": true}, []string{"spans"}},
+		{"metrics-out", map[string]bool{"metrics-out": true}, []string{"metrics-out"}},
+		{"perfetto-out", map[string]bool{"perfetto-out": true}, []string{"perfetto-out"}},
+		{"attrib-out", map[string]bool{"attrib-out": true}, []string{"attrib-out"}},
+		{"timeseries-out", map[string]bool{"timeseries-out": true}, []string{"timeseries-out"}},
+		{"heatmap-out", map[string]bool{"heatmap-out": true}, []string{"heatmap-out"}},
+		{"nack-burst", map[string]bool{"nack-burst": true}, []string{"nack-burst"}},
+		// Previously silently ignored in replica mode.
+		{"flight-recorder", map[string]bool{"flight-recorder": true}, []string{"flight-recorder"}},
+		{"sample-interval", map[string]bool{"sample-interval": true}, []string{"sample-interval"}},
+		{"tail-k", map[string]bool{"tail-k": true}, []string{"tail-k"}},
+		// Ledger flags are observers too.
+		{"ledger-out", map[string]bool{"ledger-out": true}, []string{"ledger-out"}},
+		{"ledger-epoch", map[string]bool{"ledger-epoch": true}, []string{"ledger-epoch"}},
+		{"shard-plan-out", map[string]bool{"shard-plan-out": true}, []string{"shard-plan-out"}},
+		{
+			"several at once, declaration order",
+			map[string]bool{"ledger-out": true, "trace": true, "sample-interval": true, "seeds": true},
+			[]string{"trace", "sample-interval", "ledger-out"},
+		},
+	}
+	for _, tc := range cases {
+		if got := replicaIncompatible(tc.set); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: replicaIncompatible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestReplicaUnsupportedCoversAllObserverFlags guards against a new
+// observer flag being added without a replica-mode audit entry: every flag
+// name in the list must be unique, and the known observer set must be a
+// subset of the list.
+func TestReplicaUnsupportedCoversAllObserverFlags(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range replicaUnsupported {
+		if seen[name] {
+			t.Errorf("duplicate entry %q in replicaUnsupported", name)
+		}
+		seen[name] = true
+	}
+	for _, name := range []string{
+		"trace", "spans", "metrics-out", "perfetto-out", "attrib-out",
+		"tail-k", "timeseries-out", "heatmap-out", "sample-interval",
+		"flight-recorder", "nack-burst", "ledger-out", "ledger-epoch",
+		"shard-plan-out",
+	} {
+		if !seen[name] {
+			t.Errorf("observer flag %q missing from replicaUnsupported", name)
+		}
+	}
+}
+
+// TestReplayableSpec pins which flag shapes embed a replayable RunSpec in
+// -ledger-out files and which fall back to epoch-only localization.
+func TestReplayableSpec(t *testing.T) {
+	rs, ok := replayableSpec("sweep3d", "rvma", "dragonfly", "adaptive",
+		64, 100, 7, 1, 4, "", 0, 0, false)
+	if !ok {
+		t.Fatal("default knobs should be replayable")
+	}
+	if rs.Motif != "sweep3d" || rs.Transport != "rvma" || rs.Network != "dragonfly/adaptive" ||
+		rs.Nodes != 64 || rs.Seed != 7 || rs.Spans || rs.Recover {
+		t.Fatalf("unexpected spec: %+v", rs)
+	}
+
+	rs, ok = replayableSpec("halo3d", "rdma", "hyperx", "static",
+		64, 200, 3, 1, 4, "", 0.01, 5, true)
+	if !ok {
+		t.Fatal("drop-rate run should be replayable")
+	}
+	if !rs.Recover || rs.RetryBudget != 5 || rs.Drop != 0.01 || !rs.Spans {
+		t.Fatalf("unexpected fault spec: %+v", rs)
+	}
+
+	for _, tc := range []struct {
+		name                string
+		rdmaBufs, rvmaDepth int
+		faultPlan           string
+		retryBudget         int
+	}{
+		{"non-default rdma buffers", 2, 4, "", 0},
+		{"non-default rvma depth", 1, 8, "", 0},
+		{"structured fault plan", 1, 4, "drop=0.01,burst=3", 0},
+		{"recovery disabled", 1, 4, "", -1},
+	} {
+		if _, ok := replayableSpec("sweep3d", "rvma", "dragonfly", "adaptive",
+			64, 100, 1, tc.rdmaBufs, tc.rvmaDepth, tc.faultPlan, 0, tc.retryBudget, false); ok {
+			t.Errorf("%s: expected not replayable", tc.name)
+		}
+	}
+}

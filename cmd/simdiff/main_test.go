@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rvma/internal/ledger"
+	"rvma/internal/sim"
+)
+
+// runSimdiff invokes run() with capture files and returns (exit, stdout,
+// stderr).
+func runSimdiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.Create(filepath.Join(dir, "err"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, outF, errF)
+	outF.Close()
+	errF.Close()
+	out, _ := os.ReadFile(outF.Name())
+	errb, _ := os.ReadFile(errF.Name())
+	return code, string(out), string(errb)
+}
+
+func TestLedgerIdenticalGolden(t *testing.T) {
+	code, out, _ := runSimdiff(t, "testdata/base.ledger.json", "testdata/base.ledger.json")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; out=%q", code, out)
+	}
+	want := "identical: 32 events, chain head 00000000000000b2\n"
+	if out != want {
+		t.Fatalf("output %q, want %q", out, want)
+	}
+}
+
+func TestLedgerDivergentGolden(t *testing.T) {
+	code, out, _ := runSimdiff(t, "testdata/base.ledger.json", "testdata/perturbed.ledger.json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; out=%q", code, out)
+	}
+	want := "DIVERGENT: epoch 1 digest mismatch (00000000000000b1 vs 00000000000000c1)\n" +
+		"first divergent epoch: 1 (pops 16..31)\n" +
+		"no run spec embedded; cannot replay for event-level resolution\n"
+	if out != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestMetricsGolden(t *testing.T) {
+	code, out, _ := runSimdiff(t, "testdata/metrics_a.json", "testdata/metrics_b.json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "$.counters.nacks") || !strings.Contains(out, "A: 3") || !strings.Contains(out, "B: 4") {
+		t.Fatalf("unexpected metrics diff output:\n%s", out)
+	}
+	code, out, _ = runSimdiff(t, "testdata/metrics_a.json", "testdata/metrics_a.json")
+	if code != 0 || !strings.Contains(out, "identical") {
+		t.Fatalf("identical metrics: exit %d out %q", code, out)
+	}
+}
+
+func TestTelemetryGolden(t *testing.T) {
+	code, out, _ := runSimdiff(t, "testdata/ts_a.csv", "testdata/ts_b.csv")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	want := "DIVERGENT: line 4 column 2\n  A: 20,7,250\n  B: 20,9,250\n"
+	if out != want {
+		t.Fatalf("output %q, want %q", out, want)
+	}
+	code, _, _ = runSimdiff(t, "testdata/ts_a.csv", "testdata/ts_a.csv")
+	if code != 0 {
+		t.Fatalf("identical telemetry: exit %d", code)
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	code, _, errOut := runSimdiff(t, "testdata/base.ledger.json", "testdata/ts_a.csv")
+	if code != 2 || !strings.Contains(errOut, "cannot auto-detect") {
+		t.Fatalf("exit %d err %q", code, errOut)
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	code, _, errOut := runSimdiff(t, "onlyone")
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("exit %d err %q", code, errOut)
+	}
+}
+
+// TestReplayPinsExactSeq builds two real diverging ledgers (with embedded
+// replayable RunSpecs this test cannot use — so it checks the pure-ledger
+// path end to end with recorder-built files instead of hand fixtures).
+func TestRecorderBuiltLedgers(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(seed uint64, name string) string {
+		rec := ledger.NewRecorder(ledger.Options{EpochEvents: 8})
+		eng := sim.NewEngine(seed)
+		tag := eng.Tag("comp")
+		rec.Attach(eng)
+		var step func(i int)
+		step = func(i int) {
+			if i >= 100 {
+				return
+			}
+			tag.Schedule(sim.Time(1+eng.RNG().Intn(3))*sim.Nanosecond, func() { step(i + 1) })
+		}
+		eng.Schedule(0, func() { step(0) })
+		eng.Run()
+		path := filepath.Join(dir, name)
+		if err := rec.Finalize().WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := mk(1, "a.ledger.json")
+	b := mk(2, "b.ledger.json")
+	code, out, _ := runSimdiff(t, a, a)
+	if code != 0 {
+		t.Fatalf("same ledger: exit %d out %q", code, out)
+	}
+	code, out, _ = runSimdiff(t, "-no-replay", a, b)
+	if code != 1 || !strings.Contains(out, "first divergent epoch:") {
+		t.Fatalf("diverging ledgers: exit %d out %q", code, out)
+	}
+}

@@ -210,9 +210,10 @@ func RunCollective(c *motif.Cluster, cfg Config) (sim.Time, error) {
 	done := sim.NewGate(c.Eng, n)
 	done.Future().OnComplete(func() { finished = c.Eng.Now() })
 
+	tag := c.Tag.Retag("collective")
 	for rank := 0; rank < n; rank++ {
 		tp := c.Transports[rank]
-		c.Eng.Spawn(fmt.Sprintf("coll-r%d", rank), func(p *sim.Process) {
+		tag.Spawn(fmt.Sprintf("coll-r%d", rank), func(p *sim.Process) {
 			peers := neighborsAll(tp)
 			p.Wait(tp.Prepare(peers, peers, maxMsg))
 			for i := 0; i < cfg.Iterations; i++ {

@@ -188,7 +188,7 @@ type Stats struct {
 
 // Network is an instantiated fabric over a topology.
 type Network struct {
-	eng   *sim.Engine
+	eng   sim.Tagged
 	topo  topology.Topology
 	cfg   Config
 	hosts []DeliverFunc
@@ -258,8 +258,8 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 		for sw := range n.outPorts {
 			var backlog sim.Time
 			for _, p := range n.outPorts[sw] {
-				backlog += p.Backlog(n.eng)
-				u := p.Utilization(n.eng)
+				backlog += p.Backlog(n.eng.Engine)
+				u := p.Utilization(n.eng.Engine)
 				util += u
 				if u > maxUtil {
 					maxUtil = u
@@ -280,7 +280,7 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 		}
 		var hostUtil float64
 		for _, h := range n.hostTx {
-			hostUtil += h.Utilization(n.eng)
+			hostUtil += h.Utilization(n.eng.Engine)
 		}
 		if len(n.hostTx) > 0 {
 			reg.Gauge("fabric.host_tx_util_mean").Set(hostUtil / float64(len(n.hostTx)))
@@ -308,7 +308,7 @@ func (n *Network) RegisterTelemetry(s *telemetry.Sampler) {
 		var backlog sim.Time
 		for sw := range n.outPorts {
 			for _, p := range n.outPorts[sw] {
-				backlog += p.Backlog(n.eng)
+				backlog += p.Backlog(n.eng.Engine)
 			}
 		}
 		return backlog.Nanoseconds()
@@ -317,7 +317,7 @@ func (n *Network) RegisterTelemetry(s *telemetry.Sampler) {
 		var worst sim.Time
 		for sw := range n.outPorts {
 			for _, p := range n.outPorts[sw] {
-				if b := p.Backlog(n.eng); b > worst {
+				if b := p.Backlog(n.eng.Engine); b > worst {
 					worst = b
 				}
 			}
@@ -338,7 +338,7 @@ func (n *Network) RegisterTelemetry(s *telemetry.Sampler) {
 		s.Register(fmt.Sprintf("fabric.queue_ns.sw%03d", sw), func() float64 {
 			var backlog sim.Time
 			for _, p := range ports {
-				backlog += p.Backlog(n.eng)
+				backlog += p.Backlog(n.eng.Engine)
 			}
 			return backlog.Nanoseconds()
 		})
@@ -365,7 +365,7 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config) (*Network, error) 
 		return nil, err
 	}
 	n := &Network{
-		eng:   eng,
+		eng:   eng.Tag("fabric"),
 		topo:  topo,
 		cfg:   cfg,
 		hosts: make([]DeliverFunc, topo.NumNodes()),
@@ -397,7 +397,7 @@ func New(eng *sim.Engine, topo topology.Topology, cfg Config) (*Network, error) 
 }
 
 // Engine returns the engine the network runs on.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+func (n *Network) Engine() *sim.Engine { return n.eng.Engine }
 
 // Topology returns the underlying topology.
 func (n *Network) Topology() topology.Topology { return n.topo }
@@ -434,7 +434,7 @@ func (n *Network) Inject(pkt *Packet) {
 	}
 
 	ser := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps)
-	txDone := n.hostTx[pkt.Src].Acquire(n.eng, ser)
+	txDone := n.hostTx[pkt.Src].Acquire(n.eng.Engine, ser)
 	pkt.QueueWait += txDone - pkt.Injected - ser
 	arrive := txDone + n.linkDelay()
 	sw, _ := n.topo.HostPort(pkt.Src)
@@ -448,7 +448,7 @@ func (n *Network) MaxQueueBacklog() sim.Time {
 	var max sim.Time
 	for _, ports := range n.outPorts {
 		for _, p := range ports {
-			if b := p.Backlog(n.eng); b > max {
+			if b := p.Backlog(n.eng.Engine); b > max {
 				max = b
 			}
 		}
@@ -521,13 +521,13 @@ func (n *Network) selectPort(sw int, pkt *Packet) int {
 			if bias == 0 {
 				bias = sim.SerializationTime(n.cfg.MTU+HeaderBytes, n.cfg.LinkGbps)
 			}
-			minBacklog := n.outPorts[sw][best].Backlog(n.eng)
+			minBacklog := n.outPorts[sw][best].Backlog(n.eng.Engine)
 			if minBacklog > bias {
 				if nm := n.nonMin.NonMinimalCandidates(sw, pkt.Dst, nil); len(nm) > 0 {
 					alt := n.leastBacklogged(sw, nm)
 					// UGAL: detour when twice the non-minimal backlog still
 					// beats the minimal backlog.
-					if 2*n.outPorts[sw][alt].Backlog(n.eng)+bias < minBacklog {
+					if 2*n.outPorts[sw][alt].Backlog(n.eng.Engine)+bias < minBacklog {
 						pkt.misrouted = true
 						n.Stats.ValiantDetours++
 						n.mDetours.Add(1)
@@ -552,9 +552,9 @@ func (n *Network) selectPort(sw int, pkt *Packet) int {
 // deterministic for a given simulation state).
 func (n *Network) leastBacklogged(sw int, cands []int) int {
 	best := cands[0]
-	bestBacklog := n.outPorts[sw][best].Backlog(n.eng)
+	bestBacklog := n.outPorts[sw][best].Backlog(n.eng.Engine)
 	for _, c := range cands[1:] {
-		if b := n.outPorts[sw][c].Backlog(n.eng); b < bestBacklog {
+		if b := n.outPorts[sw][c].Backlog(n.eng.Engine); b < bestBacklog {
 			best, bestBacklog = c, b
 		}
 	}

@@ -49,6 +49,12 @@ type Options struct {
 	// TailK is the worst-K depth of each cell's latency-attribution tail
 	// exchange (0 keeps the attrib default of 8).
 	TailK int
+	// LedgerDir, when non-empty, attaches an execution-ledger recorder to
+	// every motif cell's engine and writes one <cell>.ledger.json into the
+	// directory during the serial merge phase (see internal/ledger). The
+	// recorder only hashes fields every pop already carries, so results
+	// stay byte-identical with or without it.
+	LedgerDir string
 }
 
 // workerCount resolves Options.Workers: 0 (the default) saturates the

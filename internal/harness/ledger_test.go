@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/ledger"
+	"rvma/internal/motif"
+	"rvma/internal/topology"
+)
+
+// ledgerTestOptions is the small fig7-style configuration the ledger
+// determinism tests run: one network, one link speed, both transports.
+func ledgerTestOptions(t *testing.T, workers int, telemetry bool) Options {
+	t.Helper()
+	o := DefaultOptions()
+	o.Nodes = 64
+	o.LinkGbps = []float64{100}
+	o.Workers = workers
+	o.LedgerDir = t.TempDir()
+	if telemetry {
+		o.TelemetryDir = t.TempDir()
+	}
+	return o
+}
+
+// ledgerCellSpecs is the two-cell sweep used by the ledger tests.
+func ledgerCellSpecs() []cellSpec {
+	nc := NetConfig{"dragonfly/adaptive", topology.KindDragonfly, fabric.RouteAdaptive}
+	return []cellSpec{
+		{M: MotifSweep3D, Kind: motif.KindRVMA, NC: nc, Gbps: 100},
+		{M: MotifSweep3D, Kind: motif.KindRDMA, NC: nc, Gbps: 100},
+	}
+}
+
+// runLedgerCells runs the test sweep and returns cell name -> ledger file
+// bytes.
+func runLedgerCells(t *testing.T, o Options) map[string][]byte {
+	t.Helper()
+	outs := runCells(o, ledgerCellSpecs())
+	got := map[string][]byte{}
+	for _, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("cell %s: %v", out.Spec.cellName(), out.Err)
+		}
+		if err := flushCellOutput(o, out); err != nil {
+			t.Fatal(err)
+		}
+		got[out.Spec.cellName()] = out.Ledger
+	}
+	entries, err := os.ReadDir(o.LedgerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(got) {
+		t.Fatalf("wrote %d ledger files, want %d", len(entries), len(got))
+	}
+	return got
+}
+
+// TestLedgerIdenticalAcrossWorkers is the workers-1-vs-N half of the
+// determinism contract: per-cell ledgers must be byte-identical at any
+// worker count.
+func TestLedgerIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	base := runLedgerCells(t, ledgerTestOptions(t, 1, false))
+	for _, workers := range workerCounts()[1:] {
+		got := runLedgerCells(t, ledgerTestOptions(t, workers, false))
+		for cell, want := range base {
+			if string(got[cell]) != string(want) {
+				t.Fatalf("workers=%d: ledger for %s differs from serial run", workers, cell)
+			}
+		}
+	}
+}
+
+// TestLedgerInvariantUnderTelemetry checks attaching the telemetry sampler
+// (daemon events) does not perturb the ledger chain.
+func TestLedgerInvariantUnderTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	plain := runLedgerCells(t, ledgerTestOptions(t, 1, false))
+	sampled := runLedgerCells(t, ledgerTestOptions(t, 1, true))
+	for cell, want := range plain {
+		if string(sampled[cell]) != string(want) {
+			t.Fatalf("telemetry sampling changed the ledger for %s", cell)
+		}
+	}
+}
+
+// TestLedgerRecorderDoesNotChangeResults runs the same cell with and
+// without a ledger attached and compares the metric snapshots — the
+// observer must be invisible to the model.
+func TestLedgerRecorderDoesNotChangeResults(t *testing.T) {
+	spec := ledgerCellSpecs()[0]
+	o := DefaultOptions()
+	o.Nodes = 64
+
+	bare := runOneCell(o, spec, newCellRegistry())
+	o.LedgerDir = t.TempDir()
+	recorded := runOneCell(o, spec, newCellRegistry())
+	if bare.Err != nil || recorded.Err != nil {
+		t.Fatalf("cell errors: %v / %v", bare.Err, recorded.Err)
+	}
+	if bare.Makespan != recorded.Makespan {
+		t.Fatalf("ledger recorder changed the makespan: %v vs %v", bare.Makespan, recorded.Makespan)
+	}
+	if recorded.Ledger == nil {
+		t.Fatal("no ledger rendered")
+	}
+}
+
+// TestReplayReproducesChainHead round-trips the RunSpec embedded in a cell
+// ledger through ReplaySpec and checks the replay reaches the same chain
+// head — the property simdiff's divergence replay stands on.
+func TestReplayReproducesChainHead(t *testing.T) {
+	o := ledgerTestOptions(t, 1, false)
+	cells := runLedgerCells(t, o)
+	for cell, raw := range cells {
+		var l ledger.Ledger
+		if err := json.Unmarshal(raw, &l); err != nil {
+			t.Fatal(err)
+		}
+		if l.Run == nil {
+			t.Fatalf("%s: ledger carries no run spec", cell)
+		}
+		replay, _, err := ReplaySpec(*l.Run, ReplayOptions{EpochEvents: l.EpochEvents})
+		if err != nil {
+			t.Fatalf("%s: replay: %v", cell, err)
+		}
+		if replay.ChainHead != l.ChainHead {
+			t.Fatalf("%s: replay chain head %s != recorded %s", cell, replay.ChainHead, l.ChainHead)
+		}
+		if d := ledger.Compare(&l, replay); !d.Identical {
+			t.Fatalf("%s: replay diverged: %+v", cell, d)
+		}
+		break // one transport suffices; the other is covered above
+	}
+}
+
+// TestReplayWindowCapture arms a window on a replay and checks the records
+// land in the requested pop range.
+func TestReplayWindowCapture(t *testing.T) {
+	o := ledgerTestOptions(t, 1, false)
+	for _, raw := range runLedgerCells(t, o) {
+		var l ledger.Ledger
+		if err := json.Unmarshal(raw, &l); err != nil {
+			t.Fatal(err)
+		}
+		replay, _, err := ReplaySpec(*l.Run, ReplayOptions{EpochEvents: l.EpochEvents, WindowFrom: 10, WindowTo: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := replay.Window
+		if w == nil || len(w.Records) != 10 {
+			t.Fatalf("window capture: %+v", w)
+		}
+		if w.Records[0].Pop != 10 || w.Records[9].Pop != 19 {
+			t.Fatalf("window range wrong: pops %d..%d", w.Records[0].Pop, w.Records[9].Pop)
+		}
+		break
+	}
+}
+
+// TestRunSpecRoundTrip checks cellSpecFor inverts runSpecFor across the
+// sweep grid, including fault cells.
+func TestRunSpecRoundTrip(t *testing.T) {
+	o := DefaultOptions()
+	o.Nodes = 64
+	specs := []cellSpec{}
+	for _, nc := range motifNetworks() {
+		specs = append(specs, cellSpec{M: MotifHalo3D, Kind: motif.KindRVMA, NC: nc, Gbps: 400})
+	}
+	specs = append(specs,
+		cellSpec{M: MotifIncast, Kind: motif.KindRDMA, NC: motifNetworks()[0], Gbps: 100,
+			Fault: faultSpec{Drop: 0.01, Recover: true, Budget: 3}})
+	for _, spec := range specs {
+		rs := runSpecFor(spec, o)
+		got, err := cellSpecFor(rs)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.cellName(), err)
+		}
+		if got != spec {
+			t.Fatalf("round trip changed spec: %+v vs %+v", got, spec)
+		}
+	}
+	if _, err := cellSpecFor(ledger.RunSpec{Motif: "nope"}); err == nil {
+		t.Fatal("bad motif accepted")
+	}
+	if _, err := cellSpecFor(ledger.RunSpec{Motif: "sweep3d", Transport: "tcp"}); err == nil {
+		t.Fatal("bad transport accepted")
+	}
+}
+
+// TestLedgerFileName pins the cell-name flattening (the CI smoke job globs
+// these names).
+func TestLedgerFileName(t *testing.T) {
+	got := ledgerFileName("sweep3d|dragonfly/adaptive|RVMA|100Gbps")
+	want := "sweep3d_dragonfly-adaptive_RVMA_100Gbps.ledger.json"
+	if got != want {
+		t.Fatalf("ledgerFileName = %q, want %q", got, want)
+	}
+	if filepath.Ext(got) != ".json" {
+		t.Fatal("not a .json name")
+	}
+}

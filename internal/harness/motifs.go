@@ -6,6 +6,7 @@ import (
 
 	"rvma/internal/attrib"
 	"rvma/internal/fabric"
+	"rvma/internal/ledger"
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/pcie"
@@ -76,6 +77,7 @@ type cellInstr struct {
 	sampler *telemetry.Sampler
 	bench   *BenchLog
 	attrib  *attrib.Collector
+	ledger  *ledger.Recorder
 	cell    string // bench/telemetry label: "motif|network|transport|gbps"
 }
 
@@ -107,6 +109,9 @@ func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.T
 	c, err := motif.NewCluster(cfg)
 	if err != nil {
 		return 0, nil, err
+	}
+	if inst.ledger != nil {
+		inst.ledger.Attach(c.Eng)
 	}
 	if inst.reg != nil {
 		c.SetMetrics(inst.reg)

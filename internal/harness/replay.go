@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+
+	"rvma/internal/attrib"
+	"rvma/internal/fabric"
+	"rvma/internal/ledger"
+	"rvma/internal/motif"
+	"rvma/internal/topology"
+)
+
+// This file converts between the harness's in-memory cell specs and the
+// ledger's serializable RunSpec, and provides the in-process replay entry
+// point cmd/simdiff uses: given the RunSpec embedded in a ledger file, run
+// the exact same simulation again with a full-resolution capture window
+// armed around a divergent epoch.
+
+// runSpecFor renders a cell spec into the serializable form embedded in
+// ledger files.
+func runSpecFor(spec cellSpec, o Options) ledger.RunSpec {
+	rs := ledger.RunSpec{
+		Motif:     string(spec.M),
+		Transport: transportName(spec.Kind),
+		Topology:  string(spec.NC.Kind),
+		Routing:   spec.NC.Routing.String(),
+		Network:   spec.NC.Name,
+		Nodes:     o.Nodes,
+		Gbps:      spec.Gbps,
+		Seed:      o.Seed,
+		Spans:     true, // runCells always attaches a spans-enabled registry
+		Drop:      spec.Fault.Drop,
+		Recover:   spec.Fault.Recover,
+	}
+	if spec.Fault.Recover {
+		rs.RetryBudget = spec.Fault.Budget
+	}
+	return rs
+}
+
+// transportName lowercases a TransportKind for the spec ("rvma"/"rdma").
+func transportName(k motif.TransportKind) string {
+	if k == motif.KindRDMA {
+		return "rdma"
+	}
+	return "rvma"
+}
+
+// cellSpecFor is the inverse of runSpecFor: it rebuilds the harness cell
+// spec (and node count / seed) a RunSpec describes.
+func cellSpecFor(rs ledger.RunSpec) (cellSpec, error) {
+	var spec cellSpec
+	switch rs.Motif {
+	case string(MotifSweep3D), string(MotifHalo3D), string(MotifIncast):
+		spec.M = MotifName(rs.Motif)
+	default:
+		return spec, fmt.Errorf("harness: unknown motif %q in run spec", rs.Motif)
+	}
+	switch rs.Transport {
+	case "rvma":
+		spec.Kind = motif.KindRVMA
+	case "rdma":
+		spec.Kind = motif.KindRDMA
+	default:
+		return spec, fmt.Errorf("harness: unknown transport %q in run spec", rs.Transport)
+	}
+	var routing fabric.RoutingMode
+	switch rs.Routing {
+	case "static":
+		routing = fabric.RouteStatic
+	case "adaptive":
+		routing = fabric.RouteAdaptive
+	case "valiant":
+		routing = fabric.RouteValiant
+	default:
+		return spec, fmt.Errorf("harness: unknown routing %q in run spec", rs.Routing)
+	}
+	kind := topology.Kind(rs.Topology)
+	found := false
+	for _, k := range topology.Kinds() {
+		if k == kind {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return spec, fmt.Errorf("harness: unknown topology %q in run spec", rs.Topology)
+	}
+	name := rs.Network
+	if name == "" {
+		name = fmt.Sprintf("%s/%s", rs.Topology, rs.Routing)
+	}
+	spec.NC = NetConfig{Name: name, Kind: kind, Routing: routing}
+	spec.Gbps = rs.Gbps
+	spec.Fault = faultSpec{Drop: rs.Drop, Recover: rs.Recover, Budget: rs.RetryBudget}
+	return spec, nil
+}
+
+// ReplayOptions configures ReplaySpec.
+type ReplayOptions struct {
+	// EpochEvents must match the original recording for the ledgers to be
+	// comparable; 0 uses the ledger default.
+	EpochEvents uint64
+	// WindowFrom/WindowTo arm full-resolution capture over a pop range
+	// (both zero disables capture).
+	WindowFrom, WindowTo uint64
+	// Profile enables the host-time profile on the replay.
+	Profile bool
+}
+
+// ReplaySpec re-runs the simulation a RunSpec describes with a fresh
+// execution-ledger recorder attached and returns the finalized ledger
+// (including the captured window, when one was armed). Replay is exact:
+// the cluster is built through the same code path as the original run, so
+// a deterministic model reproduces the original chain head.
+func ReplaySpec(rs ledger.RunSpec, ro ReplayOptions) (*ledger.Ledger, *ledger.ProfileReport, error) {
+	spec, err := cellSpecFor(rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := ledger.NewRecorder(ledger.Options{EpochEvents: ro.EpochEvents, Profile: ro.Profile, Run: &rs})
+	if ro.WindowTo > 0 {
+		rec.SetWindow(ro.WindowFrom, ro.WindowTo)
+	}
+	inst := cellInstr{ledger: rec, cell: spec.cellName()}
+	if rs.Spans {
+		// Span instrumentation schedules extra model events, so the replay
+		// must attach the same registry shape the original run had.
+		inst.reg = newCellRegistry()
+		inst.attrib = attrib.NewCollector(0)
+	}
+	if _, _, err := runMotifPoint(spec, rs.Nodes, rs.Seed, inst); err != nil {
+		return nil, nil, err
+	}
+	return rec.Finalize(), rec.Profile(), nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"rvma/internal/attrib"
+	"rvma/internal/ledger"
 	"rvma/internal/metrics"
 	"rvma/internal/motif"
 	"rvma/internal/recovery"
@@ -90,6 +91,10 @@ type cellOutput struct {
 	// into per-stage wait/service); the figure sweeps merge these in spec
 	// order into per-transport blame sections.
 	Attrib *attrib.Collector
+	// Ledger is the rendered execution-ledger JSON (nil unless
+	// Options.LedgerDir is set). Like Telemetry, it is rendered in the
+	// worker and written during the serial merge phase.
+	Ledger []byte
 }
 
 // runOneCell executes a single cell against the given registry with the
@@ -109,6 +114,10 @@ func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 	}
 	if o.TelemetryDir != "" {
 		inst.sampler = telemetry.NewUnbound(cellSampleInterval)
+	}
+	if o.LedgerDir != "" {
+		rs := runSpecFor(spec, o)
+		inst.ledger = ledger.NewRecorder(ledger.Options{Run: &rs})
 	}
 	var c *motif.Cluster
 	out.Makespan, c, out.Err = runMotifPoint(spec, o.Nodes, o.Seed, inst)
@@ -131,6 +140,14 @@ func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 	if local != nil && len(local.Records) > 0 {
 		rec := local.Records[0]
 		out.Bench = &rec
+	}
+	if inst.ledger != nil {
+		b, err := inst.ledger.Finalize().Marshal()
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		out.Ledger = b
 	}
 	return out
 }
@@ -186,10 +203,21 @@ func flushCellOutput(o Options, out cellOutput) error {
 			return err
 		}
 	}
+	if out.Ledger != nil {
+		name := ledgerFileName(out.Spec.cellName())
+		if err := os.WriteFile(filepath.Join(o.LedgerDir, name), out.Ledger, 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // telemetryFileName flattens a cell name into a file name.
 func telemetryFileName(cell string) string {
 	return strings.NewReplacer("/", "-", "|", "_").Replace(cell) + ".csv"
+}
+
+// ledgerFileName flattens a cell name into a ledger file name.
+func ledgerFileName(cell string) string {
+	return strings.NewReplacer("/", "-", "|", "_").Replace(cell) + ".ledger.json"
 }

@@ -1,0 +1,123 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diff is the result of comparing two ledgers. When the runs diverged it
+// carries the first divergent epoch and the pop window a replay should
+// capture at full resolution to pin the exact event.
+type Diff struct {
+	Identical bool   `json:"identical"`
+	Reason    string `json:"reason,omitempty"`
+	// Comparable is false when the ledgers cannot be meaningfully diffed
+	// (different epoch sizes or format versions).
+	Comparable bool `json:"comparable"`
+	// FirstDivergentEpoch is the index of the first epoch whose digest
+	// differs; -1 when identical or not localizable.
+	FirstDivergentEpoch int `json:"first_divergent_epoch"`
+	// FromPop/ToPop bound the replay window covering the divergence.
+	FromPop uint64 `json:"from_pop"`
+	ToPop   uint64 `json:"to_pop"`
+}
+
+// Compare diffs two ledgers. The first divergent epoch is found by binary
+// search over the chain values: Chain at epoch i folds every digest up to
+// i, so equality at i certifies the whole prefix and the search is
+// O(log epochs).
+func Compare(a, b *Ledger) Diff {
+	if a.EpochEvents != b.EpochEvents {
+		return Diff{
+			Reason:              fmt.Sprintf("epoch sizes differ (%d vs %d); ledgers not comparable", a.EpochEvents, b.EpochEvents),
+			FirstDivergentEpoch: -1,
+		}
+	}
+	if a.ChainHead == b.ChainHead && a.Events == b.Events {
+		return Diff{Identical: true, Comparable: true, FirstDivergentEpoch: -1}
+	}
+	shared := len(a.Epochs)
+	if len(b.Epochs) < shared {
+		shared = len(b.Epochs)
+	}
+	// First index in [0, shared) where the chains disagree, if any.
+	idx := sort.Search(shared, func(i int) bool {
+		return a.Epochs[i].Chain != b.Epochs[i].Chain
+	})
+	if idx < shared {
+		ep := a.Epochs[idx]
+		return Diff{
+			Comparable:          true,
+			Reason:              fmt.Sprintf("epoch %d digest mismatch (%s vs %s)", idx, a.Epochs[idx].Digest, b.Epochs[idx].Digest),
+			FirstDivergentEpoch: idx,
+			FromPop:             ep.FirstPop,
+			ToPop:               ep.FirstPop + a.EpochEvents,
+		}
+	}
+	// All shared epochs agree: one run simply popped more events. The
+	// divergence is the first pop past the shorter run's end.
+	short := a.Events
+	if b.Events < short {
+		short = b.Events
+	}
+	return Diff{
+		Comparable:          true,
+		Reason:              fmt.Sprintf("event counts differ (%d vs %d); runs agree through pop %d", a.Events, b.Events, short),
+		FirstDivergentEpoch: shared,
+		FromPop:             short,
+		ToPop:               short + a.EpochEvents,
+	}
+}
+
+// WindowDivergence pins a divergence to one pop inside compared windows.
+type WindowDivergence struct {
+	// Pop is the first divergent pop index (execution order).
+	Pop uint64 `json:"pop"`
+	// SeqA/SeqB are the event sequence numbers the two runs executed at
+	// that pop; -1 means the run had already drained.
+	SeqA int64 `json:"seq_a"`
+	SeqB int64 `json:"seq_b"`
+	// A and B are the full records (nil when that run had drained).
+	A *WindowRecord `json:"a,omitempty"`
+	B *WindowRecord `json:"b,omitempty"`
+}
+
+// CompareWindows walks two full-resolution windows over the same pop range
+// and returns the first divergent pop, or nil when the windows agree. Both
+// windows must have been captured with the same FromPop.
+func CompareWindows(a, b *Window) (*WindowDivergence, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("ledger: missing window capture")
+	}
+	if a.FromPop != b.FromPop {
+		return nil, fmt.Errorf("ledger: window origins differ (%d vs %d)", a.FromPop, b.FromPop)
+	}
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra != rb {
+			return &WindowDivergence{
+				Pop:  ra.Pop,
+				SeqA: int64(ra.Seq),
+				SeqB: int64(rb.Seq),
+				A:    &ra,
+				B:    &rb,
+			}, nil
+		}
+	}
+	if len(a.Records) != len(b.Records) {
+		d := &WindowDivergence{SeqA: -1, SeqB: -1}
+		if len(a.Records) > n {
+			r := a.Records[n]
+			d.Pop, d.SeqA, d.A = r.Pop, int64(r.Seq), &r
+		} else {
+			r := b.Records[n]
+			d.Pop, d.SeqB, d.B = r.Pop, int64(r.Seq), &r
+		}
+		return d, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,351 @@
+// Package ledger records a deterministic execution ledger: a hash chain
+// over every model event the engine pops, folded into fixed-size epoch
+// digests plus a final chain head.
+//
+// The ledger is the repo's instrument for the determinism contract that
+// ROADMAP item 1 (sharded, lookahead-parallel engines) stands on: two runs
+// that should be identical must pop the same events — same sequence
+// numbers, same timestamps, same priorities, same component labels — in
+// the same order. Comparing final tables only says *that* two runs
+// diverged; comparing ledgers says *where*: epoch digests localize the
+// first divergence to a 64k-event span in O(log n) chain comparisons, and
+// a replay with a full-resolution window pins it to the exact pop.
+//
+// What is hashed: (seq, sim-time, priority, label-id) of every non-daemon
+// pop, in execution order. What is deliberately not hashed: host
+// wall-clock time (nondeterministic by nature — the per-component profile
+// reports it separately), daemon pops (telemetry riders must not perturb
+// the ledger, so sampling on/off yields the same chain), and event
+// payloads (callbacks are closures; their identity is already pinned by
+// seq and scheduling order).
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"rvma/internal/sim"
+)
+
+// DefaultEpochEvents is the number of pops folded into one epoch digest.
+// 64k events keeps the ledger file small (one record per epoch) while a
+// divergence window stays cheap to replay at full resolution.
+const DefaultEpochEvents = 65536
+
+// Version identifies the ledger file format.
+const Version = 1
+
+// FNV-1a 64-bit parameters. The chain needs speed and avalanche, not
+// cryptographic strength: a divergent pop flips its epoch digest with
+// probability 1 - 2^-64, which is all forensics requires.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// mix64 folds the 8 bytes of v into h, FNV-1a style (little-endian byte
+// order). It is branch-free and allocation-free: the observer runs it four
+// times per pop on the engine's hot path.
+func mix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// EpochEvents is the epoch size in pops; 0 means DefaultEpochEvents.
+	EpochEvents uint64
+	// Profile enables the per-component host-time profile. It reads the
+	// host clock once per pop, so it costs real time; the measurements
+	// never enter the ledger digests, so enabling it cannot change the
+	// chain head.
+	Profile bool
+	// Run, when non-nil, is embedded in the ledger file so a diff tool can
+	// rebuild and replay the run.
+	Run *RunSpec
+}
+
+// epochState is one closed epoch, pre-serialization.
+type epochState struct {
+	events   uint64
+	firstPop uint64
+	firstSeq uint64
+	lastSeq  uint64
+	digest   uint64
+	chain    uint64
+}
+
+// windowRec is one full-resolution pop record captured inside the window.
+type windowRec struct {
+	pop   uint64
+	seq   uint64
+	at    sim.Time
+	pri   int
+	label sim.Label
+}
+
+// Recorder implements sim.ExecObserver: it hash-chains every model pop
+// into epochs and optionally captures a full-resolution window and a
+// host-time profile. Attach it with Attach (or sim.Engine.SetExecObserver
+// directly), run the model, then Finalize.
+type Recorder struct {
+	eng  *sim.Engine
+	opts Options
+
+	pops          uint64 // model pops observed so far
+	cur           uint64 // running FNV state of the open epoch
+	chain         uint64 // chain value after the last closed epoch
+	epochStartPop uint64
+	firstSeq      uint64
+	lastSeq       uint64
+	epochs        []epochState
+
+	// Window [winFrom, winTo) in pop indices; winTo == 0 disables capture.
+	winFrom uint64
+	winTo   uint64
+	winRecs []windowRec
+
+	prof *profiler
+}
+
+// NewRecorder returns a recorder with the given options.
+func NewRecorder(opts Options) *Recorder {
+	if opts.EpochEvents == 0 {
+		opts.EpochEvents = DefaultEpochEvents
+	}
+	r := &Recorder{opts: opts, cur: fnvOffset, chain: fnvOffset}
+	if opts.Profile {
+		r.prof = newProfiler()
+	}
+	return r
+}
+
+// Attach registers the recorder as e's exec observer and remembers the
+// engine so Finalize can snapshot its label table and final clock.
+func (r *Recorder) Attach(e *sim.Engine) {
+	r.eng = e
+	e.SetExecObserver(r)
+}
+
+// SetWindow arms full-resolution capture for pops in [fromPop, toPop).
+// Pop indices count model pops in execution order, starting at zero —
+// the same coordinate epoch records use (FirstPop). Call before running.
+func (r *Recorder) SetWindow(fromPop, toPop uint64) {
+	r.winFrom, r.winTo = fromPop, toPop
+}
+
+// ObserveExec implements sim.ExecObserver. It must stay allocation-free on
+// the steady path: per pop it runs four FNV folds and two compares; the
+// appends below are amortized (one epoch record per 64k pops) or bounded
+// (window capture, profile label table).
+func (r *Recorder) ObserveExec(seq uint64, at sim.Time, priority int, label sim.Label) {
+	h := r.cur
+	h = mix64(h, seq)
+	h = mix64(h, uint64(at))
+	h = mix64(h, uint64(int64(priority)))
+	h = mix64(h, uint64(label))
+	r.cur = h
+
+	pop := r.pops
+	if pop == r.epochStartPop {
+		r.firstSeq = seq
+	}
+	r.lastSeq = seq
+	r.pops++
+
+	if pop < r.winTo && pop >= r.winFrom {
+		r.winRecs = append(r.winRecs, windowRec{pop: pop, seq: seq, at: at, pri: priority, label: label})
+	}
+	if r.pops-r.epochStartPop == r.opts.EpochEvents {
+		r.closeEpoch()
+	}
+	if r.prof != nil {
+		r.prof.observe(label)
+	}
+}
+
+// closeEpoch seals the open epoch and folds its digest into the chain.
+func (r *Recorder) closeEpoch() {
+	digest := r.cur
+	r.chain = mix64(r.chain, digest)
+	r.epochs = append(r.epochs, epochState{
+		events:   r.pops - r.epochStartPop,
+		firstPop: r.epochStartPop,
+		firstSeq: r.firstSeq,
+		lastSeq:  r.lastSeq,
+		digest:   digest,
+		chain:    r.chain,
+	})
+	r.cur = fnvOffset
+	r.epochStartPop = r.pops
+}
+
+// Events returns the number of model pops observed so far.
+func (r *Recorder) Events() uint64 { return r.pops }
+
+// Finalize seals any partial tail epoch and returns the serializable
+// ledger. The recorder keeps accumulating if the engine runs further, but
+// Finalize is normally called once, after the run completes.
+func (r *Recorder) Finalize() *Ledger {
+	if r.pops > r.epochStartPop {
+		r.closeEpoch()
+	}
+	l := &Ledger{
+		Version:     Version,
+		EpochEvents: r.opts.EpochEvents,
+		Events:      r.pops,
+		ChainHead:   hex64(r.chain),
+		Run:         r.opts.Run,
+		Labels:      []string{"-"},
+	}
+	if r.eng != nil {
+		l.Labels = r.eng.Labels()
+		l.FinalTimePS = int64(r.eng.Now())
+	}
+	l.Epochs = make([]Epoch, len(r.epochs))
+	for i, e := range r.epochs {
+		l.Epochs[i] = Epoch{
+			Epoch:    i,
+			Events:   e.events,
+			FirstPop: e.firstPop,
+			FirstSeq: e.firstSeq,
+			LastSeq:  e.lastSeq,
+			Digest:   hex64(e.digest),
+			Chain:    hex64(e.chain),
+		}
+	}
+	if r.winTo > 0 {
+		w := &Window{FromPop: r.winFrom, ToPop: r.winTo}
+		w.Records = make([]WindowRecord, len(r.winRecs))
+		for i, rec := range r.winRecs {
+			w.Records[i] = WindowRecord{
+				Pop:    rec.pop,
+				Seq:    rec.seq,
+				TimePS: int64(rec.at),
+				Pri:    rec.pri,
+				Label:  labelName(l.Labels, rec.label),
+			}
+		}
+		l.Window = w
+	}
+	return l
+}
+
+// Profile returns the host-time profile report, or nil when profiling was
+// not enabled. Labels are resolved against the attached engine.
+func (r *Recorder) Profile() *ProfileReport {
+	if r.prof == nil {
+		return nil
+	}
+	labels := []string{"-"}
+	if r.eng != nil {
+		labels = r.eng.Labels()
+	}
+	return r.prof.report(labels)
+}
+
+func labelName(labels []string, l sim.Label) string {
+	if int(l) < len(labels) {
+		return labels[l]
+	}
+	return "-"
+}
+
+// Epoch is one serialized epoch record. Digest covers this epoch's pops
+// only; Chain folds every digest up to and including this one, so two
+// ledgers' chains agree at epoch i exactly when all pops before its end
+// agree — the property the diff's binary search relies on.
+type Epoch struct {
+	Epoch    int    `json:"epoch"`
+	Events   uint64 `json:"events"`
+	FirstPop uint64 `json:"first_pop"`
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	Digest   string `json:"digest"`
+	Chain    string `json:"chain"`
+}
+
+// WindowRecord is one full-resolution pop inside a capture window.
+type WindowRecord struct {
+	Pop    uint64 `json:"pop"`
+	Seq    uint64 `json:"seq"`
+	TimePS int64  `json:"time_ps"`
+	Pri    int    `json:"pri"`
+	Label  string `json:"label"`
+}
+
+// Window is a full-resolution capture over a pop range.
+type Window struct {
+	FromPop uint64         `json:"from_pop"`
+	ToPop   uint64         `json:"to_pop"`
+	Records []WindowRecord `json:"records"`
+}
+
+// Ledger is the serialized execution ledger. It contains no host-time
+// fields: everything in this file is a deterministic function of the run.
+type Ledger struct {
+	Version     int      `json:"version"`
+	EpochEvents uint64   `json:"epoch_events"`
+	Events      uint64   `json:"events"`
+	ChainHead   string   `json:"chain_head"`
+	FinalTimePS int64    `json:"final_time_ps"`
+	Labels      []string `json:"labels"`
+	Run         *RunSpec `json:"run,omitempty"`
+	Epochs      []Epoch  `json:"epochs"`
+	Window      *Window  `json:"window,omitempty"`
+}
+
+// WriteJSON writes the ledger as indented JSON.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(l)
+}
+
+// Marshal renders the ledger to bytes (indented JSON).
+func (l *Ledger) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(l, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the ledger to path.
+func (l *Ledger) WriteFile(path string) error {
+	b, err := l.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile loads a ledger file.
+func ReadFile(path string) (*Ledger, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(b, &l); err != nil {
+		return nil, fmt.Errorf("ledger: parse %s: %w", path, err)
+	}
+	if l.Version != Version {
+		return nil, fmt.Errorf("ledger: %s has version %d, want %d", path, l.Version, Version)
+	}
+	return &l, nil
+}
+
+// hex64 renders a digest as a fixed-width hex string (JSON cannot round-
+// trip uint64 through float64 safely).
+func hex64(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// parseHex64 is the inverse of hex64.
+func parseHex64(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }

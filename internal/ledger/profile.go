@@ -1,0 +1,133 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rvma/internal/sim"
+)
+
+// profiler accumulates per-label host time and event counts. Host time is
+// measured as the delta between consecutive observer calls and attributed
+// to the label of the *previous* pop — that interval covers the previous
+// event's callback plus the engine's heap work for it, which is exactly
+// the "where does host time go" question a shard planner asks. Nothing
+// here ever feeds the ledger digests: the profile is a separate report,
+// nondeterministic by nature, and excluding it by construction is what
+// keeps ledger files comparable across machines.
+type profiler struct {
+	started   bool
+	lastLabel sim.Label
+	last      time.Time
+	hostNS    []int64
+	events    []uint64
+}
+
+func newProfiler() *profiler { return &profiler{} }
+
+// observe charges the time since the previous pop to that pop's label.
+func (p *profiler) observe(label sim.Label) {
+	//rvmalint:allow wallclock -- host-time profile: measures real executor time per component; never enters sim state or ledger digests
+	now := time.Now()
+	if idx := int(label); idx >= len(p.events) {
+		p.grow(idx + 1)
+	}
+	p.events[label]++
+	if p.started {
+		p.hostNS[p.lastLabel] += now.Sub(p.last).Nanoseconds()
+	}
+	p.started = true
+	p.last = now
+	p.lastLabel = label
+}
+
+// grow extends the per-label accumulators to n entries.
+func (p *profiler) grow(n int) {
+	for len(p.events) < n {
+		p.events = append(p.events, 0)
+		p.hostNS = append(p.hostNS, 0)
+	}
+}
+
+// ProfileEntry is one component's share of the run's host time.
+type ProfileEntry struct {
+	Label        string  `json:"label"`
+	Events       uint64  `json:"events"`
+	HostNS       int64   `json:"host_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Share        float64 `json:"share"`
+}
+
+// ProfileReport is the shard-planner report: per-component host time and
+// event volume, sorted by host time descending so the first rows are the
+// components worth sharding first.
+type ProfileReport struct {
+	TotalEvents uint64         `json:"total_events"`
+	TotalHostNS int64          `json:"total_host_ns"`
+	Components  []ProfileEntry `json:"components"`
+}
+
+// report snapshots the accumulators into a sorted report.
+func (p *profiler) report(labels []string) *ProfileReport {
+	rep := &ProfileReport{}
+	var totalNS int64
+	var totalEv uint64
+	for i := range p.events {
+		totalNS += p.hostNS[i]
+		totalEv += p.events[i]
+	}
+	rep.TotalEvents = totalEv
+	rep.TotalHostNS = totalNS
+	for i := range p.events {
+		if p.events[i] == 0 && p.hostNS[i] == 0 {
+			continue
+		}
+		e := ProfileEntry{
+			Label:  labelName(labels, sim.Label(i)),
+			Events: p.events[i],
+			HostNS: p.hostNS[i],
+		}
+		if e.HostNS > 0 {
+			e.EventsPerSec = float64(e.Events) / (float64(e.HostNS) / 1e9)
+		}
+		if totalNS > 0 {
+			e.Share = float64(e.HostNS) / float64(totalNS)
+		}
+		rep.Components = append(rep.Components, e)
+	}
+	sort.Slice(rep.Components, func(a, b int) bool {
+		ca, cb := rep.Components[a], rep.Components[b]
+		if ca.HostNS != cb.HostNS {
+			return ca.HostNS > cb.HostNS
+		}
+		if ca.Events != cb.Events {
+			return ca.Events > cb.Events
+		}
+		return ca.Label < cb.Label
+	})
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ProfileReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the report as a CSV table (one row per component).
+func (r *ProfileReport) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "label,events,host_ns,events_per_sec,share"); err != nil {
+		return err
+	}
+	for _, e := range r.Components {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.1f,%.4f\n",
+			e.Label, e.Events, e.HostNS, e.EventsPerSec, e.Share); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package ledger
+
+// RunSpec captures everything needed to rebuild and replay the run a
+// ledger was recorded from — strings and numbers only, so it survives a
+// round trip through the ledger file. The harness fills it when writing
+// per-cell ledgers; cmd/simdiff hands it back to the harness's replay
+// entry point when a divergence needs a full-resolution window.
+type RunSpec struct {
+	// Motif is the workload name: "sweep3d", "halo3d" or "incast".
+	Motif string `json:"motif"`
+	// Transport is "rvma" or "rdma".
+	Transport string `json:"transport"`
+	// Topology is the topology kind ("dragonfly", "fattree", ...).
+	Topology string `json:"topology"`
+	// Routing is the routing mode ("static", "adaptive", "valiant").
+	Routing string `json:"routing"`
+	// Network is the display name of the network config ("dragonfly/adaptive").
+	Network string `json:"network"`
+	// Nodes is the requested node count (topology rounding may exceed it,
+	// exactly as in the original run).
+	Nodes int `json:"nodes"`
+	// Gbps is the link speed.
+	Gbps float64 `json:"gbps"`
+	// Seed is the engine RNG seed.
+	Seed uint64 `json:"seed"`
+	// Spans records whether a spans-enabled metrics registry was attached.
+	// Span instrumentation schedules extra model events (e.g. the placed-
+	// stage marker after a payload DMA), so a faithful replay must attach
+	// the same instrumentation.
+	Spans bool `json:"spans,omitempty"`
+	// Drop is the fault-injection drop rate (0 = lossless).
+	Drop float64 `json:"drop,omitempty"`
+	// Recover enables the recovery layer.
+	Recover bool `json:"recover,omitempty"`
+	// RetryBudget overrides the recovery retry budget when > 0.
+	RetryBudget int `json:"retry_budget,omitempty"`
+}

@@ -122,6 +122,10 @@ var ModelPackages = map[string]bool{
 	// attrib consumes span-observer callbacks fired from model code, so its
 	// aggregation must be just as deterministic (sorted iteration, no clocks).
 	"rvma/internal/attrib": true,
+	// ledger's ObserveExec runs inside the engine's pop loop, so its hash
+	// chain must be a pure function of the pop stream; only the host-time
+	// profiler may read wall clocks, under an explicit allow directive.
+	"rvma/internal/ledger": true,
 }
 
 // IsModelPackage reports whether the import path is subject to the

@@ -277,7 +277,9 @@ type Poller struct {
 
 // StartPoller begins polling. The first check happens one interval from
 // now (the poller was presumably checked synchronously before arming).
-func StartPoller(e *sim.Engine, interval sim.Time, check func() bool, done func()) *Poller {
+// The tick events carry the caller's component label, so poll traffic is
+// attributed to the endpoint that armed the poller, not to this package.
+func StartPoller(e sim.Tagged, interval sim.Time, check func() bool, done func()) *Poller {
 	if interval <= 0 {
 		panic("memory: poll interval must be positive")
 	}

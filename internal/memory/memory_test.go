@@ -258,7 +258,7 @@ func TestPoller(t *testing.T) {
 	e := sim.NewEngine(1)
 	ready := false
 	var doneAt sim.Time
-	p := StartPoller(e, 100*sim.Nanosecond, func() bool { return ready }, func() { doneAt = e.Now() })
+	p := StartPoller(e.Tag("test"), 100*sim.Nanosecond, func() bool { return ready }, func() { doneAt = e.Now() })
 	e.Schedule(450*sim.Nanosecond, func() { ready = true })
 	e.Run()
 	// Polls at 100,200,300,400 miss; the poll at 500 sees ready.
@@ -272,7 +272,7 @@ func TestPoller(t *testing.T) {
 
 func TestPollerStop(t *testing.T) {
 	e := sim.NewEngine(1)
-	p := StartPoller(e, 10*sim.Nanosecond, func() bool { return false }, func() {})
+	p := StartPoller(e.Tag("test"), 10*sim.Nanosecond, func() bool { return false }, func() {})
 	e.Schedule(35*sim.Nanosecond, func() { p.Stop() })
 	e.RunUntil(sim.Microsecond)
 	if p.Polls != 3 {
@@ -287,7 +287,7 @@ func TestPollerZeroIntervalPanics(t *testing.T) {
 			t.Fatal("zero interval should panic")
 		}
 	}()
-	StartPoller(e, 0, func() bool { return true }, func() {})
+	StartPoller(e.Tag("test"), 0, func() bool { return true }, func() {})
 }
 
 // TestWatcherNotifyOrderDeterministic pins the notify ordering contract:

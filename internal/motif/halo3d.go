@@ -97,7 +97,7 @@ func RunHalo3D(c *Cluster, cfg Halo3DConfig) (sim.Time, error) {
 		for i, f := range faces {
 			peers[i] = f.peer
 		}
-		c.Eng.Spawn(fmt.Sprintf("halo-r%d", rank), func(p *sim.Process) {
+		c.Tag.Spawn(fmt.Sprintf("halo-r%d", rank), func(p *sim.Process) {
 			p.Wait(tp.Prepare(peers, peers, maxMsg))
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				p.Sleep(cfg.iterComputeTime())

@@ -43,7 +43,7 @@ func RunIncast(c *Cluster, cfg IncastConfig) (sim.Time, error) {
 	for r := 1; r < ranks; r++ {
 		clients = append(clients, r)
 	}
-	c.Eng.Spawn("incast-server", func(p *sim.Process) {
+	c.Tag.Spawn("incast-server", func(p *sim.Process) {
 		p.Wait(server.Prepare(clients, nil, cfg.MsgBytes))
 		// Consume messages round-robin across clients; per-pair FIFO makes
 		// this deterministic regardless of cross-client arrival order.
@@ -56,7 +56,7 @@ func RunIncast(c *Cluster, cfg IncastConfig) (sim.Time, error) {
 	})
 	for _, cl := range clients {
 		tp := c.Transports[cl]
-		c.Eng.Spawn(fmt.Sprintf("incast-c%d", cl), func(p *sim.Process) {
+		c.Tag.Spawn(fmt.Sprintf("incast-c%d", cl), func(p *sim.Process) {
 			p.Wait(tp.Prepare(nil, []int{0}, cfg.MsgBytes))
 			for m := 0; m < cfg.Messages; m++ {
 				p.Wait(tp.Send(0, cfg.MsgBytes))

@@ -91,6 +91,7 @@ type Transport interface {
 // Cluster is a set of rank transports over one simulated network.
 type Cluster struct {
 	Eng        *sim.Engine
+	Tag        sim.Tagged // "motif"-labeled handle; rank processes spawn through it
 	Net        *fabric.Network
 	Transports []Transport
 	Kind       TransportKind
@@ -399,7 +400,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	n := cfg.Topology.NumNodes()
-	c := &Cluster{Eng: eng, Net: net, Kind: cfg.Kind, Transports: make([]Transport, n)}
+	c := &Cluster{Eng: eng, Tag: eng.Tag("motif"), Net: net, Kind: cfg.Kind, Transports: make([]Transport, n)}
 	for node := 0; node < n; node++ {
 		nc := nic.New(eng, net, node, cfg.PCIe, cfg.NIC)
 		c.nics = append(c.nics, nc)

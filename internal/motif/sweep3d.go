@@ -102,7 +102,7 @@ func RunSweep3D(c *Cluster, cfg Sweep3DConfig) (sim.Time, error) {
 				peers = append(peers, nj*cfg.Px+ni)
 			}
 		}
-		c.Eng.Spawn(fmt.Sprintf("sweep-r%d", rank), func(p *sim.Process) {
+		c.Tag.Spawn(fmt.Sprintf("sweep-r%d", rank), func(p *sim.Process) {
 			p.Wait(tp.Prepare(peers, peers, maxMsg))
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				for _, corner := range sweepCorners {

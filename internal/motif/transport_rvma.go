@@ -152,7 +152,7 @@ func (t *rvmaTransport) sendReliable(dst, size int) *sim.Future {
 // retryOnNack arms a single retry for a NACKed put; retries rearm.
 func (t *rvmaTransport) retryOnNack(op *rvma.PutOp, dst, size int) {
 	op.Nack.OnComplete(func() {
-		eng := t.ep.Engine()
+		eng := t.ep.Engine().Tag("motif")
 		backoff := eng.RNG().Jitter(2*sim.Microsecond, 0.5)
 		eng.Schedule(backoff, func() {
 			retry := t.ep.PutN(dst, rvma.VAddr(t.Rank()), 0, size)

@@ -95,7 +95,7 @@ type Handler func(pkt *fabric.Packet)
 // NIC is one node's network interface: bus, pipelines and dispatch.
 type NIC struct {
 	node int
-	eng  *sim.Engine
+	eng  sim.Tagged
 	net  *fabric.Network
 	mem  *memory.Memory
 	bus  *pcie.Bus
@@ -124,7 +124,7 @@ type NIC struct {
 func New(eng *sim.Engine, net *fabric.Network, node int, busCfg pcie.Config, prof Profile) *NIC {
 	n := &NIC{
 		node:     node,
-		eng:      eng,
+		eng:      eng.Tag("nic"),
 		net:      net,
 		mem:      memory.New(),
 		bus:      pcie.New(busCfg),
@@ -140,7 +140,7 @@ func New(eng *sim.Engine, net *fabric.Network, node int, busCfg pcie.Config, pro
 func (n *NIC) Node() int { return n.node }
 
 // Engine returns the simulation engine.
-func (n *NIC) Engine() *sim.Engine { return n.eng }
+func (n *NIC) Engine() *sim.Engine { return n.eng.Engine }
 
 // Memory returns the node's host memory.
 func (n *NIC) Memory() *memory.Memory { return n.mem }
@@ -174,22 +174,22 @@ func (n *NIC) SetMetrics(reg *metrics.Registry) {
 	n.mBytes = reg.Counter("nic.bytes_sent")
 	n.mCtrlPkts = reg.Counter("nic.control_packets_sent")
 	reg.AddCollector(func() {
-		reg.Gauge(fmt.Sprintf("nic%d.send_queue_ns", n.node)).Set(n.sendPipe.Backlog(n.eng).Nanoseconds())
-		reg.Gauge(fmt.Sprintf("nic%d.recv_queue_ns", n.node)).Set(n.recvPipe.Backlog(n.eng).Nanoseconds())
+		reg.Gauge(fmt.Sprintf("nic%d.send_queue_ns", n.node)).Set(n.sendPipe.Backlog(n.eng.Engine).Nanoseconds())
+		reg.Gauge(fmt.Sprintf("nic%d.recv_queue_ns", n.node)).Set(n.recvPipe.Backlog(n.eng.Engine).Nanoseconds())
 	})
 }
 
 // SendBacklog returns how long a packet entering the send pipeline now
 // would wait before processing starts (telemetry: NIC pipeline backlog).
-func (n *NIC) SendBacklog() sim.Time { return n.sendPipe.Backlog(n.eng) }
+func (n *NIC) SendBacklog() sim.Time { return n.sendPipe.Backlog(n.eng.Engine) }
 
 // RecvBacklog returns how long a packet entering the receive pipeline now
 // would wait before processing starts.
-func (n *NIC) RecvBacklog() sim.Time { return n.recvPipe.Backlog(n.eng) }
+func (n *NIC) RecvBacklog() sim.Time { return n.recvPipe.Backlog(n.eng.Engine) }
 
 // DMABacklog returns how long a DMA issued now would wait for the host
 // bus data path (telemetry: in-flight DMA).
-func (n *NIC) DMABacklog() sim.Time { return n.bus.Backlog(n.eng) }
+func (n *NIC) DMABacklog() sim.Time { return n.bus.Backlog(n.eng.Engine) }
 
 // SetHandler installs the protocol's receive dispatch. Exactly one protocol
 // owns a NIC.
@@ -207,7 +207,7 @@ func (n *NIC) deliver(pkt *fabric.Packet) {
 	if n.tracer != nil {
 		n.tracer.Eventf(trace.CatNIC, "nic%d rx #%d from %d %dB", n.node, pkt.ID, pkt.Src, pkt.Size)
 	}
-	done := n.recvPipe.Acquire(n.eng, n.prof.RecvPacketProc+n.prof.LookupLatency)
+	done := n.recvPipe.Acquire(n.eng.Engine, n.prof.RecvPacketProc+n.prof.LookupLatency)
 	n.eng.At(done, func() {
 		if n.handler == nil {
 			panic(fmt.Sprintf("nic: node %d received packet with no protocol handler", n.node))
@@ -242,7 +242,7 @@ func (n *NIC) SendMessage(dst, total int, build func(off, size int) any) *sim.Fu
 	f := sim.NewFuture()
 
 	// Doorbell: a small MMIO write crossing the bus.
-	doorbellDone := n.bus.TransferTime(n.eng, n.prof.DoorbellBytes)
+	doorbellDone := n.bus.TransferTime(n.eng.Engine, n.prof.DoorbellBytes)
 
 	mtu := n.MTU()
 	off := 0
@@ -254,7 +254,7 @@ func (n *NIC) SendMessage(dst, total int, build func(off, size int) any) *sim.Fu
 		}
 		// Payload DMA read from host memory (serializes on the bus), then
 		// per-packet send processing (serializes on the send pipeline).
-		dmaDone := n.bus.TransferTime(n.eng, size)
+		dmaDone := n.bus.TransferTime(n.eng.Engine, size)
 		if dmaDone < doorbellDone {
 			dmaDone = doorbellDone
 		}
@@ -271,7 +271,7 @@ func (n *NIC) SendMessage(dst, total int, build func(off, size int) any) *sim.Fu
 			break
 		}
 	}
-	n.eng.At(last, func() { f.Complete(n.eng, nil) })
+	n.eng.At(last, func() { f.Complete(n.eng.Engine, nil) })
 	return f
 }
 
@@ -286,7 +286,7 @@ func (n *NIC) InjectControl(dst int, payload any) {
 	if n.tracer != nil {
 		n.tracer.Eventf(trace.CatNIC, "nic%d ctrl dst=%d", n.node, dst)
 	}
-	done := n.sendPipe.Acquire(n.eng, n.prof.SendPacketProc)
+	done := n.sendPipe.Acquire(n.eng.Engine, n.prof.SendPacketProc)
 	pkt := &fabric.Packet{Src: n.node, Dst: dst, Size: 0, Payload: payload}
 	n.eng.At(done, func() { n.net.Inject(pkt) })
 }

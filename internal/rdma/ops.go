@@ -28,7 +28,7 @@ func (ep *Endpoint) RequestRemoteBuffer(dst, size int) *RegOp {
 	ep.nextMsgID++
 	ep.pendingRegs[msgID] = op
 
-	eng := ep.Engine()
+	eng := ep.eng
 	if ep.mHandshake != nil {
 		start := eng.Now()
 		op.Done.OnComplete(func() { ep.mHandshake.ObserveTime(eng.Now() - start) })
@@ -71,7 +71,7 @@ func (ep *Endpoint) put(rb RemoteBuffer, offset, size int, data []byte, scheme C
 	msgID := ep.nextMsgID
 	ep.nextMsgID++
 
-	eng := ep.Engine()
+	eng := ep.eng
 	prof := ep.nic.Profile()
 	sp := ep.reg.BeginSpan(eng.Now(), metrics.SpanKey{Node: ep.Node(), ID: msgID}, "rdma.put", ep.Node())
 	eng.Schedule(prof.HostPostOverhead, func() {
@@ -97,7 +97,7 @@ func (ep *Endpoint) put(rb RemoteBuffer, offset, size int, data []byte, scheme C
 		ep.sentBytes[rb.Node] += uint64(size)
 		dataF.OnComplete(func() { sp.StageWait(eng.Now(), "nic_tx", txWait) })
 		if scheme != CompleteSendRecv {
-			dataF.OnComplete(func() { op.Local.Complete(eng, nil) })
+			dataF.OnComplete(func() { op.Local.Complete(eng.Engine, nil) })
 			return
 		}
 		fence := ep.sentBytes[rb.Node]
@@ -107,7 +107,7 @@ func (ep *Endpoint) put(rb RemoteBuffer, offset, size int, data []byte, scheme C
 			sendF := ep.nic.SendMessage(rb.Node, 1, func(off, n int) any {
 				return &command{op: opSend, msgID: sendID, qp: FenceQP, total: 1, fenceBytes: fence}
 			})
-			sendF.OnComplete(func() { op.Local.Complete(eng, nil) })
+			sendF.OnComplete(func() { op.Local.Complete(eng.Engine, nil) })
 		}
 		if ep.cfg.PipelinedFence {
 			// Aggressive runtime: post the send right behind the data (one
@@ -144,7 +144,7 @@ func (ep *Endpoint) PutWithImmediate(rb RemoteBuffer, offset int, data []byte) (
 	op := &PutOp{Local: sim.NewFuture()}
 	msgID := ep.nextMsgID
 	ep.nextMsgID++
-	eng := ep.Engine()
+	eng := ep.eng
 	eng.Schedule(ep.nic.Profile().HostPostOverhead, func() {
 		var chunk []byte
 		if ep.cfg.CarryData {
@@ -162,7 +162,7 @@ func (ep *Endpoint) PutWithImmediate(rb RemoteBuffer, offset int, data []byte) (
 			}
 		})
 		ep.sentBytes[rb.Node] += uint64(size)
-		f.OnComplete(func() { op.Local.Complete(eng, nil) })
+		f.OnComplete(func() { op.Local.Complete(eng.Engine, nil) })
 	})
 	return op, nil
 }
@@ -181,7 +181,7 @@ func (ep *Endpoint) Send(dst, qp, size int) *SendOp {
 	op := &SendOp{Local: sim.NewFuture()}
 	msgID := ep.nextMsgID
 	ep.nextMsgID++
-	eng := ep.Engine()
+	eng := ep.eng
 	eng.Schedule(ep.nic.Profile().HostPostOverhead, func() {
 		var fence uint64
 		if qp == FenceQP {
@@ -190,7 +190,7 @@ func (ep *Endpoint) Send(dst, qp, size int) *SendOp {
 		f := ep.nic.SendMessage(dst, size, func(off, n int) any {
 			return &command{op: opSend, msgID: msgID, qp: qp, pktOffset: off, total: size, fenceBytes: fence}
 		})
-		f.OnComplete(func() { op.Local.Complete(eng, nil) })
+		f.OnComplete(func() { op.Local.Complete(eng.Engine, nil) })
 	})
 	return op
 }
@@ -229,11 +229,11 @@ type byteWait struct {
 func (ep *Endpoint) WaitBytes(src int, target uint64) *sim.Future {
 	f := sim.NewFuture()
 	w := &byteWait{src: src, target: target, done: f}
-	eng := ep.Engine()
+	eng := ep.eng
 	prof := ep.nic.Profile()
 	if ep.recvBytes[src] >= target {
 		eng.Schedule(prof.PollInterval+prof.HostCompletionOverhead, func() {
-			f.Complete(eng, nil)
+			f.Complete(eng.Engine, nil)
 		})
 		return f
 	}
@@ -286,7 +286,7 @@ func (ep *Endpoint) Read(rb RemoteBuffer, offset, size int) *ReadOp {
 	msgID := ep.nextMsgID
 	ep.nextMsgID++
 	ep.pendingReads[msgID] = op
-	eng := ep.Engine()
+	eng := ep.eng
 	eng.Schedule(ep.nic.Profile().HostPostOverhead, func() {
 		ep.nic.SendMessage(rb.Node, 0, func(off, n int) any {
 			return &command{op: opReadReq, msgID: msgID, rkey: rb.RKey, msgOffset: offset, size: size}

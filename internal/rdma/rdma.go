@@ -128,6 +128,7 @@ type Stats struct {
 // Endpoint is one node's RDMA instance (host verbs library + NIC model).
 type Endpoint struct {
 	nic *nic.NIC
+	eng sim.Tagged // engine handle stamping "rdma" on scheduled events
 	cfg Config
 
 	mrs      map[uint32]*MemoryRegion
@@ -199,6 +200,7 @@ type immediateInfo struct {
 func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
 	ep := &Endpoint{
 		nic:          n,
+		eng:          n.Engine().Tag("rdma"),
 		cfg:          cfg,
 		mrs:          make(map[uint32]*MemoryRegion),
 		nextRKey:     1,
@@ -294,7 +296,7 @@ func (ep *Endpoint) RegisterBuffer(size int) *sim.Future {
 		panic(fmt.Sprintf("rdma: register size %d", size))
 	}
 	f := sim.NewFuture()
-	eng := ep.Engine()
+	eng := ep.eng
 	cost := ep.nic.Profile().RegistrationTime(size)
 	ep.mRegMR.ObserveTime(cost)
 	if ep.tracer != nil {
@@ -305,7 +307,7 @@ func (ep *Endpoint) RegisterBuffer(size int) *sim.Future {
 		ep.nextRKey++
 		ep.mrs[mr.RKey] = mr
 		ep.Stats.Registrations++
-		f.Complete(eng, mr)
+		f.Complete(eng.Engine, mr)
 	})
 	return f
 }

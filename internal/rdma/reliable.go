@@ -90,7 +90,7 @@ func (ep *Endpoint) sendPutAttempt(rp *ReliablePut, sp *metrics.Span) *Attempt {
 	ep.Stats.PutsInitiated++
 	at := &Attempt{Local: sim.NewFuture(), Acked: sim.NewFuture()}
 	rp.attempt = at
-	eng := ep.Engine()
+	eng := ep.eng
 	eng.Schedule(ep.nic.Profile().HostPostOverhead, func() {
 		sp.Stage(eng.Now(), "host_post")
 		txWait := ep.nic.SendBacklog() + ep.nic.DMABacklog()
@@ -108,7 +108,7 @@ func (ep *Endpoint) sendPutAttempt(rp *ReliablePut, sp *metrics.Span) *Attempt {
 		})
 		f.OnComplete(func() {
 			sp.StageWait(eng.Now(), "nic_tx", txWait)
-			at.Local.Complete(eng, nil)
+			at.Local.Complete(eng.Engine, nil)
 		})
 	})
 	return at
@@ -157,7 +157,7 @@ func (ep *Endpoint) RetransmitSend(rs *ReliableSend) *Attempt {
 func (ep *Endpoint) sendSendAttempt(rs *ReliableSend) *Attempt {
 	at := &Attempt{Local: sim.NewFuture(), Acked: sim.NewFuture()}
 	rs.attempt = at
-	eng := ep.Engine()
+	eng := ep.eng
 	eng.Schedule(ep.nic.Profile().HostPostOverhead, func() {
 		f := ep.nic.SendMessage(rs.dst, rs.size, func(off, n int) any {
 			return &command{
@@ -170,7 +170,7 @@ func (ep *Endpoint) sendSendAttempt(rs *ReliableSend) *Attempt {
 				reliable:   true,
 			}
 		})
-		f.OnComplete(func() { at.Local.Complete(eng, nil) })
+		f.OnComplete(func() { at.Local.Complete(eng.Engine, nil) })
 	})
 	return at
 }

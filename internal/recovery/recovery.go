@@ -98,7 +98,7 @@ type Op struct {
 // engine-local (one per cluster node set, like everything else in a cell)
 // and keeps its own Stats.
 type Manager struct {
-	eng *sim.Engine
+	eng sim.Tagged
 	cfg Config
 
 	Stats Stats
@@ -126,7 +126,7 @@ func NewManager(eng *sim.Engine, cfg Config) *Manager {
 	if cfg.MaxRetries < 0 {
 		panic(fmt.Sprintf("recovery: negative retry budget %d", cfg.MaxRetries))
 	}
-	return &Manager{eng: eng, cfg: cfg}
+	return &Manager{eng: eng.Tag("recovery"), cfg: cfg}
 }
 
 // Config returns the effective (default-filled) policy.
@@ -164,7 +164,7 @@ func (m *Manager) Run(send func(try int) Attempt, onFail func()) *Op {
 			if op.tries > 0 {
 				m.Stats.Recovered++
 			}
-			op.Done.Complete(m.eng, nil)
+			op.Done.Complete(m.eng.Engine, nil)
 		})
 		decide := func(timedOut bool) {
 			if acted || op.Done.Done() || at.Acked.Done() {
@@ -182,7 +182,7 @@ func (m *Manager) Run(send func(try int) Attempt, onFail func()) *Op {
 				if onFail != nil {
 					onFail()
 				}
-				op.Done.Complete(m.eng, ErrExhausted)
+				op.Done.Complete(m.eng.Engine, ErrExhausted)
 				return
 			}
 			m.Stats.Retransmits++

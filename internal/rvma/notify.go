@@ -39,12 +39,12 @@ func (n *Notification) Cancel() {
 // processing overhead, matching software that checks before arming.
 func (ep *Endpoint) WatchBuffer(buf *Buffer) *Notification {
 	n := &Notification{Done: sim.NewFuture()}
-	eng := ep.Engine()
+	eng := ep.eng
 	prof := ep.nic.Profile()
 
 	resolve := func() {
 		head, length := buf.Cell.Get()
-		n.Done.Complete(eng, [2]uint64{uint64(head), uint64(length)})
+		n.Done.Complete(eng.Engine, [2]uint64{uint64(head), uint64(length)})
 	}
 
 	if head, _ := buf.Cell.Get(); head != 0 {

@@ -49,7 +49,7 @@ func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *Pu
 	ep.nextMsgID++
 	ep.pendingPuts[op.msgID] = op
 
-	eng := ep.Engine()
+	eng := ep.eng
 	sp := ep.reg.BeginSpan(eng.Now(), metrics.SpanKey{Node: ep.Node(), ID: op.msgID}, "rvma.put", ep.Node())
 	post := ep.nic.Profile().HostPostOverhead
 	eng.Schedule(post, func() {
@@ -74,7 +74,7 @@ func (ep *Endpoint) put(dst int, vaddr VAddr, offset, size int, data []byte) *Pu
 		})
 		f.OnComplete(func() {
 			sp.StageWait(eng.Now(), "nic_tx", txWait)
-			op.Local.Complete(eng, nil)
+			op.Local.Complete(eng.Engine, nil)
 		})
 	})
 	return op
@@ -160,7 +160,7 @@ func (ep *Endpoint) sendAttempt(rp *ReliablePut, sp *metrics.Span) *PutAttempt {
 	at := &PutAttempt{Local: sim.NewFuture(), Acked: sim.NewFuture(), Nack: sim.NewFuture()}
 	rp.attempt = at
 
-	eng := ep.Engine()
+	eng := ep.eng
 	post := ep.nic.Profile().HostPostOverhead
 	eng.Schedule(post, func() {
 		sp.Stage(eng.Now(), "host_post")
@@ -178,7 +178,7 @@ func (ep *Endpoint) sendAttempt(rp *ReliablePut, sp *metrics.Span) *PutAttempt {
 		})
 		f.OnComplete(func() {
 			sp.StageWait(eng.Now(), "nic_tx", txWait)
-			at.Local.Complete(eng, nil)
+			at.Local.Complete(eng.Engine, nil)
 		})
 	})
 	return at
@@ -208,7 +208,7 @@ func (ep *Endpoint) Get(dst int, vaddr VAddr, offset, length int) *GetOp {
 	ep.nextMsgID++
 	ep.pendingGets[op.getID] = op
 
-	eng := ep.Engine()
+	eng := ep.eng
 	post := ep.nic.Profile().HostPostOverhead
 	eng.Schedule(post, func() {
 		ep.nic.SendMessage(dst, 0, func(off, n int) any {

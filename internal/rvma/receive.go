@@ -68,7 +68,7 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 	}
 
 	size := pkt.Size
-	eng := ep.Engine()
+	eng := ep.eng
 	key := nic.MsgKey{Src: pkt.Src, MsgID: cmd.msgID}
 
 	// Reliable (wantAck) puts pass through the duplicate-aware assembler
@@ -113,8 +113,8 @@ func (ep *Endpoint) handlePut(pkt *fabric.Packet, cmd *command) {
 	// the completion-pointer write land later, in bus order. A hardware
 	// completion unit works the same way: it cannot let a packet's bus
 	// latency reorder its bookkeeping against the next packet's.
-	busWait := ep.nic.Bus().Backlog(eng)
-	dmaDone := ep.nic.Bus().TransferTime(eng, size)
+	busWait := ep.nic.Bus().Backlog(eng.Engine)
+	dmaDone := ep.nic.Bus().TransferTime(eng.Engine, size)
 
 	switch w.mode {
 	case Steered:
@@ -276,11 +276,11 @@ func (ep *Endpoint) handleAck(cmd *command) {
 
 // handleNack resolves the pending operation's Nack future.
 func (ep *Endpoint) handleNack(cmd *command) {
-	eng := ep.Engine()
+	eng := ep.eng
 	if opcode(cmd.length) == opGetReq {
 		if op, ok := ep.pendingGets[cmd.msgID]; ok {
 			delete(ep.pendingGets, cmd.msgID)
-			op.Nack.Complete(eng, cmd.status)
+			op.Nack.Complete(eng.Engine, cmd.status)
 		}
 		return
 	}
@@ -293,7 +293,7 @@ func (ep *Endpoint) handleNack(cmd *command) {
 		// the recovery layer's bounded retry, so the guard is a cheap
 		// Done check rather than attempt bookkeeping.
 		if at := rp.attempt; !at.Nack.Done() {
-			at.Nack.Complete(eng, cmd.status)
+			at.Nack.Complete(eng.Engine, cmd.status)
 		}
 		return
 	}
@@ -301,7 +301,7 @@ func (ep *Endpoint) handleNack(cmd *command) {
 		delete(ep.pendingPuts, cmd.msgID)
 		// A NACKed put never completes at the target; close its span here.
 		ep.reg.Span(metrics.SpanKey{Node: ep.Node(), ID: cmd.msgID}).EndNacked(eng.Now())
-		op.Nack.Complete(eng, cmd.status)
+		op.Nack.Complete(eng.Engine, cmd.status)
 	}
 }
 
@@ -319,13 +319,13 @@ func (ep *Endpoint) handleGetReq(pkt *fabric.Packet, cmd *command) {
 		return
 	}
 	ep.Stats.GetsServed++
-	eng := ep.Engine()
+	eng := ep.eng
 	var data []byte
 	if ep.cfg.CarryData {
 		data = ep.Memory().Read(buf.Region.Base+memory.Addr(cmd.msgOffset), cmd.length)
 	}
 	// Bus read of the payload, then reply through the send pipeline.
-	readDone := ep.nic.Bus().TransferTime(eng, cmd.length)
+	readDone := ep.nic.Bus().TransferTime(eng.Engine, cmd.length)
 	src := pkt.Src
 	getID := cmd.msgID
 	length := cmd.length
@@ -362,12 +362,12 @@ func (ep *Endpoint) handleGetReply(pkt *fabric.Packet, cmd *command) {
 	}
 	if ep.getAsm.Add(nic.MsgKey{Src: pkt.Src, MsgID: cmd.msgID}, pkt.Size, cmd.total) ||
 		(cmd.total == 0) {
-		eng := ep.Engine()
+		eng := ep.eng
 		data := ep.getBuf[cmd.msgID]
 		delete(ep.getBuf, cmd.msgID)
 		delete(ep.pendingGets, cmd.msgID)
 		// Landing the fetched bytes in host memory costs one bus transfer.
-		done := ep.nic.Bus().TransferTime(eng, cmd.total)
-		eng.At(done, func() { op.Done.Complete(eng, data) })
+		done := ep.nic.Bus().TransferTime(eng.Engine, cmd.total)
+		eng.At(done, func() { op.Done.Complete(eng.Engine, data) })
 	}
 }

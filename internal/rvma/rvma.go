@@ -172,6 +172,7 @@ type Stats struct {
 // model, sharing the node's memory and bus.
 type Endpoint struct {
 	nic *nic.NIC
+	eng sim.Tagged // engine handle stamping "rvma" on scheduled events
 	cfg Config
 
 	// lut is the NIC lookup table: mailbox virtual address -> window. The
@@ -219,6 +220,7 @@ func NewEndpoint(n *nic.NIC, cfg Config) *Endpoint {
 	}
 	ep := &Endpoint{
 		nic:         n,
+		eng:         n.Engine().Tag("rvma"),
 		cfg:         cfg,
 		lut:         make(map[VAddr]*Window),
 		asm:         nic.NewAssembler(),

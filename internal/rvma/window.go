@@ -268,16 +268,16 @@ func (w *Window) IncEpoch() (*sim.Future, error) {
 		return nil, ErrNoBuffer
 	}
 	ep := w.ep
-	eng := ep.Engine()
+	eng := ep.eng
 	// The future resolves with the completed buffer once the completion
 	// unit's cell write lands, exactly like a hardware completion.
 	f := w.NextCompletion()
 	// Host -> NIC doorbell, then the completion unit runs.
-	doorbell := ep.nic.Bus().TransferTime(eng, ep.nic.Profile().DoorbellBytes)
+	doorbell := ep.nic.Bus().TransferTime(eng.Engine, ep.nic.Profile().DoorbellBytes)
 	eng.At(doorbell, func() {
 		if w.closed || len(w.queue) == 0 || w.queue[0].completing {
 			if !f.Done() {
-				f.Complete(eng, nil)
+				f.Complete(eng.Engine, nil)
 			}
 			return
 		}
@@ -320,7 +320,7 @@ func (w *Window) maybeComplete() {
 			continue
 		}
 		ep := w.ep
-		eng := ep.Engine()
+		eng := ep.eng
 		eng.Schedule(ep.cfg.HostCounterPenalty, func() {
 			if w.closed || w.Head() != buf {
 				return
@@ -342,7 +342,7 @@ func (w *Window) maybeComplete() {
 // clock already (packet DMA completion or doorbell).
 func (w *Window) completeHead() *Buffer {
 	ep := w.ep
-	eng := ep.Engine()
+	eng := ep.eng
 	buf := w.queue[0]
 	if sim.DebugEnabled {
 		sim.Assertf(buf.Epoch > w.maxRewound,
@@ -374,7 +374,7 @@ func (w *Window) completeHead() *Buffer {
 		length = buf.Fill
 	}
 	unitAt := eng.Now() // completion unit fires; the pointer write is service
-	writeDone := ep.nic.Bus().TransferTime(eng, 16)
+	writeDone := ep.nic.Bus().TransferTime(eng.Engine, 16)
 	waiters := w.completionWaiters
 	w.completionWaiters = nil
 	spans := w.pendingSpans
@@ -399,7 +399,7 @@ func (w *Window) completeHead() *Buffer {
 		}
 		for _, f := range waiters {
 			if !f.Done() { // a bailed IncEpoch may have resolved its waiter
-				f.Complete(eng, buf)
+				f.Complete(eng.Engine, buf)
 			}
 		}
 		if w.onCompletion != nil {
@@ -419,10 +419,10 @@ func (w *Window) completeHead() *Buffer {
 // window threshold instead and no polling happens at all.
 func (w *Window) WhenPlaced(n uint64, interval sim.Time) *sim.Future {
 	f := sim.NewFuture()
-	eng := w.ep.Engine()
+	eng := w.ep.eng
 	if w.MessagesPlaced >= n {
 		eng.Schedule(w.ep.nic.Profile().HostCompletionOverhead, func() {
-			f.Complete(eng, nil)
+			f.Complete(eng.Engine, nil)
 		})
 		return f
 	}
@@ -430,7 +430,7 @@ func (w *Window) WhenPlaced(n uint64, interval sim.Time) *sim.Future {
 		func() bool { return w.MessagesPlaced >= n },
 		func() {
 			eng.Schedule(w.ep.nic.Profile().HostCompletionOverhead, func() {
-				f.Complete(eng, nil)
+				f.Complete(eng.Engine, nil)
 			})
 		})
 	return f

@@ -87,6 +87,49 @@ func BenchmarkEngineDaemonOverhead(b *testing.B) {
 	e.Run()
 }
 
+// chainObserver is a minimal ledger-shaped ExecObserver: it folds every
+// pop's scalars into a running hash, the same work per pop the execution
+// ledger does, without the epoch bookkeeping.
+type chainObserver struct{ h uint64 }
+
+func (o *chainObserver) ObserveExec(seq uint64, at Time, priority int, label Label) {
+	h := o.h ^ seq
+	h *= 1099511628211
+	h ^= uint64(at)
+	h *= 1099511628211
+	h ^= uint64(int64(priority))
+	h *= 1099511628211
+	h ^= uint64(label)
+	h *= 1099511628211
+	o.h = h
+}
+
+// BenchmarkEngineObserverOverhead is BenchmarkEngineEventThroughput with an
+// exec observer attached: the cost of recording an execution ledger. The
+// disabled path (observer nil) is guarded by BenchmarkEngineEventThroughput
+// staying at its baseline; this one bounds the enabled path and must also
+// stay at 0 allocs/op.
+func BenchmarkEngineObserverOverhead(b *testing.B) {
+	e := NewEngine(1)
+	obs := &chainObserver{}
+	e.SetExecObserver(obs)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.Schedule(Nanosecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Schedule(0, tick)
+	e.Run()
+	if obs.h == 0 && b.N > 1 {
+		b.Fatal("observer never fired")
+	}
+}
+
 // BenchmarkProcessContextSwitch measures the cooperative handoff cost of
 // the process API (one Sleep per iteration).
 func BenchmarkProcessContextSwitch(b *testing.B) {

@@ -20,7 +20,8 @@ type Event struct {
 	priority int
 	seq      uint64
 	fn       func()
-	index    int // position in the engine queue; -1 when not queued
+	index    int   // position in the engine queue; -1 when not queued
+	label    Label // component identity stamped by Tagged handles; 0 = unlabeled
 	canceled bool
 	daemon   bool
 	state    uint8 // pool lifecycle: evFree / evQueued (simdebug checks)
@@ -160,7 +161,8 @@ type Engine struct {
 	now       Time
 	queue     eventQueue
 	free      []*Event // recycled Event objects; see alloc/release
-	seq       uint64
+	seq       uint64   // model scheduling counter; events carry 2*seq
+	dseq      uint64   // daemon scheduling counter; daemons carry 2*dseq+1
 	executed  uint64
 	scheduled uint64
 	daemons   int // queued (non-canceled) daemon events
@@ -171,6 +173,16 @@ type Engine struct {
 
 	hbEvery uint64 // heartbeat period in executed events; 0 = disabled
 	hbFn    func()
+
+	// execObs, when non-nil, is called once per executed model event (see
+	// SetExecObserver). Disabled cost: one nil-check per pop.
+	execObs ExecObserver
+
+	// labels is the interned component-label table (index = Label); labelIDs
+	// maps names back to ids. Both are nil until the first Tag call, so an
+	// untagged engine pays nothing.
+	labels   []string
+	labelIDs map[string]Label
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG seeded
@@ -213,7 +225,7 @@ func (e *Engine) SetHeartbeat(every uint64, fn func()) {
 // alloc hands out an Event, reusing a recycled one when the free list has
 // stock. Every field is (re)initialized here, so a pooled object carries
 // nothing over from its previous life.
-func (e *Engine) alloc(at Time, priority int, fn func(), daemon bool) *Event {
+func (e *Engine) alloc(at Time, priority int, label Label, fn func(), daemon bool) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
@@ -225,13 +237,23 @@ func (e *Engine) alloc(at Time, priority int, fn func(), daemon bool) *Event {
 	}
 	ev.at = at
 	ev.priority = priority
-	ev.seq = e.seq
+	// Model and daemon events draw from disjoint seq spaces (even/odd), so
+	// attaching instrumentation daemons never shifts a model event's
+	// identity — the execution ledger hashes these seqs, and its chain
+	// must be invariant under telemetry on/off.
+	if daemon {
+		ev.seq = 2*e.dseq + 1
+		e.dseq++
+	} else {
+		ev.seq = 2 * e.seq
+		e.seq++
+	}
 	ev.fn = fn
 	ev.index = -1
+	ev.label = label
 	ev.canceled = false
 	ev.daemon = daemon
 	ev.state = evQueued
-	e.seq++
 	return ev
 }
 
@@ -260,10 +282,18 @@ func (e *Engine) Schedule(d Time, fn func()) *Event {
 //
 //rvmalint:hot
 func (e *Engine) ScheduleP(d Time, priority int, fn func()) *Event {
+	return e.schedule(d, priority, NoLabel, fn)
+}
+
+// schedule is the shared relative-delay entry point behind ScheduleP and
+// Tagged.Schedule*.
+//
+//rvmalint:hot
+func (e *Engine) schedule(d Time, priority int, label Label, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	return e.at(e.now+d, priority, fn)
+	return e.at(e.now+d, priority, label, fn)
 }
 
 // At runs fn at absolute time t, which must not be in the past.
@@ -273,11 +303,11 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	return e.at(t, 0, fn)
+	return e.at(t, 0, NoLabel, fn)
 }
 
-func (e *Engine) at(t Time, priority int, fn func()) *Event {
-	ev := e.alloc(t, priority, fn, false)
+func (e *Engine) at(t Time, priority int, label Label, fn func()) *Event {
+	ev := e.alloc(t, priority, label, fn, false)
 	e.scheduled++
 	e.queue.push(ev)
 	return ev
@@ -295,10 +325,15 @@ func (e *Engine) at(t Time, priority int, fn func()) *Event {
 //
 //rvmalint:hot
 func (e *Engine) ScheduleDaemonP(d Time, priority int, fn func()) *Event {
+	return e.scheduleDaemonP(d, priority, fn)
+}
+
+//rvmalint:hot
+func (e *Engine) scheduleDaemonP(d Time, priority int, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	ev := e.alloc(e.now+d, priority, fn, true)
+	ev := e.alloc(e.now+d, priority, NoLabel, fn, true)
 	e.daemons++
 	e.queue.push(ev)
 	return ev
@@ -380,6 +415,13 @@ func (e *Engine) RunUntil(limit Time) Time {
 			continue
 		}
 		e.executed++
+		// The exec observer sees every model pop before its callback runs;
+		// the event's scalar fields are still intact after release (release
+		// clears only fn and state), and the object cannot be reallocated
+		// until fn schedules something.
+		if e.execObs != nil {
+			e.execObs.ObserveExec(ev.seq, ev.at, ev.priority, ev.label)
+		}
 		fn()
 		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
 			e.hbFn()
@@ -411,6 +453,9 @@ func (e *Engine) Step() bool {
 		return true
 	}
 	e.executed++
+	if e.execObs != nil {
+		e.execObs.ObserveExec(ev.seq, ev.at, ev.priority, ev.label)
+	}
 	fn()
 	if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
 		e.hbFn()

@@ -15,6 +15,7 @@ import "fmt"
 type Process struct {
 	eng    *Engine
 	name   string
+	label  Label         // stamped on spawn/Sleep/resume events (Tagged.Spawn)
 	run    chan struct{} // engine -> process: resume
 	parked chan struct{} // process -> engine: parked or finished
 	done   bool
@@ -25,9 +26,14 @@ type Process struct {
 // The body begins running when the engine reaches the spawn event; Spawn
 // itself returns immediately.
 func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	return e.spawn(name, NoLabel, body)
+}
+
+func (e *Engine) spawn(name string, label Label, body func(p *Process)) *Process {
 	p := &Process{
 		eng:    e,
 		name:   name,
+		label:  label,
 		run:    make(chan struct{}),
 		parked: make(chan struct{}),
 	}
@@ -50,7 +56,7 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		p.eng.procs--
 		p.parked <- struct{}{}
 	}()
-	e.Schedule(0, func() { p.resume() })
+	e.schedule(0, 0, label, func() { p.resume() })
 	return p
 }
 
@@ -86,7 +92,7 @@ func (p *Process) Now() Time { return p.eng.Now() }
 
 // Sleep suspends the process for d simulated time.
 func (p *Process) Sleep(d Time) {
-	p.eng.Schedule(d, func() { p.resume() })
+	p.eng.schedule(d, 0, p.label, func() { p.resume() })
 	p.park()
 }
 

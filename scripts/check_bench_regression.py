@@ -27,6 +27,11 @@ is expected — single cells regressing is reported but tolerated up to
 that quorum. Event *counts* changing for a shared cell is a determinism
 red flag and always fails: the same simulation must execute the same
 events no matter how fast the host is.
+
+The full per-cell delta table (events/sec baseline vs current, delta %)
+always prints to stdout; when $GITHUB_STEP_SUMMARY is set it is also
+appended there as a markdown table, so every CI run shows the per-cell
+trajectory, not just pass/fail.
 """
 
 import json
@@ -39,6 +44,47 @@ def load(path):
         doc = json.load(f)
     records = {r["cell"]: r for r in doc.get("records", [])}
     return doc.get("summary", {}), records
+
+
+def delta_rows(shared, base_cells, cur_cells):
+    """One (cell, base_eps, cur_eps, delta_or_None) row per shared cell."""
+    rows = []
+    for cell in shared:
+        b_eps = base_cells[cell].get("events_per_sec", 0.0)
+        c_eps = cur_cells[cell].get("events_per_sec", 0.0)
+        delta = (c_eps - b_eps) / b_eps if b_eps > 0 and c_eps > 0 else None
+        rows.append((cell, b_eps, c_eps, delta))
+    return rows
+
+
+def print_delta_table(rows):
+    if not rows:
+        return
+    width = max(len(r[0]) for r in rows)
+    print(f"\n{'cell':<{width}}  {'baseline ev/s':>14}  {'current ev/s':>14}  {'delta':>8}")
+    for cell, b_eps, c_eps, delta in rows:
+        d = f"{delta:+.1%}" if delta is not None else "n/a"
+        print(f"{cell:<{width}}  {b_eps:>14,.0f}  {c_eps:>14,.0f}  {d:>8}")
+    print()
+
+
+def append_step_summary(rows, base_agg, cur_agg):
+    """Append the delta table as markdown to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not rows:
+        return
+    lines = ["### Per-cell events/sec vs baseline", "",
+             "| cell | baseline ev/s | current ev/s | delta |",
+             "| --- | ---: | ---: | ---: |"]
+    for cell, b_eps, c_eps, delta in rows:
+        d = f"{delta:+.1%}" if delta is not None else "n/a"
+        lines.append(f"| `{cell}` | {b_eps:,.0f} | {c_eps:,.0f} | {d} |")
+    if base_agg > 0 and cur_agg > 0:
+        agg_delta = (cur_agg - base_agg) / base_agg
+        lines += ["", f"**Aggregate:** {base_agg:,.0f} → {cur_agg:,.0f} "
+                      f"({agg_delta:+.1%})"]
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main(argv):
@@ -67,6 +113,9 @@ def main(argv):
     shared = sorted(set(base_cells) & set(cur_cells))
     if not shared:
         failures.append("no cells shared between baseline and current run")
+    rows = delta_rows(shared, base_cells, cur_cells)
+    print_delta_table(rows)
+    append_step_summary(rows, base_agg, cur_agg)
     regressed = []
     for cell in shared:
         b, c = base_cells[cell], cur_cells[cell]
