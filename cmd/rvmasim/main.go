@@ -63,6 +63,21 @@
 //	                   active (0 = recovery default, -1 = disable the
 //	                   recovery layer entirely — lossy runs then deadlock)
 //
+// Parallel-execution flags (see internal/sim's ShardGroup):
+//
+//	-shards N          partition the simulation into N lookahead-
+//	                   synchronized shards, one event heap per core; output
+//	                   (makespan, metrics, telemetry, canonical ledger
+//	                   chain head) is byte-identical at any shard count.
+//	                   Incompatible with the single-heap observers (-trace,
+//	                   -spans, -perfetto-out, -attrib-out, -flight-recorder)
+//	-unsafe-lookahead-scale F
+//	                   multiply the lookahead by F; F > 1 deliberately
+//	                   breaks conservatism. Exists only as the CI divergence
+//	                   canary: simdebug builds panic, release builds
+//	                   silently diverge and the execution ledger pins the
+//	                   first divergent event
+//
 // Replica flags:
 //
 //	-seeds N           run N independent replicas (seed, seed+1, ...) and
@@ -108,6 +123,7 @@ var replicaUnsupported = []string{
 	"timeseries-out", "heatmap-out", "sample-interval",
 	"flight-recorder", "nack-burst",
 	"ledger-out", "ledger-epoch", "shard-plan-out",
+	"shards", "unsafe-lookahead-scale",
 }
 
 // replicaIncompatible returns, in declaration order, the replica-unsupported
@@ -115,6 +131,28 @@ var replicaUnsupported = []string{
 func replicaIncompatible(set map[string]bool) []string {
 	var bad []string
 	for _, name := range replicaUnsupported {
+		if set[name] {
+			bad = append(bad, name)
+		}
+	}
+	return bad
+}
+
+// shardUnsupported lists the observer flags that bind to a single event
+// heap and have no sharded equivalent yet: the tracer, flight recorder
+// and span-based instrumentation (spans key per-message state across
+// shards). Everything else — metrics snapshots, canonical execution
+// ledgers, shard-set telemetry, heatmaps — works at any shard count.
+var shardUnsupported = []string{
+	"trace", "spans", "perfetto-out", "attrib-out", "tail-k",
+	"flight-recorder", "nack-burst",
+}
+
+// shardIncompatible returns, in declaration order, the shard-unsupported
+// flags present in set.
+func shardIncompatible(set map[string]bool) []string {
+	var bad []string
+	for _, name := range shardUnsupported {
 		if set[name] {
 			bad = append(bad, name)
 		}
@@ -152,6 +190,8 @@ func main() {
 		dropRate    = flag.Float64("drop-rate", 0, "uniform per-packet drop probability (shorthand for -fault-plan drop=P)")
 		faultPlan   = flag.String("fault-plan", "", "fault plan spec: drop=RATE,burst=N,window=NODE:FROM:TO:RATE")
 		retryBudget = flag.Int("retry-budget", 0, "max retransmits per op under faults (0 = recovery default, -1 = disable recovery)")
+		shards      = flag.Int("shards", 0, "partition the simulation into N lookahead-synchronized shards (0 = single event heap); output is byte-identical at any shard count")
+		unsafeScale = flag.Float64("unsafe-lookahead-scale", 1, "multiply the shard lookahead by this factor; >1 deliberately breaks conservatism (CI divergence canary — do not use)")
 	)
 	flag.Parse()
 
@@ -241,6 +281,20 @@ func main() {
 		return
 	}
 
+	// Sharded mode: the observer flags that bind to a single event heap are
+	// rejected (explicitly-set only, like the replica audit); everything
+	// else switches to its shard-aware implementation below.
+	if *shards > 0 {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if bad := shardIncompatible(set); len(bad) > 0 {
+			fail("flag(s) -%s bind to a single event heap and are incompatible with -shards; drop them or set -shards 0",
+				strings.Join(bad, ", -"))
+		}
+	} else if *unsafeScale != 1 {
+		fail("-unsafe-lookahead-scale only applies to sharded runs; set -shards")
+	}
+
 	cfg := motif.DefaultClusterConfig(topo, kind)
 	cfg.Routing = route
 	cfg.Seed = *seed
@@ -248,25 +302,53 @@ func main() {
 	cfg.RVMADepth = *rvmaDepth
 	cfg.Faults = plan
 	cfg.Recovery = recCfg
+	cfg.Shards = *shards
 	cfg.ApplyLinkSpeed(*gbps)
 	cluster, err := motif.NewCluster(cfg)
 	if err != nil {
 		fail("%v", err)
 	}
 
+	// The CI divergence canary: deliberately widen the claimed-safe window
+	// past what cross-shard latencies justify, so shards execute past
+	// handoffs they have not received. simdebug builds refuse to run this;
+	// release builds silently diverge, which is exactly what the execution
+	// ledger must catch.
+	if *unsafeScale != 1 {
+		cluster.Group.UnsafeScaleLookahead(*unsafeScale)
+		fmt.Fprintf(os.Stderr,
+			"rvmasim: WARNING: lookahead scaled by %g — conservatism deliberately broken, results are untrustworthy\n",
+			*unsafeScale)
+	}
+
 	// Execution ledger / shard-plan profile. The recorder is a pure observer
 	// on the engine's pop loop — attaching it cannot change the simulation.
+	// Sharded runs use the canonical recorder, whose chain is a pure
+	// function of the model (identical at every shard count, including 1);
+	// single-heap runs keep the raw pop-order chain. The two modes are
+	// never comparable, and simdiff refuses to try.
 	spansOn := *doSpans || *perfOut != "" || *attribOut != ""
 	var ledRec *ledger.Recorder
+	var canonRec *ledger.CanonicalRecorder
 	if *ledgerOut != "" || *shardOut != "" {
 		lo := ledger.Options{EpochEvents: *ledgerEpoch, Profile: *shardOut != ""}
 		if rs, ok := replayableSpec(*motifName, *transport, *topoName, *routing,
 			*nodes, *gbps, *seed, *rdmaBufs, *rvmaDepth,
-			*faultPlan, *dropRate, *retryBudget, spansOn); ok {
+			*faultPlan, *dropRate, *retryBudget, spansOn, *shards); ok {
+			if *unsafeScale != 1 {
+				// Canary runs embed the broken scale so simdiff's replay
+				// reproduces the divergent chain and pins the first event.
+				rs.UnsafeLookaheadScale = *unsafeScale
+			}
 			lo.Run = &rs
 		}
-		ledRec = ledger.NewRecorder(lo)
-		ledRec.Attach(cluster.Eng)
+		if cluster.Group != nil {
+			canonRec = ledger.NewCanonicalRecorder(lo)
+			canonRec.AttachGroup(cluster.Group)
+		} else {
+			ledRec = ledger.NewRecorder(lo)
+			ledRec.Attach(cluster.Eng)
+		}
 	}
 
 	var tr *trace.Tracer
@@ -280,7 +362,7 @@ func main() {
 	// with context when the run fails. It reuses the trace layer; with
 	// -trace also set the explicit tracer doubles as the recorder ring.
 	var rec *telemetry.FlightRecorder
-	if *recDepth > 0 {
+	if *recDepth > 0 && cluster.Group == nil {
 		rtr := tr
 		if rtr == nil {
 			rtr = trace.New(cluster.Eng, *recDepth)
@@ -292,15 +374,26 @@ func main() {
 		defer rec.Disarm()
 	}
 
-	// In-sim sampler: a deterministic telemetry process on the engine.
+	// In-sim sampler: a deterministic telemetry process on the engine. A
+	// sharded cluster samples through a ShardSet instead — one daemon per
+	// shard reading only shard-owned state, merged into the same columnar
+	// CSV after the run.
 	var sampler *telemetry.Sampler
+	var shardSet *telemetry.ShardSet
 	if *tsOut != "" || *heatOut != "" || (*nackBurst > 0 && rec != nil) {
-		sampler = telemetry.New(cluster.Eng, sim.FromNanos(float64(sampleIvl.Nanoseconds())))
-		cluster.RegisterTelemetry(sampler)
-		if *nackBurst > 0 && rec != nil {
-			rec.WatchNACKBurst(sampler, func() float64 { return float64(cluster.NACKTotal()) }, *nackBurst)
+		ivl := sim.FromNanos(float64(sampleIvl.Nanoseconds()))
+		if cluster.Group != nil {
+			shardSet = telemetry.NewShardSet(cluster.Group, ivl)
+			cluster.RegisterTelemetryShards(shardSet)
+			shardSet.Start()
+		} else {
+			sampler = telemetry.New(cluster.Eng, ivl)
+			cluster.RegisterTelemetry(sampler)
+			if *nackBurst > 0 && rec != nil {
+				rec.WatchNACKBurst(sampler, func() float64 { return float64(cluster.NACKTotal()) }, *nackBurst)
+			}
+			sampler.Start()
 		}
-		sampler.Start()
 	}
 
 	// A cancelled run still yields its recent history: dump the recorder
@@ -324,14 +417,17 @@ func main() {
 		if *perfOut != "" {
 			reg.EnableTimeline(0)
 		}
-		cluster.SetMetrics(reg)
+		cluster.AttachShardMetrics(reg)
 		if *attribOut != "" {
 			attribCol = attrib.NewCollector(*tailK)
 			cluster.AttachAttribution(reg, attribCol)
 		}
-		// Sample collector-backed gauges periodically so queue depths and
-		// utilization show their mid-run values, not just the final state.
-		cluster.Eng.SetHeartbeat(4096, reg.Collect)
+		if cluster.Group == nil {
+			// Sample collector-backed gauges periodically so queue depths and
+			// utilization show their mid-run values, not just the final state.
+			// Sharded runs fold per-shard shadows after the run instead.
+			cluster.Eng.SetHeartbeat(4096, reg.Collect)
+		}
 	}
 
 	var makespan sim.Time
@@ -349,12 +445,17 @@ func main() {
 		fail("%v", err)
 	}
 
+	cluster.FinishMetrics(reg)
+
 	fmt.Printf("motif:      %s\n", *motifName)
 	fmt.Printf("transport:  %s\n", kind)
 	fmt.Printf("network:    %s, %s routing, %g Gbps links\n", topo.Name(), route, *gbps)
+	if cluster.Group != nil {
+		fmt.Printf("shards:     %d (lookahead %v)\n", cluster.Group.Shards(), cluster.Group.Lookahead())
+	}
 	fmt.Printf("makespan:   %v\n", makespan)
-	fmt.Printf("events:     %d executed\n", cluster.Eng.EventsExecuted())
-	st := cluster.Net.Stats
+	fmt.Printf("events:     %d executed\n", cluster.EventsExecuted())
+	st := cluster.Net.TotalStats()
 	fmt.Printf("fabric:     %d packets delivered, %.0f MB, mean latency %v, mean hops %.2f\n",
 		st.PacketsDelivered, float64(st.BytesDelivered)/1e6,
 		cluster.Net.MeanPacketLatency(), cluster.Net.MeanHops())
@@ -428,21 +529,36 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		if err := sampler.WriteCSV(f); err != nil {
+		if shardSet != nil {
+			err = shardSet.WriteCSV(f)
+		} else {
+			err = sampler.WriteCSV(f)
+		}
+		if err != nil {
 			fail("%v", err)
 		}
 		if err := f.Close(); err != nil {
 			fail("%v", err)
 		}
-		fmt.Printf("telemetry:  %d samples x %d columns written to %s (interval %v, %d rows downsampled)\n",
-			sampler.Samples(), len(sampler.Columns()), *tsOut, sampler.Interval(), sampler.Dropped())
+		if shardSet != nil {
+			fmt.Printf("telemetry:  %d samples merged from %d shards written to %s\n",
+				shardSet.Samples(), shardSet.Shards(), *tsOut)
+		} else {
+			fmt.Printf("telemetry:  %d samples x %d columns written to %s (interval %v, %d rows downsampled)\n",
+				sampler.Samples(), len(sampler.Columns()), *tsOut, sampler.Interval(), sampler.Dropped())
+		}
 	}
 	if *heatOut != "" {
 		f, err := os.Create(*heatOut)
 		if err != nil {
 			fail("%v", err)
 		}
-		if err := sampler.WriteHeatmapCSV(f, fabric.TelemetryHeatmapPrefix); err != nil {
+		if shardSet != nil {
+			err = shardSet.WriteHeatmapCSV(f, fabric.TelemetryHeatmapPrefix)
+		} else {
+			err = sampler.WriteHeatmapCSV(f, fabric.TelemetryHeatmapPrefix)
+		}
+		if err != nil {
 			fail("%v", err)
 		}
 		if err := f.Close(); err != nil {
@@ -451,7 +567,12 @@ func main() {
 		fmt.Printf("heatmap:    per-switch utilization matrix written to %s\n", *heatOut)
 	}
 	if *ledgerOut != "" {
-		led := ledRec.Finalize()
+		var led *ledger.Ledger
+		if canonRec != nil {
+			led = canonRec.Finalize()
+		} else {
+			led = ledRec.Finalize()
+		}
 		if err := led.WriteFile(*ledgerOut); err != nil {
 			fail("%v", err)
 		}
@@ -463,7 +584,12 @@ func main() {
 			led.Events, len(led.Epochs), led.ChainHead, *ledgerOut, replayNote)
 	}
 	if *shardOut != "" {
-		prof := ledRec.Profile()
+		var prof *ledger.ProfileReport
+		if canonRec != nil {
+			prof = canonRec.Profile()
+		} else {
+			prof = ledRec.Profile()
+		}
 		f, err := os.Create(*shardOut)
 		if err != nil {
 			fail("%v", err)
@@ -497,7 +623,7 @@ func main() {
 // (epoch-level localization still works, replay does not).
 func replayableSpec(motifName, transport, topoName, routing string,
 	nodes int, gbps float64, seed uint64, rdmaBufs, rvmaDepth int,
-	faultPlan string, dropRate float64, retryBudget int, spans bool) (ledger.RunSpec, bool) {
+	faultPlan string, dropRate float64, retryBudget int, spans bool, shards int) (ledger.RunSpec, bool) {
 	if rdmaBufs != 1 || rvmaDepth != 4 || faultPlan != "" || retryBudget < 0 {
 		return ledger.RunSpec{}, false
 	}
@@ -510,8 +636,9 @@ func replayableSpec(motifName, transport, topoName, routing string,
 		Nodes:     nodes,
 		Gbps:      gbps,
 		Seed:      seed,
-		Spans:     spans,
+		Spans:     spans && shards == 0, // sharded cells run without spans
 		Drop:      dropRate,
+		Shards:    shards,
 	}
 	if dropRate > 0 {
 		rs.Recover = true

@@ -33,10 +33,19 @@ func TestReplicaIncompatibleMatrix(t *testing.T) {
 		{"ledger-out", map[string]bool{"ledger-out": true}, []string{"ledger-out"}},
 		{"ledger-epoch", map[string]bool{"ledger-epoch": true}, []string{"ledger-epoch"}},
 		{"shard-plan-out", map[string]bool{"shard-plan-out": true}, []string{"shard-plan-out"}},
+		// Sharding binds the run to one engine group; replicas each need
+		// their own, so replica mode rejects it (and the canary knob).
+		{"shards", map[string]bool{"shards": true}, []string{"shards"}},
+		{"unsafe-lookahead-scale", map[string]bool{"unsafe-lookahead-scale": true}, []string{"unsafe-lookahead-scale"}},
 		{
 			"several at once, declaration order",
 			map[string]bool{"ledger-out": true, "trace": true, "sample-interval": true, "seeds": true},
 			[]string{"trace", "sample-interval", "ledger-out"},
+		},
+		{
+			"shards with observers, declaration order",
+			map[string]bool{"shards": true, "timeseries-out": true, "seeds": true},
+			[]string{"timeseries-out", "shards"},
 		},
 	}
 	for _, tc := range cases {
@@ -62,10 +71,49 @@ func TestReplicaUnsupportedCoversAllObserverFlags(t *testing.T) {
 		"trace", "spans", "metrics-out", "perfetto-out", "attrib-out",
 		"tail-k", "timeseries-out", "heatmap-out", "sample-interval",
 		"flight-recorder", "nack-burst", "ledger-out", "ledger-epoch",
-		"shard-plan-out",
+		"shard-plan-out", "shards", "unsafe-lookahead-scale",
 	} {
 		if !seen[name] {
 			t.Errorf("observer flag %q missing from replicaUnsupported", name)
+		}
+	}
+}
+
+// TestShardIncompatibleMatrix pins the sharded-mode flag audit: the
+// single-heap observers are rejected, the shard-aware ones pass through.
+func TestShardIncompatibleMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		set  map[string]bool
+		want []string
+	}{
+		{"none set", map[string]bool{}, nil},
+		{
+			"shard-aware observers pass",
+			map[string]bool{
+				"shards": true, "metrics-out": true, "ledger-out": true,
+				"ledger-epoch": true, "shard-plan-out": true,
+				"timeseries-out": true, "heatmap-out": true, "sample-interval": true,
+				"unsafe-lookahead-scale": true,
+			},
+			nil,
+		},
+		{"trace", map[string]bool{"shards": true, "trace": true}, []string{"trace"}},
+		{"spans", map[string]bool{"shards": true, "spans": true}, []string{"spans"}},
+		{"perfetto-out", map[string]bool{"shards": true, "perfetto-out": true}, []string{"perfetto-out"}},
+		{"attrib-out", map[string]bool{"shards": true, "attrib-out": true}, []string{"attrib-out"}},
+		{"tail-k", map[string]bool{"shards": true, "tail-k": true}, []string{"tail-k"}},
+		{"flight-recorder", map[string]bool{"shards": true, "flight-recorder": true}, []string{"flight-recorder"}},
+		{"nack-burst", map[string]bool{"shards": true, "nack-burst": true}, []string{"nack-burst"}},
+		{
+			"several at once, declaration order",
+			map[string]bool{"flight-recorder": true, "spans": true, "trace": true},
+			[]string{"trace", "spans", "flight-recorder"},
+		},
+	}
+	for _, tc := range cases {
+		if got := shardIncompatible(tc.set); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: shardIncompatible = %v, want %v", tc.name, got, tc.want)
 		}
 	}
 }
@@ -74,22 +122,31 @@ func TestReplicaUnsupportedCoversAllObserverFlags(t *testing.T) {
 // -ledger-out files and which fall back to epoch-only localization.
 func TestReplayableSpec(t *testing.T) {
 	rs, ok := replayableSpec("sweep3d", "rvma", "dragonfly", "adaptive",
-		64, 100, 7, 1, 4, "", 0, 0, false)
+		64, 100, 7, 1, 4, "", 0, 0, false, 0)
 	if !ok {
 		t.Fatal("default knobs should be replayable")
 	}
 	if rs.Motif != "sweep3d" || rs.Transport != "rvma" || rs.Network != "dragonfly/adaptive" ||
-		rs.Nodes != 64 || rs.Seed != 7 || rs.Spans || rs.Recover {
+		rs.Nodes != 64 || rs.Seed != 7 || rs.Spans || rs.Recover || rs.Shards != 0 {
 		t.Fatalf("unexpected spec: %+v", rs)
 	}
 
 	rs, ok = replayableSpec("halo3d", "rdma", "hyperx", "static",
-		64, 200, 3, 1, 4, "", 0.01, 5, true)
+		64, 200, 3, 1, 4, "", 0.01, 5, true, 0)
 	if !ok {
 		t.Fatal("drop-rate run should be replayable")
 	}
 	if !rs.Recover || rs.RetryBudget != 5 || rs.Drop != 0.01 || !rs.Spans {
 		t.Fatalf("unexpected fault spec: %+v", rs)
+	}
+
+	rs, ok = replayableSpec("sweep3d", "rvma", "dragonfly", "adaptive",
+		64, 100, 7, 1, 4, "", 0, 0, false, 4)
+	if !ok {
+		t.Fatal("sharded run with default knobs should be replayable")
+	}
+	if rs.Shards != 4 || rs.Spans {
+		t.Fatalf("unexpected sharded spec: %+v", rs)
 	}
 
 	for _, tc := range []struct {
@@ -104,7 +161,7 @@ func TestReplayableSpec(t *testing.T) {
 		{"recovery disabled", 1, 4, "", -1},
 	} {
 		if _, ok := replayableSpec("sweep3d", "rvma", "dragonfly", "adaptive",
-			64, 100, 1, tc.rdmaBufs, tc.rvmaDepth, tc.faultPlan, 0, tc.retryBudget, false); ok {
+			64, 100, 1, tc.rdmaBufs, tc.rvmaDepth, tc.faultPlan, 0, tc.retryBudget, false, 0); ok {
 			t.Errorf("%s: expected not replayable", tc.name)
 		}
 	}

@@ -218,12 +218,33 @@ type Network struct {
 	mDrops    *metrics.Counter
 	mDetours  *metrics.Counter
 	mTimeline *metrics.Timeline
+
+	// Sharded execution (see shard.go). group == nil is the legacy
+	// single-heap mode; everything below is only populated by NewSharded.
+	// Per-locus state (a locus is one node or one switch) is written only
+	// by the shard that owns the locus, which is what makes the sharded hot
+	// path race-free without locks.
+	group     *sim.ShardGroup
+	tags      []sim.Tagged // per-shard "fabric" tag
+	nodeShard []int        // owning shard per node
+	swShard   []int        // owning shard per switch
+	numLoci   int          // nodes + switches; priority stride
+	priCount  []uint64     // events scheduled per locus (unique priorities)
+	nextIDs   []uint64     // per-source packet IDs
+	swRNG     []*sim.RNG   // per-switch routing/jitter substreams
+	hostRNG   []*sim.RNG   // per-node injection-jitter substreams
+	faultSh   []*sim.RNG   // per-destination fault substreams
+	statsSh   []Stats      // per-shard counters; TotalStats sums them
+	msh       []fabMetrics // per-shard metric handles
 }
 
 // SetTracer attaches a tracer; packet-level events go to trace.CatPacket
 // and aggregate counters/series are kept regardless of enablement. A nil
 // tracer detaches.
 func (n *Network) SetTracer(t *trace.Tracer) {
+	if t != nil && n.group != nil {
+		panic("fabric: packet tracing is not supported on a sharded network (trace buffers are single-writer)")
+	}
 	n.tracer = t
 	if t != nil {
 		t.DefineSeries("fabric.delivered_bytes", 10*sim.Microsecond)
@@ -240,6 +261,9 @@ const maxPerSwitchGauges = 64
 // and link utilization are sampled by a collector at snapshot time. A nil
 // registry detaches every hook.
 func (n *Network) SetMetrics(reg *metrics.Registry) {
+	if reg != nil && n.group != nil {
+		panic("fabric: use SetMetricsSharded on a sharded network")
+	}
 	if reg == nil {
 		n.mLatency, n.mHops, n.mDrops, n.mDetours, n.mTimeline = nil, nil, nil, nil, nil
 		return
@@ -303,6 +327,9 @@ const TelemetryHeatmapPrefix = "fabric.util.sw"
 func (n *Network) RegisterTelemetry(s *telemetry.Sampler) {
 	if s == nil {
 		return
+	}
+	if n.group != nil {
+		panic("fabric: use RegisterTelemetrySharded on a sharded network")
 	}
 	s.Register("fabric.queue_ns_total", func() float64 {
 		var backlog sim.Time
@@ -419,26 +446,40 @@ func (n *Network) AttachHost(node int, fn DeliverFunc) {
 
 // Inject hands a packet to node src's injection link at the current time.
 // The packet serializes onto the host link (which always runs at line rate,
-// per the paper's host-bus assumption), then traverses the fabric.
+// per the paper's host-bus assumption), then traverses the fabric. In
+// sharded mode the caller must be executing on the source node's shard
+// (NICs are constructed on their node's shard engine, so this holds by
+// construction).
 func (n *Network) Inject(pkt *Packet) {
 	if pkt.Src < 0 || pkt.Src >= len(n.hostTx) || pkt.Dst < 0 || pkt.Dst >= len(n.hosts) {
 		panic(fmt.Sprintf("fabric: inject with bad endpoints src=%d dst=%d", pkt.Src, pkt.Dst))
 	}
-	pkt.ID = n.nextID
-	n.nextID++
-	pkt.Injected = n.eng.Now()
-	n.Stats.PacketsInjected++
+	e, shard := n.nodeCtx(pkt.Src)
+	rng := n.eng.RNG()
+	if n.group != nil {
+		// Per-source IDs and a per-node jitter substream keep both a pure
+		// function of the node's own history, independent of partitioning.
+		pkt.ID = n.nextIDs[pkt.Src]
+		n.nextIDs[pkt.Src]++
+		rng = n.hostRNG[pkt.Src]
+	} else {
+		pkt.ID = n.nextID
+		n.nextID++
+	}
+	now := e.Now()
+	pkt.Injected = now
+	n.statsAt(shard).PacketsInjected++
 	if n.tracer != nil {
 		n.tracer.Count("fabric.packets_injected", 1)
 		n.tracer.Eventf(trace.CatPacket, "inject #%d %d->%d %dB", pkt.ID, pkt.Src, pkt.Dst, pkt.Size)
 	}
 
 	ser := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps)
-	txDone := n.hostTx[pkt.Src].Acquire(n.eng.Engine, ser)
-	pkt.QueueWait += txDone - pkt.Injected - ser
-	arrive := txDone + n.linkDelay()
+	txDone := n.hostTx[pkt.Src].AcquireAt(now, ser)
+	pkt.QueueWait += txDone - now - ser
+	arrive := txDone + n.linkDelayFrom(rng)
 	sw, _ := n.topo.HostPort(pkt.Src)
-	n.eng.At(arrive, func() { n.atSwitch(sw, pkt) })
+	n.sched(shard, n.nodeLocus(pkt.Src), n.switchShard(sw), arrive, func() { n.atSwitch(sw, pkt) })
 }
 
 // MaxQueueBacklog returns the largest backlog any switch output port
@@ -456,46 +497,56 @@ func (n *Network) MaxQueueBacklog() sim.Time {
 	return max
 }
 
-// linkDelay returns the (possibly jittered) cable latency for one hop.
-func (n *Network) linkDelay() sim.Time {
+// linkDelayFrom returns the (possibly jittered) cable latency for one hop,
+// drawing from rng — the shared engine stream in legacy mode, the sending
+// locus's substream in sharded mode.
+func (n *Network) linkDelayFrom(rng *sim.RNG) sim.Time {
 	d := n.cfg.LinkLatency
 	if n.cfg.AdaptiveJitter > 0 && n.cfg.Routing != RouteStatic {
-		d = n.eng.RNG().Jitter(d, n.cfg.AdaptiveJitter)
+		d = rng.Jitter(d, n.cfg.AdaptiveJitter)
 	}
 	return d
 }
 
 // atSwitch processes a packet's arrival at switch sw at the current time:
 // route selection, crossbar transit, output serialization, link traversal.
+// In sharded mode it executes on the switch's owning shard.
 func (n *Network) atSwitch(sw int, pkt *Packet) {
+	e, shard := n.swCtx(sw)
 	pkt.Hops++
 	if sim.DebugEnabled {
-		n.debugCheckHop(sw, pkt)
+		n.debugCheckHop(e, sw, pkt)
 	}
-	outPort := n.selectPort(sw, pkt)
+	rng := n.eng.RNG()
+	if n.group != nil {
+		rng = n.swRNG[sw]
+	}
+	outPort := n.selectPort(e, shard, rng, sw, pkt)
 	ports := n.topo.Ports(sw)
 	port := ports[outPort]
 
-	now := n.eng.Now()
+	now := e.Now()
 	xbarHold := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps*n.cfg.XbarFactor)
 	xbarDone := n.xbars[sw].AcquireAt(now, xbarHold)
 	ser := sim.SerializationTime(pkt.WireSize(), n.cfg.LinkGbps)
 	txDone := n.outPorts[sw][outPort].AcquireAt(xbarDone+n.cfg.SwitchLatency, ser)
 	pkt.QueueWait += (xbarDone - now - xbarHold) + (txDone - xbarDone - n.cfg.SwitchLatency - ser)
-	arrive := txDone + n.linkDelay()
+	arrive := txDone + n.linkDelayFrom(rng)
 
 	switch port.Kind {
 	case topology.HostPort:
-		n.eng.At(arrive, func() { n.deliver(port.Node, pkt) })
+		n.sched(shard, n.switchLocus(sw), n.nodeShardOf(port.Node), arrive, func() { n.deliver(port.Node, pkt) })
 	case topology.SwitchPort:
-		n.eng.At(arrive, func() { n.atSwitch(port.PeerSwitch, pkt) })
+		peer := port.PeerSwitch
+		n.sched(shard, n.switchLocus(sw), n.switchShard(peer), arrive, func() { n.atSwitch(peer, pkt) })
 	default:
 		panic(fmt.Sprintf("fabric: routed to unused port %d of switch %d", outPort, sw))
 	}
 }
 
-// selectPort applies the routing mode to the candidate set.
-func (n *Network) selectPort(sw int, pkt *Packet) int {
+// selectPort applies the routing mode to the candidate set. e is the
+// engine executing switch sw and rng the stream routing draws come from.
+func (n *Network) selectPort(e *sim.Engine, shard int, rng *sim.RNG, sw int, pkt *Packet) int {
 	cands := n.topo.Candidates(sw, pkt.Dst, nil)
 	if len(cands) == 0 {
 		panic(fmt.Sprintf("fabric: no route from switch %d to node %d", sw, pkt.Dst))
@@ -507,31 +558,31 @@ func (n *Network) selectPort(sw int, pkt *Packet) int {
 		if !pkt.misrouted && n.nonMin != nil {
 			if nm := n.nonMin.NonMinimalCandidates(sw, pkt.Dst, nil); len(nm) > 0 {
 				pkt.misrouted = true
-				n.Stats.ValiantDetours++
-				n.mDetours.Add(1)
-				return nm[n.eng.RNG().Intn(len(nm))]
+				n.statsAt(shard).ValiantDetours++
+				n.detoursAt(shard).Add(1)
+				return nm[rng.Intn(len(nm))]
 			}
 		}
 		pkt.misrouted = true // minimal from here on
-		return n.leastBacklogged(sw, cands)
+		return n.leastBacklogged(e, sw, cands)
 	case RouteAdaptive:
-		best := n.leastBacklogged(sw, cands)
+		best := n.leastBacklogged(e, sw, cands)
 		if !pkt.misrouted && n.nonMin != nil {
 			bias := n.cfg.ValiantBias
 			if bias == 0 {
 				bias = sim.SerializationTime(n.cfg.MTU+HeaderBytes, n.cfg.LinkGbps)
 			}
-			minBacklog := n.outPorts[sw][best].Backlog(n.eng.Engine)
+			minBacklog := n.outPorts[sw][best].Backlog(e)
 			if minBacklog > bias {
 				if nm := n.nonMin.NonMinimalCandidates(sw, pkt.Dst, nil); len(nm) > 0 {
-					alt := n.leastBacklogged(sw, nm)
+					alt := n.leastBacklogged(e, sw, nm)
 					// UGAL: detour when twice the non-minimal backlog still
 					// beats the minimal backlog.
-					if 2*n.outPorts[sw][alt].Backlog(n.eng.Engine)+bias < minBacklog {
+					if 2*n.outPorts[sw][alt].Backlog(e)+bias < minBacklog {
 						pkt.misrouted = true
-						n.Stats.ValiantDetours++
-						n.mDetours.Add(1)
-						n.mTimeline.Instant(pkt.Src, "fabric", "detour", n.eng.Now())
+						n.statsAt(shard).ValiantDetours++
+						n.detoursAt(shard).Add(1)
+						n.mTimeline.Instant(pkt.Src, "fabric", "detour", e.Now())
 						if n.tracer != nil {
 							n.tracer.Count("fabric.valiant_detours", 1)
 							n.tracer.Eventf(trace.CatPacket, "detour #%d at sw%d", pkt.ID, sw)
@@ -550,11 +601,11 @@ func (n *Network) selectPort(sw int, pkt *Packet) int {
 // leastBacklogged returns the candidate whose output queue frees soonest,
 // breaking ties in favor of the earliest candidate (keeping selection
 // deterministic for a given simulation state).
-func (n *Network) leastBacklogged(sw int, cands []int) int {
+func (n *Network) leastBacklogged(e *sim.Engine, sw int, cands []int) int {
 	best := cands[0]
-	bestBacklog := n.outPorts[sw][best].Backlog(n.eng.Engine)
+	bestBacklog := n.outPorts[sw][best].Backlog(e)
 	for _, c := range cands[1:] {
-		if b := n.outPorts[sw][c].Backlog(n.eng.Engine); b < bestBacklog {
+		if b := n.outPorts[sw][c].Backlog(e); b < bestBacklog {
 			best, bestBacklog = c, b
 		}
 	}
@@ -571,30 +622,37 @@ func (n *Network) leastBacklogged(sw int, cands []int) int {
 // comes from the dedicated fault stream, so loss sweeps no longer shift
 // the routing RNG and skew detour decisions for surviving packets.
 func (n *Network) deliver(node int, pkt *Packet) {
+	e, shard := n.nodeCtx(node)
 	fn := n.hosts[node]
 	if fn == nil {
 		panic(fmt.Sprintf("fabric: packet for unattached node %d", node))
 	}
-	if n.faultRNG != nil && n.dropPacket(node) {
-		n.Stats.PacketsDropped++
-		n.Stats.BytesDropped += uint64(pkt.Size)
-		n.mDrops.Add(1)
-		n.mTimeline.Instant(node, "fabric", "drop", n.eng.Now())
+	fRNG := n.faultRNG
+	if n.group != nil && n.faultSh != nil {
+		fRNG = n.faultSh[node]
+	}
+	st := n.statsAt(shard)
+	if fRNG != nil && n.dropPacket(node, e, fRNG) {
+		st.PacketsDropped++
+		st.BytesDropped += uint64(pkt.Size)
+		n.dropsAt(shard).Add(1)
+		n.mTimeline.Instant(node, "fabric", "drop", e.Now())
 		if n.tracer != nil {
 			n.tracer.Count("fabric.packets_dropped", 1)
 			n.tracer.Eventf(trace.CatPacket, "DROP #%d for node %d", pkt.ID, node)
 		}
 		return
 	}
-	n.Stats.PacketsDelivered++
-	n.Stats.BytesDelivered += uint64(pkt.Size)
+	st.PacketsDelivered++
+	st.BytesDelivered += uint64(pkt.Size)
 	if sim.DebugEnabled {
-		n.debugCheckDeliver(pkt)
+		n.debugCheckDeliver(e, pkt)
 	}
-	n.Stats.TotalHops += uint64(pkt.Hops)
-	n.Stats.TotalLatency += n.eng.Now() - pkt.Injected
-	n.mLatency.ObserveTime(n.eng.Now() - pkt.Injected)
-	n.mHops.Observe(float64(pkt.Hops))
+	st.TotalHops += uint64(pkt.Hops)
+	st.TotalLatency += e.Now() - pkt.Injected
+	mm := n.metricsAt(shard)
+	mm.latency.ObserveTime(e.Now() - pkt.Injected)
+	mm.hops.Observe(float64(pkt.Hops))
 	if n.tracer != nil {
 		n.tracer.Count("fabric.packets_delivered", 1)
 		n.tracer.Add("fabric.delivered_bytes", float64(pkt.Size))
@@ -605,16 +663,18 @@ func (n *Network) deliver(node int, pkt *Packet) {
 
 // MeanPacketLatency returns the average injection-to-delivery latency.
 func (n *Network) MeanPacketLatency() sim.Time {
-	if n.Stats.PacketsDelivered == 0 {
+	s := n.TotalStats()
+	if s.PacketsDelivered == 0 {
 		return 0
 	}
-	return n.Stats.TotalLatency / sim.Time(n.Stats.PacketsDelivered)
+	return s.TotalLatency / sim.Time(s.PacketsDelivered)
 }
 
 // MeanHops returns the average switch hops per delivered packet.
 func (n *Network) MeanHops() float64 {
-	if n.Stats.PacketsDelivered == 0 {
+	s := n.TotalStats()
+	if s.PacketsDelivered == 0 {
 		return 0
 	}
-	return float64(n.Stats.TotalHops) / float64(n.Stats.PacketsDelivered)
+	return float64(s.TotalHops) / float64(s.PacketsDelivered)
 }

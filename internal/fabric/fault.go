@@ -210,14 +210,18 @@ func (c Config) effectivePlan() FaultPlan {
 
 // dropPacket decides, at delivery time, whether failure injection claims
 // the packet arriving at node. Burst state is per destination so one
-// flow's bad luck cannot leak drops onto an unrelated link.
-func (n *Network) dropPacket(node int) bool {
+// flow's bad luck cannot leak drops onto an unrelated link. e is the
+// engine executing the delivery and rng the fault stream to draw from —
+// the shared fault stream in legacy mode, the destination's substream in
+// sharded mode (per-destination streams make the drop sequence a function
+// of the flow's own arrivals, so it survives repartitioning).
+func (n *Network) dropPacket(node int, e *sim.Engine, rng *sim.RNG) bool {
 	if n.burstLeft[node] > 0 {
 		n.burstLeft[node]--
 		return true
 	}
-	rate := n.faults.rateAt(node, n.eng.Now())
-	if rate <= 0 || n.faultRNG.Float64() >= rate {
+	rate := n.faults.rateAt(node, e.Now())
+	if rate <= 0 || rng.Float64() >= rate {
 		return false
 	}
 	if n.faults.BurstLen > 1 {

@@ -23,8 +23,14 @@ type BenchRecord struct {
 	SimNS float64 `json:"sim_ns"`
 	// Events is the number of simulation events executed.
 	Events uint64 `json:"events"`
-	// EventsPerSec is Events divided by wall seconds.
+	// EventsPerSec is Events divided by wall seconds. For a sharded cell
+	// this is the aggregate across all shards — the number parallel
+	// execution improves.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Shards is the cell's engine partition count (0 = single heap).
+	// events_per_sec is only comparable between records with equal Shards;
+	// Events must match regardless (the byte-identical guarantee).
+	Shards int `json:"shards,omitempty"`
 }
 
 // BenchSummary aggregates a sweep. WallMSTotal sums the per-cell wall
@@ -43,6 +49,9 @@ type BenchSummary struct {
 	Workers        int     `json:"workers,omitempty"`
 	SimNSTotal     float64 `json:"sim_ns_total"`
 	SimNSPerWallMS float64 `json:"sim_ns_per_wall_ms"`
+	// Shards is the sweep's engine partition count when every record agrees
+	// on one (0 = single heap); omitted for mixed sweeps.
+	Shards int `json:"shards,omitempty"`
 }
 
 // BenchLog accumulates BenchRecords across a harness invocation. The
@@ -61,8 +70,9 @@ type BenchLog struct {
 	Elapsed time.Duration
 }
 
-// Record appends one cell sample.
-func (b *BenchLog) Record(cell string, wall time.Duration, simT sim.Time, events uint64) {
+// Record appends one cell sample. shards is the cell's engine partition
+// count (0 = single heap).
+func (b *BenchLog) Record(cell string, wall time.Duration, simT sim.Time, events uint64, shards int) {
 	if b == nil {
 		return
 	}
@@ -71,6 +81,7 @@ func (b *BenchLog) Record(cell string, wall time.Duration, simT sim.Time, events
 		WallMS: float64(wall.Nanoseconds()) / 1e6,
 		SimNS:  simT.Nanoseconds(),
 		Events: events,
+		Shards: shards,
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		r.EventsPerSec = float64(events) / secs
@@ -102,10 +113,15 @@ func (b *BenchLog) Summary() BenchSummary {
 	if b.Elapsed > 0 {
 		s.ElapsedMS = float64(b.Elapsed.Nanoseconds()) / 1e6
 	}
-	for _, r := range b.Records {
+	for i, r := range b.Records {
 		s.WallMSTotal += r.WallMS
 		s.EventsTotal += r.Events
 		s.SimNSTotal += r.SimNS
+		if i == 0 {
+			s.Shards = r.Shards
+		} else if r.Shards != s.Shards {
+			s.Shards = 0 // mixed sweep: no single meaningful count
+		}
 	}
 	if s.WallMSTotal > 0 {
 		s.EventsPerSec = float64(s.EventsTotal) / (s.WallMSTotal / 1e3)

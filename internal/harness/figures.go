@@ -53,8 +53,19 @@ type Options struct {
 	// every motif cell's engine and writes one <cell>.ledger.json into the
 	// directory during the serial merge phase (see internal/ledger). The
 	// recorder only hashes fields every pop already carries, so results
-	// stay byte-identical with or without it.
+	// stay byte-identical with or without it. Sharded cells (Shards > 0)
+	// record the canonical partition-invariant chain; legacy cells record
+	// the raw chain.
 	LedgerDir string
+	// Shards partitions every motif cell's simulation across that many
+	// event heaps with conservative lookahead synchronization
+	// (sim.ShardGroup); 0 keeps the legacy single-heap engine. Tables,
+	// telemetry CSVs and ledger chain heads are byte-identical at every
+	// positive shard count — Shards=1 is the baseline the matrix test
+	// compares against. Sharded cells run without span instrumentation
+	// (spans key state across nodes, which would cross shard boundaries),
+	// so put-p99 columns read "-" and attribution sections are empty.
+	Shards int
 }
 
 // workerCount resolves Options.Workers: 0 (the default) saturates the

@@ -102,9 +102,9 @@ func TestLedgerRecorderDoesNotChangeResults(t *testing.T) {
 	o := DefaultOptions()
 	o.Nodes = 64
 
-	bare := runOneCell(o, spec, newCellRegistry())
+	bare := runOneCell(o, spec, newCellRegistry(0))
 	o.LedgerDir = t.TempDir()
-	recorded := runOneCell(o, spec, newCellRegistry())
+	recorded := runOneCell(o, spec, newCellRegistry(0))
 	if bare.Err != nil || recorded.Err != nil {
 		t.Fatalf("cell errors: %v / %v", bare.Err, recorded.Err)
 	}

@@ -64,14 +64,17 @@ func RunMotifPoint(m MotifName, kind motif.TransportKind, nc NetConfig, nodes in
 // use it (one registry per experiment cell, spans enabled) to report tail
 // latency next to the makespan. A nil registry runs uninstrumented.
 func RunMotifPointInstrumented(m MotifName, kind motif.TransportKind, nc NetConfig, nodes int, gbps float64, seed uint64, reg *metrics.Registry) (sim.Time, error) {
-	makespan, _, err := runMotifPoint(cellSpec{M: m, Kind: kind, NC: nc, Gbps: gbps}, nodes, seed, cellInstr{reg: reg})
+	makespan, _, err := runMotifPoint(cellSpec{M: m, Kind: kind, NC: nc, Gbps: gbps}, nodes, seed, &cellInstr{reg: reg})
 	return makespan, err
 }
 
 // cellInstr bundles the optional per-cell instrumentation runMotifPoint
 // attaches before a run: a metrics registry, an in-sim sampler (already
 // holding any extra probes; the cluster's are registered here), and a
-// bench log for wall-clock throughput records.
+// bench log for wall-clock throughput records. With shards > 0 the cell
+// runs on a sim.ShardGroup: the sampler is replaced by a per-shard
+// telemetry.ShardSet and the raw ledger recorder by the canonical one,
+// both built inside runMotifPoint once the group exists.
 type cellInstr struct {
 	reg     *metrics.Registry
 	sampler *telemetry.Sampler
@@ -79,6 +82,17 @@ type cellInstr struct {
 	attrib  *attrib.Collector
 	ledger  *ledger.Recorder
 	cell    string // bench/telemetry label: "motif|network|transport|gbps"
+
+	shards int // partition count; 0 = legacy single heap
+	// unsafeScale, when != 0 and != 1, multiplies the shard group's
+	// lookahead after construction — only replays of CI canary runs set it
+	// (see ledger.RunSpec.UnsafeLookaheadScale).
+	unsafeScale float64
+	canon       *ledger.CanonicalRecorder
+	// wantShardSet asks runMotifPoint to build and start a ShardSet on the
+	// cluster's group; the set is left here for the caller to render.
+	wantShardSet bool
+	shardSet     *telemetry.ShardSet
 }
 
 // runMotifPoint is the shared cell runner behind the exported entry points
@@ -86,7 +100,7 @@ type cellInstr struct {
 // callers can read recovery/fabric counters — including when the motif run
 // itself errors (a deadlocked fault cell still reports what it managed);
 // the cluster is nil only when it could not be built at all.
-func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.Time, *motif.Cluster, error) {
+func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst *cellInstr) (sim.Time, *motif.Cluster, error) {
 	topo, err := topology.ForNodeCount(spec.NC.Kind, nodes)
 	if err != nil {
 		return 0, nil, err
@@ -96,6 +110,7 @@ func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.T
 	cfg.Seed = seed
 	cfg.PCIe = pcie.Gen4x16()
 	cfg.ApplyLinkSpeed(spec.Gbps)
+	cfg.Shards = inst.shards
 	if spec.Fault.Drop > 0 {
 		cfg.Faults = &fabric.FaultPlan{DropRate: spec.Fault.Drop}
 	}
@@ -110,11 +125,21 @@ func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.T
 	if err != nil {
 		return 0, nil, err
 	}
+	if inst.unsafeScale != 0 && inst.unsafeScale != 1 && c.Group != nil {
+		c.Group.UnsafeScaleLookahead(inst.unsafeScale)
+	}
 	if inst.ledger != nil {
 		inst.ledger.Attach(c.Eng)
 	}
+	if inst.canon != nil {
+		if c.Group != nil {
+			inst.canon.AttachGroup(c.Group)
+		} else {
+			inst.canon.Attach(c.Eng)
+		}
+	}
 	if inst.reg != nil {
-		c.SetMetrics(inst.reg)
+		c.AttachShardMetrics(inst.reg)
 		if inst.attrib != nil {
 			c.AttachAttribution(inst.reg, inst.attrib)
 		}
@@ -122,6 +147,11 @@ func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.T
 	if inst.sampler != nil {
 		c.RegisterTelemetry(inst.sampler)
 		inst.sampler.Start()
+	}
+	if inst.wantShardSet {
+		inst.shardSet = telemetry.NewShardSet(c.Group, cellSampleInterval)
+		c.RegisterTelemetryShards(inst.shardSet)
+		inst.shardSet.Start()
 	}
 	start := time.Now()
 	var makespan sim.Time
@@ -138,8 +168,9 @@ func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst cellInstr) (sim.T
 	if err != nil {
 		return 0, c, err
 	}
+	c.FinishMetrics(inst.reg)
 	if inst.bench != nil {
-		inst.bench.Record(inst.cell, time.Since(start), makespan, c.Eng.EventsExecuted())
+		inst.bench.Record(inst.cell, time.Since(start), makespan, c.EventsExecuted(), inst.shards)
 	}
 	return makespan, c, nil
 }
@@ -150,11 +181,15 @@ func cellName(m MotifName, nc NetConfig, kind motif.TransportKind, gbps float64)
 	return fmt.Sprintf("%s|%s|%s|%gGbps", m, nc.Name, kind, gbps)
 }
 
-// newCellRegistry returns a registry with spans enabled, the per-cell
-// instrumentation the figure sweeps attach.
-func newCellRegistry() *metrics.Registry {
+// newCellRegistry returns the per-cell registry the figure sweeps attach:
+// spans enabled on the legacy single-heap path, plain counters/gauges on
+// sharded cells (span instrumentation keys state across nodes, which
+// would cross shard boundaries).
+func newCellRegistry(shards int) *metrics.Registry {
 	reg := metrics.NewRegistry()
-	reg.EnableSpans()
+	if shards == 0 {
+		reg.EnableSpans()
+	}
 	return reg
 }
 

@@ -28,9 +28,10 @@ func runSpecFor(spec cellSpec, o Options) ledger.RunSpec {
 		Nodes:     o.Nodes,
 		Gbps:      spec.Gbps,
 		Seed:      o.Seed,
-		Spans:     true, // runCells always attaches a spans-enabled registry
+		Spans:     o.Shards == 0, // sharded cells run without span instrumentation
 		Drop:      spec.Fault.Drop,
 		Recover:   spec.Fault.Recover,
+		Shards:    o.Shards,
 	}
 	if spec.Fault.Recover {
 		rs.RetryBudget = spec.Fault.Budget
@@ -111,26 +112,40 @@ type ReplayOptions struct {
 // ReplaySpec re-runs the simulation a RunSpec describes with a fresh
 // execution-ledger recorder attached and returns the finalized ledger
 // (including the captured window, when one was armed). Replay is exact:
-// the cluster is built through the same code path as the original run, so
-// a deterministic model reproduces the original chain head.
+// the cluster is built through the same code path as the original run —
+// including the sharded pipeline when the spec carries Shards > 0, whose
+// canonical ledger reproduces the original chain head at any shard count.
 func ReplaySpec(rs ledger.RunSpec, ro ReplayOptions) (*ledger.Ledger, *ledger.ProfileReport, error) {
 	spec, err := cellSpecFor(rs)
 	if err != nil {
 		return nil, nil, err
 	}
-	rec := ledger.NewRecorder(ledger.Options{EpochEvents: ro.EpochEvents, Profile: ro.Profile, Run: &rs})
-	if ro.WindowTo > 0 {
-		rec.SetWindow(ro.WindowFrom, ro.WindowTo)
+	opts := ledger.Options{EpochEvents: ro.EpochEvents, Profile: ro.Profile, Run: &rs}
+	inst := cellInstr{cell: spec.cellName(), shards: rs.Shards, unsafeScale: rs.UnsafeLookaheadScale}
+	if rs.Shards > 0 {
+		inst.canon = ledger.NewCanonicalRecorder(opts)
+		if ro.WindowTo > 0 {
+			inst.canon.SetWindow(ro.WindowFrom, ro.WindowTo)
+		}
+	} else {
+		inst.ledger = ledger.NewRecorder(opts)
+		if ro.WindowTo > 0 {
+			inst.ledger.SetWindow(ro.WindowFrom, ro.WindowTo)
+		}
 	}
-	inst := cellInstr{ledger: rec, cell: spec.cellName()}
-	if rs.Spans {
+	if rs.Spans && rs.Shards == 0 {
 		// Span instrumentation schedules extra model events, so the replay
-		// must attach the same registry shape the original run had.
-		inst.reg = newCellRegistry()
+		// must attach the same registry shape the original run had. Sharded
+		// runs never have spans; a spec claiming both is ignored in favor of
+		// the sharded pipeline's shape.
+		inst.reg = newCellRegistry(0)
 		inst.attrib = attrib.NewCollector(0)
 	}
-	if _, _, err := runMotifPoint(spec, rs.Nodes, rs.Seed, inst); err != nil {
+	if _, _, err := runMotifPoint(spec, rs.Nodes, rs.Seed, &inst); err != nil {
 		return nil, nil, err
 	}
-	return rec.Finalize(), rec.Profile(), nil
+	if inst.canon != nil {
+		return inst.canon.Finalize(), inst.canon.Profile(), nil
+	}
+	return inst.ledger.Finalize(), inst.ledger.Profile(), nil
 }

@@ -102,7 +102,7 @@ type cellOutput struct {
 // state outside its arguments.
 func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 	out := cellOutput{Spec: spec, Reg: reg}
-	inst := cellInstr{reg: reg, cell: spec.cellName()}
+	inst := cellInstr{reg: reg, cell: spec.cellName(), shards: o.Shards}
 	if reg.SpansEnabled() {
 		out.Attrib = attrib.NewCollector(o.TailK)
 		inst.attrib = out.Attrib
@@ -113,18 +113,26 @@ func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 		inst.bench = local
 	}
 	if o.TelemetryDir != "" {
-		inst.sampler = telemetry.NewUnbound(cellSampleInterval)
+		if o.Shards > 0 {
+			inst.wantShardSet = true
+		} else {
+			inst.sampler = telemetry.NewUnbound(cellSampleInterval)
+		}
 	}
 	if o.LedgerDir != "" {
 		rs := runSpecFor(spec, o)
-		inst.ledger = ledger.NewRecorder(ledger.Options{Run: &rs})
+		if o.Shards > 0 {
+			inst.canon = ledger.NewCanonicalRecorder(ledger.Options{Run: &rs})
+		} else {
+			inst.ledger = ledger.NewRecorder(ledger.Options{Run: &rs})
+		}
 	}
 	var c *motif.Cluster
-	out.Makespan, c, out.Err = runMotifPoint(spec, o.Nodes, o.Seed, inst)
+	out.Makespan, c, out.Err = runMotifPoint(spec, o.Nodes, o.Seed, &inst)
 	if c != nil {
 		out.Recovery = c.RecoveryStats()
 		out.Ranks = len(c.Transports)
-		out.PacketsDropped = c.Net.Stats.PacketsDropped
+		out.PacketsDropped = c.Net.TotalStats().PacketsDropped
 	}
 	if out.Err != nil {
 		return out
@@ -137,12 +145,28 @@ func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 		}
 		out.Telemetry = buf.Bytes()
 	}
+	if inst.shardSet != nil {
+		var buf bytes.Buffer
+		if err := inst.shardSet.WriteCSV(&buf); err != nil {
+			out.Err = err
+			return out
+		}
+		out.Telemetry = buf.Bytes()
+	}
 	if local != nil && len(local.Records) > 0 {
 		rec := local.Records[0]
 		out.Bench = &rec
 	}
 	if inst.ledger != nil {
 		b, err := inst.ledger.Finalize().Marshal()
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		out.Ledger = b
+	}
+	if inst.canon != nil {
+		b, err := inst.canon.Finalize().Marshal()
 		if err != nil {
 			out.Err = err
 			return out
@@ -164,7 +188,7 @@ func runCells(o Options, specs []cellSpec) []cellOutput {
 	}
 	if workers <= 1 {
 		for i, s := range specs {
-			out[i] = runOneCell(o, s, newCellRegistry())
+			out[i] = runOneCell(o, s, newCellRegistry(o.Shards))
 		}
 		return out
 	}
@@ -175,7 +199,7 @@ func runCells(o Options, specs []cellSpec) []cellOutput {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = runOneCell(o, specs[i], newCellRegistry())
+				out[i] = runOneCell(o, specs[i], newCellRegistry(o.Shards))
 			}
 		}()
 	}

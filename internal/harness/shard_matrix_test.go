@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/ledger"
+	"rvma/internal/motif"
+	"rvma/internal/topology"
+)
+
+// matrixOut is one transport's observable output from a matrix cell run.
+type matrixOut struct {
+	snapshot  []byte // makespan + metrics snapshot
+	telemetry []byte // rendered time-series CSV
+	chainHead string // canonical ledger chain head
+	events    uint64 // canonical ledger event count
+}
+
+// runShardMatrix runs the Figure-7 determinism cell (dragonfly/adaptive,
+// 5% loss with recovery) for both transports through the full harness
+// cell pipeline — worker pool, per-shard telemetry, canonical ledger —
+// and returns one matrixOut per transport.
+func runShardMatrix(t *testing.T, shards, workers int) map[motif.TransportKind]matrixOut {
+	t.Helper()
+	o := DefaultOptions()
+	o.Nodes = 32
+	o.Shards = shards
+	o.Workers = workers
+	o.TelemetryDir = t.TempDir()
+	o.LedgerDir = t.TempDir()
+	nc := NetConfig{"dragonfly/adaptive", topology.KindDragonfly, fabric.RouteAdaptive}
+	fault := faultSpec{Drop: 0.05, Recover: true}
+	specs := []cellSpec{
+		{M: MotifSweep3D, Kind: motif.KindRVMA, NC: nc, Gbps: 100, Fault: fault},
+		{M: MotifSweep3D, Kind: motif.KindRDMA, NC: nc, Gbps: 100, Fault: fault},
+	}
+	outs := runCells(o, specs)
+	res := make(map[motif.TransportKind]matrixOut, len(outs))
+	for _, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("shards=%d workers=%d %s: %v", shards, workers, out.Spec.Kind, out.Err)
+		}
+		var snap bytes.Buffer
+		fmt.Fprintf(&snap, "makespan_ns=%v\n", out.Makespan.Nanoseconds())
+		if err := out.Reg.WriteJSON(&snap, out.Makespan); err != nil {
+			t.Fatal(err)
+		}
+		var led ledger.Ledger
+		if err := json.Unmarshal(out.Ledger, &led); err != nil {
+			t.Fatal(err)
+		}
+		if led.Mode != ledger.ModeCanonical {
+			t.Fatalf("shards=%d: ledger mode %q, want %q", shards, led.Mode, ledger.ModeCanonical)
+		}
+		res[out.Spec.Kind] = matrixOut{
+			snapshot:  snap.Bytes(),
+			telemetry: out.Telemetry,
+			chainHead: led.ChainHead,
+			events:    led.Events,
+		}
+	}
+	return res
+}
+
+// TestShardWorkerMatrix is the harness-level acceptance gate for the
+// sharded engine: one Figure-7 cell (dragonfly/adaptive, 5% loss with
+// recovery, both transports) must produce byte-identical metrics
+// snapshots, telemetry CSVs and canonical-ledger chain heads at every
+// shard count in {1, 2, 4, 8} and every worker-pool width in {1, 4}.
+// Shard count partitions the simulation itself; worker count only
+// schedules independent cells — neither may leak into the results.
+func TestShardWorkerMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is 16 motif simulations; skipped in -short")
+	}
+	base := runShardMatrix(t, 1, 1)
+	for kind, b := range base {
+		if b.events == 0 {
+			t.Fatalf("%s baseline ledger recorded no events", kind)
+		}
+		if len(b.telemetry) == 0 {
+			t.Fatalf("%s baseline rendered no telemetry", kind)
+		}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			if shards == 1 && workers == 1 {
+				continue
+			}
+			got := runShardMatrix(t, shards, workers)
+			for kind, b := range base {
+				g := got[kind]
+				label := fmt.Sprintf("shards=%d workers=%d %s", shards, workers, kind)
+				if !bytes.Equal(g.snapshot, b.snapshot) {
+					t.Errorf("%s: metrics snapshot diverged from baseline:\n%s", label,
+						firstDiffContext(g.snapshot, b.snapshot))
+				}
+				if !bytes.Equal(g.telemetry, b.telemetry) {
+					t.Errorf("%s: telemetry CSV diverged from baseline:\n%s", label,
+						firstDiffContext(g.telemetry, b.telemetry))
+				}
+				if g.chainHead != b.chainHead {
+					t.Errorf("%s: ledger chain head %s, baseline %s", label, g.chainHead, b.chainHead)
+				}
+				if g.events != b.events {
+					t.Errorf("%s: ledger recorded %d events, baseline %d", label, g.events, b.events)
+				}
+			}
+		}
+	}
+}

@@ -40,7 +40,7 @@ func TestSamplingPreservesDeterminism(t *testing.T) {
 				if interval > 0 {
 					inst.sampler = telemetry.NewUnbound(interval)
 				}
-				mk, _, err := runMotifPoint(cellSpec{M: MotifSweep3D, Kind: kind, NC: nc, Gbps: 100}, 64, 42, inst)
+				mk, _, err := runMotifPoint(cellSpec{M: MotifSweep3D, Kind: kind, NC: nc, Gbps: 100}, 64, 42, &inst)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -76,7 +76,7 @@ func TestRunFigureCellWritesTimeseries(t *testing.T) {
 	nc := telemetryTestNet()
 
 	runOnce := func() []byte {
-		reg := newCellRegistry()
+		reg := newCellRegistry(0)
 		if _, err := runFigureCell(o, MotifSweep3D, motif.KindRVMA, nc, 100, reg); err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func TestBenchLogRecordsCells(t *testing.T) {
 	o.Nodes = 64
 	o.Bench = &BenchLog{}
 	nc := telemetryTestNet()
-	if _, err := runFigureCell(o, MotifSweep3D, motif.KindRVMA, nc, 100, newCellRegistry()); err != nil {
+	if _, err := runFigureCell(o, MotifSweep3D, motif.KindRVMA, nc, 100, newCellRegistry(0)); err != nil {
 		t.Fatal(err)
 	}
 	if len(o.Bench.Records) != 1 {

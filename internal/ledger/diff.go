@@ -27,6 +27,12 @@ type Diff struct {
 // i, so equality at i certifies the whole prefix and the search is
 // O(log epochs).
 func Compare(a, b *Ledger) Diff {
+	if a.Mode != b.Mode {
+		return Diff{
+			Reason:              fmt.Sprintf("ledger modes differ (%q vs %q); raw and canonical chains hash different record shapes and are never comparable", modeName(a.Mode), modeName(b.Mode)),
+			FirstDivergentEpoch: -1,
+		}
+	}
 	if a.EpochEvents != b.EpochEvents {
 		return Diff{
 			Reason:              fmt.Sprintf("epoch sizes differ (%d vs %d); ledgers not comparable", a.EpochEvents, b.EpochEvents),
@@ -67,6 +73,14 @@ func Compare(a, b *Ledger) Diff {
 		FromPop:             short,
 		ToPop:               short + a.EpochEvents,
 	}
+}
+
+// modeName renders a ledger mode for diagnostics ("" is the raw chain).
+func modeName(m string) string {
+	if m == "" {
+		return "raw"
+	}
+	return m
 }
 
 // WindowDivergence pins a divergence to one pop inside compared windows.

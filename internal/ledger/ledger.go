@@ -38,6 +38,13 @@ const DefaultEpochEvents = 65536
 // Version identifies the ledger file format.
 const Version = 1
 
+// ModeCanonical marks a ledger whose chain is partition-invariant: records
+// are (time, priority, label-name-hash) tuples folded in canonical
+// (time, priority) order rather than raw engine pop order (see
+// canonical.go). An empty Mode is the original raw chain. The two modes
+// hash different record shapes, so their digests are never comparable.
+const ModeCanonical = "canonical"
+
 // FNV-1a 64-bit parameters. The chain needs speed and avalanche, not
 // cryptographic strength: a divergent pop flips its epoch digest with
 // probability 1 - 2^-64, which is all forensics requires.
@@ -292,6 +299,7 @@ type Window struct {
 // fields: everything in this file is a deterministic function of the run.
 type Ledger struct {
 	Version     int      `json:"version"`
+	Mode        string   `json:"mode,omitempty"`
 	EpochEvents uint64   `json:"epoch_events"`
 	Events      uint64   `json:"events"`
 	ChainHead   string   `json:"chain_head"`

@@ -34,4 +34,15 @@ type RunSpec struct {
 	Recover bool `json:"recover,omitempty"`
 	// RetryBudget overrides the recovery retry budget when > 0.
 	RetryBudget int `json:"retry_budget,omitempty"`
+	// Shards is the sharded-engine partition count the run used; 0 means
+	// the legacy single-heap path. Any value >= 1 selects the sharded cell
+	// pipeline (canonical ledger mode, spans disabled), so a replay must
+	// match it for digests to line up.
+	Shards int `json:"shards,omitempty"`
+	// UnsafeLookaheadScale, when != 0 and != 1, records that the run
+	// deliberately broke conservative synchronization by scaling the shard
+	// lookahead (the CI divergence canary). Replays apply the same scale so
+	// the broken run reproduces and simdiff can pin its first divergent
+	// event.
+	UnsafeLookaheadScale float64 `json:"unsafe_lookahead_scale,omitempty"`
 }

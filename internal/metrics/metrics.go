@@ -191,9 +191,18 @@ const overflowBound = float64(1 << (histBuckets - 3))
 
 // Histogram is a log-bucketed distribution with exact count/sum/min/max.
 // Latency histograms record nanoseconds; depth histograms record counts.
+//
+// Durations recorded via ObserveTime accumulate in sumPS, an integer
+// picosecond sum, rather than the float sum: integer addition is
+// associative, so the total — and every snapshot value derived from it —
+// is identical no matter how samples were partitioned across shards and
+// merged back. Observe keeps the float sum for dimensionless samples
+// (hop counts, depths), which are whole numbers in practice and therefore
+// also order-exact.
 type Histogram struct {
 	count   uint64
 	sum     float64
+	sumPS   int64
 	min     float64
 	max     float64
 	buckets [histBuckets]uint64
@@ -218,13 +227,37 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[bucketIndex(v)]++
 }
 
-// ObserveTime records a simulated duration in nanoseconds.
-func (h *Histogram) ObserveTime(d sim.Time) { h.Observe(d.Nanoseconds()) }
+// ObserveTime records a simulated duration in nanoseconds. The duration
+// accumulates into the integer picosecond sum (see the type comment), so
+// time totals survive any merge order exactly.
+func (h *Histogram) ObserveTime(d sim.Time) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	v := d.Nanoseconds()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sumPS += int64(d)
+	h.buckets[bucketIndex(v)]++
+}
+
+// total returns the combined sample sum in nanoseconds (float samples plus
+// the integer picosecond accumulator).
+func (h *Histogram) total() float64 { return h.sum + float64(h.sumPS)/1000 }
 
 // Merge folds every sample of o into h. Buckets, counts and sums add;
 // min/max widen. The harness merges per-worker-cell histograms in a fixed
 // canonical order, so merged sums (floating point, order-sensitive) are
-// byte-identical at any worker count.
+// byte-identical at any worker count; duration sums are integer
+// picoseconds and exact in any order.
 func (h *Histogram) Merge(o *Histogram) {
 	if h == nil || o == nil || o.count == 0 {
 		return
@@ -237,6 +270,7 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	h.count += o.count
 	h.sum += o.sum
+	h.sumPS += o.sumPS
 	for i := range o.buckets {
 		h.buckets[i] += o.buckets[i]
 	}
@@ -278,7 +312,7 @@ func (h *Histogram) Mean() float64 {
 	if h == nil || h.count == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return h.total() / float64(h.count)
 }
 
 // Min returns the smallest sample (0 when empty).
@@ -416,7 +450,7 @@ func (r *Registry) WriteJSON(w io.Writer, now sim.Time) error {
 		hists[name] = histogramJSON{
 			Count: h.Count(), Mean: h.Mean(),
 			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
-			Min: h.Min(), Max: h.Max(), Sum: h.sum,
+			Min: h.Min(), Max: h.Max(), Sum: h.total(),
 		}
 	}
 	s := snapshot{
@@ -436,6 +470,34 @@ func (r *Registry) WriteJSON(w io.Writer, now sim.Time) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// MergeFrom folds every counter, histogram and gauge of o into r. The
+// sharded harness gives each shard its own registry (single-writer during
+// the run) and folds them into the primary in shard order afterwards;
+// with integer counter/picosecond sums and commutative min/max widening,
+// the merged registry is byte-identical at any shard count. Span state is
+// not merged — spans are disabled on sharded runs.
+func (r *Registry) MergeFrom(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	for name, c := range o.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, h := range o.hists {
+		r.Histogram(name).Merge(h)
+	}
+	for name, g := range o.gauges {
+		if !g.set {
+			continue
+		}
+		dst := r.Gauge(name)
+		dst.Set(g.v)
+		if g.max > dst.max {
+			dst.max = g.max
+		}
+	}
 }
 
 // HistogramNames returns the sorted names of all histograms with samples.

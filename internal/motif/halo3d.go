@@ -66,9 +66,7 @@ func RunHalo3D(c *Cluster, cfg Halo3DConfig) (sim.Time, error) {
 		}
 	}
 
-	var finished sim.Time
-	done := sim.NewGate(c.Eng, ranks)
-	done.Future().OnComplete(func() { finished = c.Eng.Now() })
+	fin := newFinishLine(ranks)
 
 	type face struct {
 		peer int
@@ -97,7 +95,8 @@ func RunHalo3D(c *Cluster, cfg Halo3DConfig) (sim.Time, error) {
 		for i, f := range faces {
 			peers[i] = f.peer
 		}
-		c.Tag.Spawn(fmt.Sprintf("halo-r%d", rank), func(p *sim.Process) {
+		tag := c.TagFor(rank)
+		tag.Spawn(fmt.Sprintf("halo-r%d", rank), func(p *sim.Process) {
 			p.Wait(tp.Prepare(peers, peers, maxMsg))
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				p.Sleep(cfg.iterComputeTime())
@@ -113,14 +112,14 @@ func RunHalo3D(c *Cluster, cfg Halo3DConfig) (sim.Time, error) {
 				}
 				p.WaitAll(sends...)
 			}
-			done.Arrive(c.Eng)
+			fin.arrive(rank, tag.Now())
 		})
 	}
-	c.Eng.Run()
-	if !done.Future().Done() {
+	c.run()
+	if !fin.allDone() {
 		return 0, fmt.Errorf("halo3d: deadlock — ranks never finished")
 	}
-	return finished, nil
+	return fin.finishTime(), nil
 }
 
 // cubest factors n into the most-cubic (a, b, c) with a*b*c = n.

@@ -34,16 +34,15 @@ func RunIncast(c *Cluster, cfg IncastConfig) (sim.Time, error) {
 		return 0, fmt.Errorf("incast: non-positive parameter")
 	}
 
-	var finished sim.Time
-	done := sim.NewGate(c.Eng, ranks)
-	done.Future().OnComplete(func() { finished = c.Eng.Now() })
+	fin := newFinishLine(ranks)
 
 	server := c.Transports[0]
 	clients := make([]int, 0, ranks-1)
 	for r := 1; r < ranks; r++ {
 		clients = append(clients, r)
 	}
-	c.Tag.Spawn("incast-server", func(p *sim.Process) {
+	srvTag := c.TagFor(0)
+	srvTag.Spawn("incast-server", func(p *sim.Process) {
 		p.Wait(server.Prepare(clients, nil, cfg.MsgBytes))
 		// Consume messages round-robin across clients; per-pair FIFO makes
 		// this deterministic regardless of cross-client arrival order.
@@ -52,21 +51,22 @@ func RunIncast(c *Cluster, cfg IncastConfig) (sim.Time, error) {
 				p.Wait(server.Recv(cl, cfg.MsgBytes))
 			}
 		}
-		done.Arrive(c.Eng)
+		fin.arrive(0, srvTag.Now())
 	})
 	for _, cl := range clients {
 		tp := c.Transports[cl]
-		c.Tag.Spawn(fmt.Sprintf("incast-c%d", cl), func(p *sim.Process) {
+		tag := c.TagFor(cl)
+		tag.Spawn(fmt.Sprintf("incast-c%d", cl), func(p *sim.Process) {
 			p.Wait(tp.Prepare(nil, []int{0}, cfg.MsgBytes))
 			for m := 0; m < cfg.Messages; m++ {
 				p.Wait(tp.Send(0, cfg.MsgBytes))
 			}
-			done.Arrive(c.Eng)
+			fin.arrive(cl, tag.Now())
 		})
 	}
-	c.Eng.Run()
-	if !done.Future().Done() {
+	c.run()
+	if !fin.allDone() {
 		return 0, fmt.Errorf("incast: deadlock")
 	}
-	return finished, nil
+	return fin.finishTime(), nil
 }

@@ -96,11 +96,23 @@ type Cluster struct {
 	Transports []Transport
 	Kind       TransportKind
 
+	// Group is non-nil when the cluster executes sharded (ClusterConfig.
+	// Shards > 0): every rank's components live on the shard owning its
+	// node, Eng aliases shard 0, and Tags holds one "motif" handle per
+	// shard. Motifs spawn through TagFor and run through run() so the same
+	// code drives both modes.
+	Group *sim.ShardGroup
+	Tags  []sim.Tagged
+
 	// Component references retained for observability attachment.
 	nics    []*nic.NIC
 	rvmaEPs []*rvma.Endpoint
 	rdmaEPs []*rdma.Endpoint
 	recMgrs []*recovery.Manager
+
+	// shadowRegs are the per-shard metric registries of a sharded run
+	// (AttachShardMetrics); FinishMetrics folds them into the primary.
+	shadowRegs []*metrics.Registry
 }
 
 // SetTracer attaches one tracer to every layer of the cluster: the fabric
@@ -124,6 +136,9 @@ func (c *Cluster) SetTracer(t *trace.Tracer) {
 // the registry before the run to get per-message stage latencies. A nil
 // registry detaches all hooks.
 func (c *Cluster) SetMetrics(reg *metrics.Registry) {
+	if c.Group != nil && reg != nil {
+		panic("motif: SetMetrics on a sharded cluster; use AttachShardMetrics")
+	}
 	c.Net.SetMetrics(reg)
 	for _, n := range c.nics {
 		n.SetMetrics(reg)
@@ -161,7 +176,7 @@ func (c *Cluster) AttachAttribution(reg *metrics.Registry, col *attrib.Collector
 	col.AddContext("retransmits_total", func() float64 { return float64(c.RecoveryStats().Retransmits) })
 	col.AddContext("timeouts_total", func() float64 { return float64(c.RecoveryStats().Timeouts) })
 	col.AddContext("fabric_max_queue_ns", func() float64 { return c.Net.MaxQueueBacklog().Nanoseconds() })
-	col.AddContext("fabric_packets_dropped", func() float64 { return float64(c.Net.Stats.PacketsDropped) })
+	col.AddContext("fabric_packets_dropped", func() float64 { return float64(c.Net.TotalStats().PacketsDropped) })
 }
 
 // maxPerNodeProbes caps per-node telemetry columns: beyond this many nodes
@@ -179,6 +194,9 @@ const maxPerNodeProbes = 16
 func (c *Cluster) RegisterTelemetry(s *telemetry.Sampler) {
 	if s == nil {
 		return
+	}
+	if c.Group != nil {
+		panic("motif: RegisterTelemetry on a sharded cluster; use RegisterTelemetryShards")
 	}
 	s.Bind(c.Eng)
 	s.Register("sim.queue_depth", func() float64 { return float64(c.Eng.Pending()) })
@@ -304,6 +322,12 @@ type ClusterConfig struct {
 	PCIe     pcie.Config
 	Kind     TransportKind
 	Seed     uint64
+	// Shards > 0 partitions the cluster across that many event heaps
+	// (sim.ShardGroup) with the fabric's minimum link delay as lookahead;
+	// 0 keeps the single-heap engine. Outputs are byte-identical at any
+	// positive shard count (shards=1 is the comparison baseline); spans,
+	// tracing and the Perfetto timeline are unavailable when sharded.
+	Shards int
 	// RDMABuffers is the number of buffers negotiated per (sender,
 	// receiver) pair for the RDMA transports; 1 is the paper's static
 	// single-buffer model, larger values ablate credit pipelining.
@@ -389,26 +413,61 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.RVMADepth < 1 {
 		cfg.RVMADepth = 1
 	}
-	eng := sim.NewEngine(cfg.Seed)
 	fcfg := cfg.Fabric
 	fcfg.Routing = cfg.Routing
 	if cfg.Faults != nil {
 		fcfg.Faults = cfg.Faults
 	}
-	net, err := fabric.New(eng, cfg.Topology, fcfg)
+	var (
+		eng *sim.Engine
+		net *fabric.Network
+		g   *sim.ShardGroup
+		err error
+	)
+	if cfg.Shards > 0 {
+		la, lerr := fabric.LookaheadFor(fcfg)
+		if lerr != nil {
+			return nil, lerr
+		}
+		g = sim.NewShardGroup(cfg.Seed, cfg.Shards, la)
+		net, err = fabric.NewSharded(g, cfg.Topology, fcfg, cfg.Seed)
+		eng = g.Shard(0)
+	} else {
+		eng = sim.NewEngine(cfg.Seed)
+		net, err = fabric.New(eng, cfg.Topology, fcfg)
+	}
 	if err != nil {
 		return nil, err
 	}
 	n := cfg.Topology.NumNodes()
-	c := &Cluster{Eng: eng, Tag: eng.Tag("motif"), Net: net, Kind: cfg.Kind, Transports: make([]Transport, n)}
+	c := &Cluster{Eng: eng, Tag: eng.Tag("motif"), Net: net, Group: g, Kind: cfg.Kind, Transports: make([]Transport, n)}
+	if g != nil {
+		c.Tags = make([]sim.Tagged, g.Shards())
+		for i := range c.Tags {
+			c.Tags[i] = g.Shard(i).Tag("motif")
+		}
+		c.Tag = c.Tags[0]
+	}
 	for node := 0; node < n; node++ {
-		nc := nic.New(eng, net, node, cfg.PCIe, cfg.NIC)
+		// Every per-node component lives on the engine that owns the node's
+		// shard, so its events execute inside that shard's windows; in
+		// legacy mode that is simply the one engine.
+		neng := eng
+		if g != nil {
+			neng = g.Shard(net.NodeShard(node))
+		}
+		nc := nic.New(neng, net, node, cfg.PCIe, cfg.NIC)
 		c.nics = append(c.nics, nc)
-		// One recovery manager per node, on the shared engine: retry state
-		// is per-endpoint, stats aggregate via RecoveryStats.
+		// One recovery manager per node: retry state is per-endpoint, stats
+		// aggregate via RecoveryStats.
 		var rec *recovery.Manager
 		if cfg.Recovery != nil {
-			rec = recovery.NewManager(eng, *cfg.Recovery)
+			rec = recovery.NewManager(neng, *cfg.Recovery)
+			if g != nil {
+				// Backoff jitter must depend only on this node's retries,
+				// not on whatever else shares its engine's stream.
+				rec.SeedBackoff(sim.NewRNG(sim.SeedFor(cfg.Seed, "recovery", node)))
+			}
 			c.recMgrs = append(c.recMgrs, rec)
 		}
 		switch cfg.Kind {
@@ -423,7 +482,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			ep := rvma.NewEndpoint(nc, rcfg)
 			c.rvmaEPs = append(c.rvmaEPs, ep)
-			c.Transports[node] = newRVMATransport(ep, n, cfg.RVMADepth, rec)
+			tp := newRVMATransport(ep, n, cfg.RVMADepth, rec)
+			if g != nil {
+				tp.rng = sim.NewRNG(sim.SeedFor(cfg.Seed, "rank", node))
+			}
+			c.Transports[node] = tp
 		case KindRDMA:
 			dcfg := rdma.DefaultConfig()
 			dcfg.CarryData = false

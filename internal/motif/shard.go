@@ -1,0 +1,294 @@
+// Sharded cluster support: placement-aware spawning, per-shard metric
+// registries with an exact post-run merge, and the shard-set telemetry
+// registration that mirrors RegisterTelemetry column for column. The rule
+// throughout is single-writer state: every probe and every handle is owned
+// by the shard that owns the node, and aggregation happens either in
+// integer arithmetic (order-free) or after the group is quiescent.
+package motif
+
+import (
+	"fmt"
+
+	"rvma/internal/metrics"
+	"rvma/internal/sim"
+	"rvma/internal/telemetry"
+)
+
+// TagFor returns the "motif" handle bound to the engine that owns rank's
+// node. Rank processes must spawn through it so their events execute
+// inside the owning shard's windows; in legacy mode it is simply Tag.
+func (c *Cluster) TagFor(rank int) sim.Tagged {
+	if c.Group == nil {
+		return c.Tag
+	}
+	return c.Tags[c.Net.NodeShard(rank)]
+}
+
+// run executes the simulation to completion in whichever mode the cluster
+// was built for.
+func (c *Cluster) run() {
+	if c.Group != nil {
+		c.Group.Run()
+		return
+	}
+	c.Eng.Run()
+}
+
+// EventsExecuted returns the executed-event count across the whole
+// simulation, whichever mode it ran in.
+func (c *Cluster) EventsExecuted() uint64 {
+	if c.Group != nil {
+		return c.Group.TotalExecuted()
+	}
+	return c.Eng.EventsExecuted()
+}
+
+// finishLine replaces a completion Gate for motif jobs: each rank records
+// its completion time in its own slot (single-writer, so ranks on
+// different shards never touch shared state), and the job's finish time is
+// the maximum, read after the run when every shard is quiescent. Both
+// arrive and the reads are synchronous bookkeeping — no events — so using
+// it on a single heap leaves the event stream exactly as a Gate did.
+type finishLine struct {
+	done []bool
+	at   []sim.Time
+}
+
+func newFinishLine(ranks int) *finishLine {
+	return &finishLine{done: make([]bool, ranks), at: make([]sim.Time, ranks)}
+}
+
+// arrive records rank's completion at its engine's current time.
+func (f *finishLine) arrive(rank int, now sim.Time) {
+	f.done[rank] = true
+	f.at[rank] = now
+}
+
+// allDone reports whether every rank arrived; false after a run means the
+// motif deadlocked.
+func (f *finishLine) allDone() bool {
+	for _, d := range f.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// finishTime returns the last arrival time — the motif's makespan.
+func (f *finishLine) finishTime() sim.Time {
+	var t sim.Time
+	for _, a := range f.at {
+		if a > t {
+			t = a
+		}
+	}
+	return t
+}
+
+// AttachShardMetrics attaches metrics in either mode: a single-heap
+// cluster gets SetMetrics(primary) unchanged, a sharded cluster gets one
+// private shadow registry per shard (each node's layers write the shadow
+// of the node's owning shard) plus aggregate collectors on the primary.
+// FinishMetrics folds the shadows into the primary after the run.
+func (c *Cluster) AttachShardMetrics(primary *metrics.Registry) {
+	g := c.Group
+	if g == nil {
+		c.SetMetrics(primary)
+		return
+	}
+	if primary == nil {
+		return
+	}
+	c.shadowRegs = make([]*metrics.Registry, g.Shards())
+	for i := range c.shadowRegs {
+		c.shadowRegs[i] = metrics.NewRegistry()
+	}
+	c.Net.SetMetricsSharded(primary, c.shadowRegs)
+	shadowOf := func(node int) *metrics.Registry {
+		return c.shadowRegs[c.Net.NodeShard(node)]
+	}
+	for node, nc := range c.nics {
+		nc.SetMetrics(shadowOf(node))
+	}
+	for _, ep := range c.rvmaEPs {
+		ep.SetMetrics(shadowOf(ep.Node()))
+	}
+	for _, ep := range c.rdmaEPs {
+		ep.SetMetrics(shadowOf(ep.Node()))
+	}
+	for node, m := range c.recMgrs {
+		m.SetMetrics(shadowOf(node), node) // managers are built per node, in node order
+	}
+	primary.AddCollector(func() {
+		primary.Gauge("sim.queue_depth").Set(float64(g.TotalPending()))
+		primary.Gauge("sim.events_executed").Set(float64(g.TotalExecuted()))
+	})
+}
+
+// FinishMetrics folds the per-shard shadow registries into the primary:
+// counters add, histograms merge their integer counts and picosecond sums
+// exactly, per-node gauges copy over (each lives in exactly one shadow).
+// Call after the run and before the primary's snapshot; a no-op on
+// single-heap clusters, so harness code can call it unconditionally.
+func (c *Cluster) FinishMetrics(primary *metrics.Registry) {
+	if c.Group == nil || primary == nil {
+		return
+	}
+	for _, sh := range c.shadowRegs {
+		sh.Collect()
+		primary.MergeFrom(sh)
+	}
+}
+
+// RegisterTelemetryShards registers the same columns RegisterTelemetry
+// does, as shard-set columns: every probe reads only the nodes its shard
+// owns, and the declared merge kinds (integer sums, picosecond sums) make
+// the merged CSV a pure function of the model, identical at any shard
+// count. Call before ShardSet.Start.
+func (c *Cluster) RegisterTelemetryShards(ss *telemetry.ShardSet) {
+	if ss == nil {
+		return
+	}
+	g := c.Group
+	if g == nil {
+		panic("motif: RegisterTelemetryShards on a single-heap cluster; use RegisterTelemetry")
+	}
+	ss.Register("sim.queue_depth", telemetry.KindSum, func(shard int) float64 {
+		// Own heap plus own outbox: every pending event is in exactly one
+		// of these containers, so the sum matches the single heap's depth.
+		return float64(g.Shard(shard).Pending() + g.OutboxCount(shard))
+	})
+	ss.Register("sim.events_executed", telemetry.KindSum, func(shard int) float64 {
+		return float64(g.Shard(shard).EventsExecuted())
+	})
+	c.Net.RegisterTelemetrySharded(ss)
+
+	nodesBy := make([][]int, g.Shards())
+	for node := range c.nics {
+		s := c.Net.NodeShard(node)
+		nodesBy[s] = append(nodesBy[s], node)
+	}
+	ss.Register("nic.send_backlog_ns_total", telemetry.KindSumPS, func(shard int) float64 {
+		var t sim.Time
+		for _, node := range nodesBy[shard] {
+			t += c.nics[node].SendBacklog()
+		}
+		return t.Picoseconds()
+	})
+	ss.Register("nic.recv_backlog_ns_total", telemetry.KindSumPS, func(shard int) float64 {
+		var t sim.Time
+		for _, node := range nodesBy[shard] {
+			t += c.nics[node].RecvBacklog()
+		}
+		return t.Picoseconds()
+	})
+	ss.Register("nic.dma_backlog_ns_total", telemetry.KindSumPS, func(shard int) float64 {
+		var t sim.Time
+		for _, node := range nodesBy[shard] {
+			t += c.nics[node].DMABacklog()
+		}
+		return t.Picoseconds()
+	})
+	perNode := len(c.nics) <= maxPerNodeProbes
+
+	if len(c.rvmaEPs) > 0 {
+		ss.Register("rvma.posted_buffers_total", telemetry.KindSum, func(shard int) float64 {
+			total := 0
+			for _, node := range nodesBy[shard] {
+				total += c.rvmaEPs[node].PostedBuffers()
+			}
+			return float64(total)
+		})
+		ss.Register("rvma.counter_progress_total", telemetry.KindSum, func(shard int) float64 {
+			var total int64
+			for _, node := range nodesBy[shard] {
+				total += c.rvmaEPs[node].CounterProgress()
+			}
+			return float64(total)
+		})
+		ss.Register("rvma.epochs_total", telemetry.KindSum, func(shard int) float64 {
+			var total int64
+			for _, node := range nodesBy[shard] {
+				total += c.rvmaEPs[node].EpochTotal()
+			}
+			return float64(total)
+		})
+		ss.Register("rvma.nacks_total", telemetry.KindSum, func(shard int) float64 {
+			var total uint64
+			for _, node := range nodesBy[shard] {
+				total += c.rvmaEPs[node].Stats.Nacks
+			}
+			return float64(total)
+		})
+		ss.Register("rvma.rewinds_total", telemetry.KindSum, func(shard int) float64 {
+			var total uint64
+			for _, node := range nodesBy[shard] {
+				total += c.rvmaEPs[node].Stats.Rewinds
+			}
+			return float64(total)
+		})
+		ss.Register("rvma.drops_total", telemetry.KindSum, func(shard int) float64 {
+			var total uint64
+			for _, node := range nodesBy[shard] {
+				total += c.rvmaEPs[node].Stats.Drops
+			}
+			return float64(total)
+		})
+		if perNode {
+			for _, ep := range c.rvmaEPs {
+				ep := ep
+				ss.RegisterLocal(fmt.Sprintf("rvma.posted_buffers.n%03d", ep.Node()),
+					c.Net.NodeShard(ep.Node()), func() float64 {
+						return float64(ep.PostedBuffers())
+					})
+			}
+		}
+	}
+	if len(c.recMgrs) > 0 {
+		ss.Register("recovery.retransmits_total", telemetry.KindSum, func(shard int) float64 {
+			var total uint64
+			for _, node := range nodesBy[shard] {
+				total += c.recMgrs[node].Stats.Retransmits
+			}
+			return float64(total)
+		})
+		ss.Register("recovery.timeouts_total", telemetry.KindSum, func(shard int) float64 {
+			var total uint64
+			for _, node := range nodesBy[shard] {
+				total += c.recMgrs[node].Stats.Timeouts
+			}
+			return float64(total)
+		})
+		ss.Register("recovery.exhausted_total", telemetry.KindSum, func(shard int) float64 {
+			var total uint64
+			for _, node := range nodesBy[shard] {
+				total += c.recMgrs[node].Stats.Exhausted
+			}
+			return float64(total)
+		})
+	}
+	if len(c.rdmaEPs) > 0 {
+		ss.Register("rdma.pending_registrations_total", telemetry.KindSum, func(shard int) float64 {
+			total := 0
+			for _, node := range nodesBy[shard] {
+				total += c.rdmaEPs[node].PendingRegistrations()
+			}
+			return float64(total)
+		})
+		ss.Register("rdma.handshakes_total", telemetry.KindSum, func(shard int) float64 {
+			var total uint64
+			for _, node := range nodesBy[shard] {
+				total += c.rdmaEPs[node].Stats.Handshakes
+			}
+			return float64(total)
+		})
+		ss.Register("rdma.sends_held_total", telemetry.KindSum, func(shard int) float64 {
+			total := 0
+			for _, node := range nodesBy[shard] {
+				total += c.rdmaEPs[node].PendingSendsHeld()
+			}
+			return float64(total)
+		})
+	}
+}

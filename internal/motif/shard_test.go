@@ -1,0 +1,105 @@
+package motif
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/metrics"
+	"rvma/internal/recovery"
+	"rvma/internal/sim"
+	"rvma/internal/telemetry"
+	"rvma/internal/topology"
+)
+
+// shardRunOut captures every observable output of one sharded motif run;
+// byte-identity across shard counts is the package's core guarantee.
+type shardRunOut struct {
+	makespan sim.Time
+	events   uint64
+	stats    fabric.Stats
+	snapshot string
+	csv      string
+}
+
+// runShardedSweep runs a 16-rank Sweep3D on a dragonfly at the given shard
+// count with full sharded instrumentation attached.
+func runShardedSweep(t *testing.T, kind TransportKind, shards int, faults bool) shardRunOut {
+	t.Helper()
+	topo, err := topology.ForNodeCount(topology.KindDragonfly, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClusterConfig(topo, kind)
+	cfg.Shards = shards
+	if faults {
+		cfg.Faults = &fabric.FaultPlan{DropRate: 0.05}
+		rc := recovery.DefaultConfig()
+		cfg.Recovery = &rc
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	c.AttachShardMetrics(reg)
+	ss := telemetry.NewShardSet(c.Group, 10*sim.Microsecond)
+	c.RegisterTelemetryShards(ss)
+	ss.Start()
+	mk, err := RunSweep3D(c, DefaultSweep3DConfig(topo.NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FinishMetrics(reg)
+	var mbuf, cbuf bytes.Buffer
+	if err := reg.WriteJSON(&mbuf, mk); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	return shardRunOut{
+		makespan: mk,
+		events:   c.EventsExecuted(),
+		stats:    c.Net.TotalStats(),
+		snapshot: mbuf.String(),
+		csv:      cbuf.String(),
+	}
+}
+
+// TestShardedClusterByteIdentical is the motif-level acceptance check for
+// the sharded engine: makespan, executed-event count, fabric counters, the
+// merged metrics snapshot and the merged telemetry CSV must be
+// byte-identical at any shard count, for both transports, with and without
+// fault injection + recovery.
+func TestShardedClusterByteIdentical(t *testing.T) {
+	for _, kind := range []TransportKind{KindRVMA, KindRDMA} {
+		for _, faults := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/faults=%v", kind, faults), func(t *testing.T) {
+				base := runShardedSweep(t, kind, 1, faults)
+				if base.events == 0 || base.stats.PacketsDelivered == 0 {
+					t.Fatalf("baseline ran nothing: %+v", base.stats)
+				}
+				for _, shards := range []int{2, 4} {
+					got := runShardedSweep(t, kind, shards, faults)
+					if got.makespan != base.makespan {
+						t.Errorf("shards=%d makespan %v, want %v", shards, got.makespan, base.makespan)
+					}
+					if got.events != base.events {
+						t.Errorf("shards=%d executed %d events, want %d", shards, got.events, base.events)
+					}
+					if got.stats != base.stats {
+						t.Errorf("shards=%d stats %+v, want %+v", shards, got.stats, base.stats)
+					}
+					if got.snapshot != base.snapshot {
+						t.Errorf("shards=%d metrics snapshot diverged from shards=1", shards)
+					}
+					if got.csv != base.csv {
+						t.Errorf("shards=%d telemetry CSV diverged from shards=1", shards)
+					}
+				}
+			})
+		}
+	}
+}

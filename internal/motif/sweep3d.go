@@ -87,12 +87,11 @@ func RunSweep3D(c *Cluster, cfg Sweep3DConfig) (sim.Time, error) {
 	}
 	nBlocks := cfg.Nz / cfg.KBA
 
-	var finished sim.Time
-	done := sim.NewGate(c.Eng, ranks)
-	done.Future().OnComplete(func() { finished = c.Eng.Now() })
+	fin := newFinishLine(ranks)
 
 	for rank := 0; rank < ranks; rank++ {
 		tp := c.Transports[rank]
+		tag := c.TagFor(rank)
 		i, j := rank%cfg.Px, rank/cfg.Px
 		// All four lateral neighbors participate across the 8 corners.
 		var peers []int
@@ -102,7 +101,7 @@ func RunSweep3D(c *Cluster, cfg Sweep3DConfig) (sim.Time, error) {
 				peers = append(peers, nj*cfg.Px+ni)
 			}
 		}
-		c.Tag.Spawn(fmt.Sprintf("sweep-r%d", rank), func(p *sim.Process) {
+		tag.Spawn(fmt.Sprintf("sweep-r%d", rank), func(p *sim.Process) {
 			p.Wait(tp.Prepare(peers, peers, maxMsg))
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				for _, corner := range sweepCorners {
@@ -128,14 +127,14 @@ func RunSweep3D(c *Cluster, cfg Sweep3DConfig) (sim.Time, error) {
 					}
 				}
 			}
-			done.Arrive(c.Eng)
+			fin.arrive(rank, tag.Now())
 		})
 	}
-	c.Eng.Run()
-	if !done.Future().Done() {
+	c.run()
+	if !fin.allDone() {
 		return 0, fmt.Errorf("sweep3d: deadlock — %d ranks never finished", ranks)
 	}
-	return finished, nil
+	return fin.finishTime(), nil
 }
 
 // gridNeighbor returns the rank at (i+di, j+dj) if it exists.

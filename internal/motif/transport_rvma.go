@@ -29,6 +29,10 @@ type rvmaTransport struct {
 	// timeout/retransmit policy (acked puts instead of fire-and-forget)
 	// and arms receiver-side window guards on Recv.
 	rec *recovery.Manager
+	// rng, when non-nil, supplies NACK-retry backoff from a rank-private
+	// stream instead of the engine's shared stream, so the backoff sequence
+	// depends only on this rank's own NACKs and survives resharding.
+	rng *sim.RNG
 }
 
 // mailboxState tracks one in-neighbor's window and its consumption queue.
@@ -153,7 +157,11 @@ func (t *rvmaTransport) sendReliable(dst, size int) *sim.Future {
 func (t *rvmaTransport) retryOnNack(op *rvma.PutOp, dst, size int) {
 	op.Nack.OnComplete(func() {
 		eng := t.ep.Engine().Tag("motif")
-		backoff := eng.RNG().Jitter(2*sim.Microsecond, 0.5)
+		rng := t.rng
+		if rng == nil {
+			rng = eng.RNG()
+		}
+		backoff := rng.Jitter(2*sim.Microsecond, 0.5)
 		eng.Schedule(backoff, func() {
 			retry := t.ep.PutN(dst, rvma.VAddr(t.Rank()), 0, size)
 			t.retryOnNack(retry, dst, size)

@@ -103,6 +103,12 @@ type Manager struct {
 
 	Stats Stats
 
+	// rng, when non-nil, supplies backoff jitter from a manager-private
+	// stream instead of the engine's shared stream. Sharded runs need this:
+	// the draw sequence must depend only on this manager's own retries, not
+	// on which other components happen to share its engine.
+	rng *sim.RNG
+
 	// tl/node feed the recovery counter tracks (retransmits, timeouts,
 	// reclaims) into the Perfetto timeline; nil when metrics are detached.
 	tl   *metrics.Timeline
@@ -131,6 +137,10 @@ func NewManager(eng *sim.Engine, cfg Config) *Manager {
 
 // Config returns the effective (default-filled) policy.
 func (m *Manager) Config() Config { return m.cfg }
+
+// SeedBackoff gives the manager a private jitter stream. Call before any
+// operation runs; a nil rng restores the engine's shared stream.
+func (m *Manager) SeedBackoff(rng *sim.RNG) { m.rng = rng }
 
 // SetMetrics attaches the registry's timeline so recovery decisions render
 // as counter tracks on the given node's Perfetto process. A nil registry
@@ -212,7 +222,11 @@ func (m *Manager) backoff(try int) sim.Time {
 		}
 	}
 	if m.cfg.Jitter > 0 {
-		d = m.eng.RNG().Jitter(d, m.cfg.Jitter)
+		rng := m.rng
+		if rng == nil {
+			rng = m.eng.RNG()
+		}
+		d = rng.Jitter(d, m.cfg.Jitter)
 	}
 	return d
 }

@@ -183,6 +183,12 @@ type Engine struct {
 	// untagged engine pays nothing.
 	labels   []string
 	labelIDs map[string]Label
+
+	// lastModelAt is the timestamp of the most recent model pop, tracked
+	// by the sharded round executor (see shard.go) so the group can
+	// recover the exact global final time once every shard's model has
+	// drained. The single-heap RunUntil hot loop never touches it.
+	lastModelAt Time
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG seeded
@@ -428,6 +434,70 @@ func (e *Engine) RunUntil(limit Time) Time {
 		}
 	}
 	return e.now
+}
+
+// runShardWindow is the round executor the sharded engine drives (see
+// shard.go): it executes every event with at <= limit in heap order,
+// models and daemons interleaved exactly as RunUntil would. Daemons run
+// unconditionally up to the window limit — no local stall rule. That
+// keeps every round's cut consistent: a daemon at time t executes in the
+// one round whose window covers t, before any later barrier delivery can
+// land in this heap, so what it observes is a pure function of the model
+// regardless of how components were partitioned. The price is bounded
+// and documented on ShardGroup.Run: relative to a single heap, daemons
+// may additionally tick at times strictly within one lookahead window
+// past the final model event.
+//
+// This is a separate loop from RunUntil on purpose: the single-heap fast
+// path stays untouched.
+func (e *Engine) runShardWindow(limit Time) {
+	if e.running {
+		panic("sim: Run re-entered from within an event")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.at > limit {
+			break
+		}
+		e.queue.pop()
+		if ev.daemon {
+			e.daemons--
+		}
+		if DebugEnabled {
+			e.debugCheckPop(ev)
+		}
+		e.now = ev.at
+		fn := ev.fn
+		e.release(ev)
+		if ev.daemon {
+			fn()
+			continue
+		}
+		e.lastModelAt = ev.at
+		e.executed++
+		if e.execObs != nil {
+			e.execObs.ObserveExec(ev.seq, ev.at, ev.priority, ev.label)
+		}
+		fn()
+		if e.hbEvery != 0 && e.executed%e.hbEvery == 0 {
+			e.hbFn()
+		}
+	}
+}
+
+// syncClock sets the engine clock to t without executing anything. The
+// shard group aligns every shard to the global final model time so
+// post-run state reads (resource utilization denominators, snapshot
+// timestamps) see one consistent clock, exactly as a single-heap run
+// would. This can move the clock backward: the final round's window may
+// have run daemon ticks up to lookahead past the last model event, but a
+// single-heap run's clock ends at the last model event, and that is the
+// value post-run readers must see. Safe because everything still queued
+// lies strictly beyond the final window limit, which is >= t.
+func (e *Engine) syncClock(t Time) {
+	e.now = t
 }
 
 // Step executes exactly one pending event and returns true, or returns

@@ -108,6 +108,20 @@ func (t Tagged) At(tm Time, fn func()) *Event {
 	return t.Engine.at(tm, 0, t.label, fn)
 }
 
+// AtP runs fn at absolute time tm with an explicit priority, stamped with
+// the handle's label. The fabric uses it to give every packet event a
+// globally unique (negative) priority, which makes cross-component event
+// order a pure function of (time, priority) — the property the sharded
+// engine's deterministic handoff relies on.
+//
+//rvmalint:hot
+func (t Tagged) AtP(tm Time, priority int, fn func()) *Event {
+	if tm < t.Engine.now {
+		panic("sim: schedule before now")
+	}
+	return t.Engine.at(tm, priority, t.label, fn)
+}
+
 // ScheduleDaemonP schedules a daemon event stamped with the handle's label.
 // Daemon pops are never reported to the exec observer, so the label only
 // aids simdebug diagnostics.

@@ -78,6 +78,39 @@ func (r *RNG) Jitter(d Time, frac float64) Time {
 	return ScaleF(d, f)
 }
 
+// SeedFor derives a substream seed from a base seed and a component path
+// (a kind string plus numeric ids, e.g. SeedFor(seed, "fault", dst)). Each
+// component owning its own RNG — rather than sharing one engine stream — is
+// what makes random draws a function of the component's own history instead
+// of global execution order, so a run partitioned across shards draws the
+// same numbers as its single-heap twin. The fold is FNV-1a over the path
+// followed by a splitmix64 finalizer, so nearby ids land far apart.
+func SeedFor(base uint64, kind string, ids ...int) uint64 {
+	const (
+		fnvOffset uint64 = 14695981039346656037
+		fnvPrime  uint64 = 1099511628211
+	)
+	h := fnvOffset ^ base
+	for i := 0; i < len(kind); i++ {
+		h ^= uint64(kind[i])
+		h *= fnvPrime
+	}
+	for _, id := range ids {
+		v := uint64(int64(id))
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	// splitmix64 finalizer
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
 // Shuffle permutes the first n elements using swap, Fisher-Yates style.
 func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {

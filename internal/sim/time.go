@@ -34,6 +34,13 @@ const (
 // "never" sentinel by schedulers and resource models.
 const MaxTime Time = math.MaxInt64
 
+// Picoseconds returns the raw picosecond count as a float64. Exact for
+// magnitudes below 2^53 ps (~2.5 simulated hours), which is why the
+// shard-set telemetry merge sums ps in float64 and divides once at the
+// edge: integer-exact addition is order-free, so the merged value is
+// independent of how shards were partitioned.
+func (t Time) Picoseconds() float64 { return float64(t) }
+
 // Nanoseconds returns the time as a floating-point nanosecond count.
 func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 
