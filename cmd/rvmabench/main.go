@@ -5,8 +5,9 @@
 //	rvmabench [flags] [experiment...]
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine
-// faults summary ablations all
-// (default: all; "faults" — the loss-rate × transport recovery sweep — runs
+// faults kv summary ablations all
+// (default: all; "faults" — the loss-rate × transport recovery sweep — and
+// "kv" — the keyed-mailbox dataplane skew × load × transport sweep — run
 // only when named explicitly).
 //
 // Examples:
@@ -145,6 +146,8 @@ func main() {
 			tables = []*harness.Table{harness.MatchEngineTable(opt)}
 		case "faults":
 			tables = []*harness.Table{harness.FaultSweep(opt)}
+		case "kv":
+			tables = []*harness.Table{harness.KVTable(opt)}
 		case "ablations":
 			tables = []*harness.Table{
 				harness.NotifyAblation(opt),
@@ -159,7 +162,7 @@ func main() {
 				run("summary") && run("ablations")
 		default:
 			fmt.Fprintf(os.Stderr, "rvmabench: unknown experiment %q\n", name)
-			fmt.Fprintln(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine faults summary ablations all")
+			fmt.Fprintln(os.Stderr, "experiments: fig4 fig5 fig6 fig7 fig8 incast collectives matchengine faults kv summary ablations all")
 			return false
 		}
 		for _, t := range tables {

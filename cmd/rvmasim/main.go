@@ -63,6 +63,21 @@
 //	                   active (0 = recovery default, -1 = disable the
 //	                   recovery layer entirely — lossy runs then deadlock)
 //
+// KV dataplane flags (see internal/motif's RunKV; active with -motif kv):
+//
+//	-kv-servers N      server ranks holding the keyed mailbox store
+//	                   (0 = scale with node count)
+//	-kv-clients N      simulated client population aggregated at the edge
+//	                   proxies (0 = default 2^20); per-client state stays
+//	                   bounded at the proxies regardless of N
+//	-kv-keys N         keyspace size (0 = default 4096)
+//	-kv-ops N          operations issued per proxy (0 = default 32)
+//	-kv-window N       outstanding-op window per proxy (0 = default 4)
+//	-kv-skew S         zipfian key-popularity exponent (0 = uniform;
+//	                   default 0.99)
+//	-kv-gap D          mean per-proxy issue gap; smaller = higher offered
+//	                   load (default 2µs)
+//
 // Parallel-execution flags (see internal/sim's ShardGroup):
 //
 //	-shards N          partition the simulation into N lookahead-
@@ -95,7 +110,6 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"time"
 
 	"rvma/internal/attrib"
 	"rvma/internal/fabric"
@@ -105,95 +119,27 @@ import (
 	"rvma/internal/motif"
 	"rvma/internal/recovery"
 	"rvma/internal/sim"
+	"rvma/internal/stats"
 	"rvma/internal/telemetry"
 	"rvma/internal/topology"
 	"rvma/internal/trace"
 )
 
-// replicaUnsupported lists every flag that attaches an observer (tracer,
-// metrics registry, sampler, flight recorder, attribution collector,
-// execution ledger) or tunes one. Each of these binds to a single engine,
-// so explicitly setting any of them alongside -seeds N>1 is an error —
-// previously some (-flight-recorder, -sample-interval, -tail-k) were
-// silently ignored in replica mode. Defaults do not trigger the check:
-// only flags the user actually set on the command line count.
-var replicaUnsupported = []string{
-	"trace", "spans", "metrics-out", "perfetto-out",
-	"attrib-out", "tail-k",
-	"timeseries-out", "heatmap-out", "sample-interval",
-	"flight-recorder", "nack-burst",
-	"ledger-out", "ledger-epoch", "shard-plan-out",
-	"shards", "unsafe-lookahead-scale",
-}
-
-// replicaIncompatible returns, in declaration order, the replica-unsupported
-// flags present in set (the explicitly-set flag names from flag.Visit).
-func replicaIncompatible(set map[string]bool) []string {
-	var bad []string
-	for _, name := range replicaUnsupported {
-		if set[name] {
-			bad = append(bad, name)
-		}
-	}
-	return bad
-}
-
-// shardUnsupported lists the observer flags that bind to a single event
-// heap and have no sharded equivalent yet: the tracer, flight recorder
-// and span-based instrumentation (spans key per-message state across
-// shards). Everything else — metrics snapshots, canonical execution
-// ledgers, shard-set telemetry, heatmaps — works at any shard count.
-var shardUnsupported = []string{
-	"trace", "spans", "perfetto-out", "attrib-out", "tail-k",
-	"flight-recorder", "nack-burst",
-}
-
-// shardIncompatible returns, in declaration order, the shard-unsupported
-// flags present in set.
-func shardIncompatible(set map[string]bool) []string {
-	var bad []string
-	for _, name := range shardUnsupported {
-		if set[name] {
-			bad = append(bad, name)
-		}
-	}
-	return bad
-}
-
 func main() {
-	var (
-		motifName   = flag.String("motif", "sweep3d", "motif: sweep3d, halo3d, incast")
-		transport   = flag.String("transport", "rvma", "transport: rvma, rdma")
-		topoName    = flag.String("topology", "dragonfly", "topology: single, torus3d, fattree, dragonfly, hyperx")
-		routing     = flag.String("routing", "adaptive", "routing: static, adaptive, valiant")
-		nodes       = flag.Int("nodes", 128, "minimum node count")
-		gbps        = flag.Float64("gbps", 100, "link speed in Gbps")
-		seed        = flag.Uint64("seed", 1, "simulation seed")
-		rdmaBufs    = flag.Int("rdma-buffers", 1, "negotiated buffers per pair (RDMA transport)")
-		rvmaDepth   = flag.Int("rvma-depth", 4, "posted buffer depth per mailbox (RVMA transport)")
-		doTrace     = flag.Bool("trace", false, "collect and print trace counters/series from every layer")
-		doSpans     = flag.Bool("spans", false, "track per-message pipeline spans and print the latency table")
-		metricsOut  = flag.String("metrics-out", "", "write metrics snapshot JSON to this file")
-		perfOut     = flag.String("perfetto-out", "", "write Chrome/Perfetto trace-event JSON to this file")
-		tsOut       = flag.String("timeseries-out", "", "write sampled time-series CSV to this file")
-		heatOut     = flag.String("heatmap-out", "", "write per-switch × time utilization matrix CSV to this file")
-		sampleIvl   = flag.Duration("sample-interval", 10*time.Microsecond, "telemetry sampling interval (sim time)")
-		recDepth    = flag.Int("flight-recorder", 256, "flight recorder depth in events (0 disables)")
-		nackBurst   = flag.Float64("nack-burst", 0, "dump flight recorder when NACKs per sample window reach this (0 disables)")
-		attribOut   = flag.String("attrib-out", "", "write the latency-attribution report JSON to this file and print the blame table")
-		tailK       = flag.Int("tail-k", 8, "worst-K depth of the latency-attribution tail exchange")
-		ledgerOut   = flag.String("ledger-out", "", "write the deterministic execution-ledger JSON to this file (compare with simdiff)")
-		ledgerEpoch = flag.Uint64("ledger-epoch", 0, "ledger epoch size in events (0 = default 65536)")
-		shardOut    = flag.String("shard-plan-out", "", "write the per-component host-time profile (shard-planner report) to this file; .csv selects CSV, else JSON")
-		seeds       = flag.Int("seeds", 1, "run this many seed replicas (seed, seed+1, ...) and report each plus the mean")
-		workers     = flag.Int("workers", 0, "replica concurrency for -seeds (0 = one per CPU)")
-		dropRate    = flag.Float64("drop-rate", 0, "uniform per-packet drop probability (shorthand for -fault-plan drop=P)")
-		faultPlan   = flag.String("fault-plan", "", "fault plan spec: drop=RATE,burst=N,window=NODE:FROM:TO:RATE")
-		retryBudget = flag.Int("retry-budget", 0, "max retransmits per op under faults (0 = recovery default, -1 = disable recovery)")
-		shards      = flag.Int("shards", 0, "partition the simulation into N lookahead-synchronized shards (0 = single event heap); output is byte-identical at any shard count")
-		unsafeScale = flag.Float64("unsafe-lookahead-scale", 1, "multiply the shard lookahead by this factor; >1 deliberately breaks conservatism (CI divergence canary — do not use)")
-	)
+	v := declareFlags(flag.CommandLine)
 	flag.Parse()
+	// Aliases into the registry-bound values; see flags.go for the table.
+	motifName, transport, topoName, routing := v.motifName, v.transport, v.topoName, v.routing
+	nodes, gbps, seed := v.nodes, v.gbps, v.seed
+	rdmaBufs, rvmaDepth := v.rdmaBufs, v.rvmaDepth
+	doTrace, doSpans := v.doTrace, v.doSpans
+	metricsOut, perfOut, tsOut, heatOut := v.metricsOut, v.perfOut, v.tsOut, v.heatOut
+	sampleIvl, recDepth, nackBurst := v.sampleIvl, v.recDepth, v.nackBurst
+	attribOut, tailK := v.attribOut, v.tailK
+	ledgerOut, ledgerEpoch, shardOut := v.ledgerOut, v.ledgerEpoch, v.shardOut
+	seeds, workers := v.seeds, v.workers
+	dropRate, faultPlan, retryBudget := v.dropRate, v.faultPlan, v.retryBudget
+	shards, unsafeScale := v.shards, v.unsafeScale
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "rvmasim: "+format+"\n", args...)
@@ -225,6 +171,17 @@ func main() {
 	topo, err := topology.ForNodeCount(topology.Kind(*topoName), *nodes)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	// KV workload knobs resolve against the topology-rounded rank count;
+	// the other motifs ignore them.
+	kvp := harness.KVParams{Skew: *v.kvSkew, GapNs: float64(v.kvGap.Nanoseconds()),
+		Ops: *v.kvOps, Servers: *v.kvServers, Clients: *v.kvClients,
+		Keys: *v.kvKeys, Window: *v.kvWindow}
+	isKV := harness.MotifName(*motifName) == harness.MotifKV
+	var kvCfg motif.KVConfig
+	if isKV {
+		kvCfg = kvp.Config(topo.NumNodes(), *seed)
 	}
 
 	// Fault plan: -fault-plan gives the full spec, -drop-rate layers a
@@ -272,7 +229,7 @@ func main() {
 			motifName: *motifName, kind: kind, topoName: *topoName,
 			route: route, nodes: *nodes, gbps: *gbps,
 			rdmaBufs: *rdmaBufs, rvmaDepth: *rvmaDepth,
-			faults: plan, recovery: recCfg,
+			faults: plan, recovery: recCfg, kvp: kvp,
 		}
 		fmt.Printf("motif:      %s\n", *motifName)
 		fmt.Printf("transport:  %s\n", kind)
@@ -335,6 +292,17 @@ func main() {
 		if rs, ok := replayableSpec(*motifName, *transport, *topoName, *routing,
 			*nodes, *gbps, *seed, *rdmaBufs, *rvmaDepth,
 			*faultPlan, *dropRate, *retryBudget, spansOn, *shards); ok {
+			if isKV {
+				// Embed the resolved KV knobs so simdiff's replay rebuilds the
+				// identical proxy plans (skew and gap are meaningful at zero).
+				rs.KVSkew = kvCfg.Skew
+				rs.KVGapNs = kvCfg.Gap.Nanoseconds()
+				rs.KVOps = kvCfg.OpsPerProxy
+				rs.KVServers = kvCfg.Servers
+				rs.KVClients = kvCfg.Clients
+				rs.KVKeys = kvCfg.Keys
+				rs.KVWindow = kvCfg.Window
+			}
 			if *unsafeScale != 1 {
 				// Canary runs embed the broken scale so simdiff's replay
 				// reproduces the divergent chain and pins the first event.
@@ -431,6 +399,7 @@ func main() {
 	}
 
 	var makespan sim.Time
+	var kvRes *motif.KVResult
 	switch harness.MotifName(*motifName) {
 	case harness.MotifSweep3D:
 		makespan, err = motif.RunSweep3D(cluster, motif.DefaultSweep3DConfig(topo.NumNodes()))
@@ -438,10 +407,20 @@ func main() {
 		makespan, err = motif.RunHalo3D(cluster, motif.DefaultHalo3DConfig(topo.NumNodes()))
 	case harness.MotifIncast:
 		makespan, err = motif.RunIncast(cluster, motif.DefaultIncastConfig())
+	case harness.MotifKV:
+		makespan, kvRes, err = motif.RunKV(cluster, kvCfg)
 	default:
 		fail("unknown motif %q", *motifName)
 	}
 	if err != nil {
+		// A wedged KV run still accounts for what it abandoned — print the
+		// accounting before failing so CI can assert it.
+		if kvRes != nil && kvRes.Issued > 0 {
+			fmt.Printf("kv:         %d/%d ops completed (%.1f%%), %d abandoned\n",
+				kvRes.Completed, kvRes.Issued,
+				100*float64(kvRes.Completed)/float64(kvRes.Issued),
+				kvRes.Issued-kvRes.Completed)
+		}
 		fail("%v", err)
 	}
 
@@ -471,6 +450,21 @@ func main() {
 				rs.OpsCompleted, rs.OpsStarted, rs.Recovered, rs.Retransmits,
 				rs.Timeouts, rs.NackRetries, rs.Exhausted, rs.Reclaims)
 		}
+	}
+	if kvRes != nil {
+		fmt.Printf("kv:         %d/%d ops completed (%.1f%%), %d simulated clients via %d proxies (%d touched)\n",
+			kvRes.Completed, kvRes.Issued,
+			100*float64(kvRes.Completed)/float64(kvRes.Issued),
+			kvRes.SimulatedClients, kvRes.Proxies, kvRes.DistinctClients)
+		goodput := 0.0
+		if secs := makespan.Seconds(); secs > 0 {
+			goodput = float64(kvRes.PayloadBytes) * 8 / secs / 1e9
+		}
+		fmt.Printf("kv latency: p50 %v, p99 %v, p99.9 %v; goodput %s; cas-conflicts %d/%d\n",
+			sim.FromNanos(kvRes.Lat.Quantile(0.50)),
+			sim.FromNanos(kvRes.Lat.Quantile(0.99)),
+			sim.FromNanos(kvRes.Lat.Quantile(0.999)),
+			stats.FormatGbps(goodput), kvRes.CASFail, kvRes.CASFail+kvRes.CASOK)
 	}
 	if *doSpans {
 		fmt.Println("\nper-message stage latency:")
@@ -662,6 +656,7 @@ type replicaConfig struct {
 	rvmaDepth int
 	faults    *fabric.FaultPlan
 	recovery  *recovery.Config
+	kvp       harness.KVParams
 }
 
 // runReplica builds a private topology, cluster and engine for one seed
@@ -691,6 +686,8 @@ func runReplica(rep replicaConfig, seed uint64) (sim.Time, uint64, error) {
 		makespan, err = motif.RunHalo3D(cluster, motif.DefaultHalo3DConfig(topo.NumNodes()))
 	case harness.MotifIncast:
 		makespan, err = motif.RunIncast(cluster, motif.DefaultIncastConfig())
+	case harness.MotifKV:
+		makespan, _, err = motif.RunKV(cluster, rep.kvp.Config(topo.NumNodes(), seed))
 	default:
 		err = fmt.Errorf("unknown motif %q", rep.motifName)
 	}

@@ -1,9 +1,42 @@
 package main
 
 import (
+	"flag"
 	"reflect"
 	"testing"
 )
+
+// TestFlagRegistryCoversEveryFlag is the audit-generation guard: every
+// rvmasim flag must be declared through a flagTable row (which forces an
+// explicit replica/shard classification), rows must be unique, and every
+// row must actually register the flag it names. A new flag added via a
+// bare flag.String in main would fail here; a new row automatically
+// lands in the generated replicaUnsupported/shardUnsupported lists the
+// matrix tests drive.
+func TestFlagRegistryCoversEveryFlag(t *testing.T) {
+	fs := flag.NewFlagSet("rvmasim", flag.ContinueOnError)
+	declareFlags(fs)
+	registered := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+	seen := map[string]bool{}
+	for _, row := range flagTable {
+		if seen[row.name] {
+			t.Errorf("duplicate registry row %q", row.name)
+		}
+		seen[row.name] = true
+		if !registered[row.name] {
+			t.Errorf("registry row %q does not register a flag of that name", row.name)
+		}
+	}
+	for name := range registered {
+		if !seen[name] {
+			t.Errorf("flag -%s is registered outside the registry table", name)
+		}
+	}
+	if len(registered) != len(flagTable) {
+		t.Errorf("%d flags registered, %d registry rows", len(registered), len(flagTable))
+	}
+}
 
 // TestReplicaIncompatibleMatrix pins the replica-mode flag audit: every
 // observer flag is rejected when explicitly set alongside -seeds, including
@@ -17,6 +50,12 @@ func TestReplicaIncompatibleMatrix(t *testing.T) {
 	}{
 		{"none set", map[string]bool{}, nil},
 		{"replica flags only", map[string]bool{"seeds": true, "workers": true, "gbps": true}, nil},
+		{
+			"kv workload knobs pass",
+			map[string]bool{"seeds": true, "kv-skew": true, "kv-gap": true, "kv-servers": true,
+				"kv-clients": true, "kv-keys": true, "kv-ops": true, "kv-window": true},
+			nil,
+		},
 		{"trace", map[string]bool{"trace": true}, []string{"trace"}},
 		{"spans", map[string]bool{"spans": true}, []string{"spans"}},
 		{"metrics-out", map[string]bool{"metrics-out": true}, []string{"metrics-out"}},
@@ -88,6 +127,11 @@ func TestShardIncompatibleMatrix(t *testing.T) {
 		want []string
 	}{
 		{"none set", map[string]bool{}, nil},
+		{
+			"kv workload knobs pass",
+			map[string]bool{"shards": true, "kv-skew": true, "kv-gap": true, "kv-ops": true},
+			nil,
+		},
 		{
 			"shard-aware observers pass",
 			map[string]bool{

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+
+	"rvma/internal/fabric"
+	"rvma/internal/metrics"
+	"rvma/internal/motif"
+	"rvma/internal/sim"
+	"rvma/internal/stats"
+	"rvma/internal/topology"
+)
+
+// KVParams is the harness-level parameterization of a KV dataplane cell.
+// Skew is literal (0 means a uniform keyspace) and GapNs <= 0 falls back
+// to the motif default; every other zero field falls back to
+// motif.DefaultKVConfig for the cell's rank count. The sweeps always set
+// Skew and GapNs explicitly, so cell names stay self-describing.
+type KVParams struct {
+	Skew    float64
+	GapNs   float64
+	Ops     int
+	Servers int
+	Clients int
+	Keys    int
+	Window  int
+}
+
+// config resolves the parameters into the motif config a cell runs.
+func (kp KVParams) Config(ranks int, seed uint64) motif.KVConfig {
+	cfg := motif.DefaultKVConfig(ranks)
+	cfg.Seed = seed
+	cfg.Skew = kp.Skew
+	if kp.GapNs > 0 {
+		cfg.Gap = sim.FromNanos(kp.GapNs)
+	}
+	if kp.Ops > 0 {
+		cfg.OpsPerProxy = kp.Ops
+	}
+	if kp.Servers > 0 {
+		cfg.Servers = kp.Servers
+	}
+	if kp.Clients > 0 {
+		cfg.Clients = kp.Clients
+	}
+	if kp.Keys > 0 {
+		cfg.Keys = kp.Keys
+	}
+	if kp.Window > 0 {
+		cfg.Window = kp.Window
+	}
+	return cfg
+}
+
+// KVParamsFor inverts config: the resolved values a run actually used,
+// for embedding into ledger RunSpecs so replays rebuild identical proxy
+// plans. Always fully populated (no zero-means-default ambiguity except
+// the literal Skew/Gap semantics the config carries anyway).
+func KVParamsFor(cfg motif.KVConfig) KVParams {
+	return KVParams{
+		Skew:    cfg.Skew,
+		GapNs:   cfg.Gap.Nanoseconds(),
+		Ops:     cfg.OpsPerProxy,
+		Servers: cfg.Servers,
+		Clients: cfg.Clients,
+		Keys:    cfg.Keys,
+		Window:  cfg.Window,
+	}
+}
+
+// foldKVResult folds a KV cell's application-level outcome into the
+// cell's registry, so metrics snapshots and telemetry carry the kv.*
+// series next to the substrate counters. The result is already merged in
+// rank order, so the fold is byte-stable at any shard or worker count.
+func foldKVResult(reg *metrics.Registry, res *motif.KVResult) {
+	reg.Counter("kv.ops_issued").Add(res.Issued)
+	reg.Counter("kv.ops_completed").Add(res.Completed)
+	reg.Counter("kv.gets").Add(res.Gets)
+	reg.Counter("kv.puts").Add(res.Puts)
+	reg.Counter("kv.cas_ok").Add(res.CASOK)
+	reg.Counter("kv.cas_fail").Add(res.CASFail)
+	reg.Counter("kv.payload_bytes").Add(res.PayloadBytes)
+	reg.Counter("kv.distinct_clients").Add(uint64(res.DistinctClients))
+	reg.Histogram("kv.latency").Merge(res.Lat)
+	reg.Histogram("kv.latency.get").Merge(res.GetLat)
+	reg.Histogram("kv.latency.put").Merge(res.PutLat)
+	reg.Histogram("kv.latency.cas").Merge(res.CASLat)
+}
+
+// kvSkews are the key-popularity exponents the KV table sweeps: uniform,
+// the classic YCSB-like 0.99, and a hotter 1.2 tail.
+var kvSkews = []float64{0, 0.99, 1.2}
+
+// kvLoad is one offered-load point: the proxy inter-issue gap relative
+// to the 2 µs default ("1x").
+type kvLoad struct {
+	label string
+	gapNs float64
+}
+
+// kvLoads spans light load to 4x overload.
+var kvLoads = []kvLoad{
+	{"0.5x", 4000},
+	{"1x", 2000},
+	{"4x", 500},
+}
+
+// kvLossDrop is the loss regime appended to the sweep (at 0.99 skew, 1x
+// load, recovery on): the FaultPlan rate CI's kv-smoke also pins.
+const kvLossDrop = 0.05
+
+// KVTable runs the KV dataplane motif — get/put/CAS from a ~10^6
+// simulated-client population aggregated at edge proxies — across skew,
+// offered load and transport, and reports tail latency (p99/p99.9),
+// goodput, completion and CAS conflict rate. Two loss rows rerun the
+// nominal point under 5% drop with the recovery layer. Cells run on the
+// worker pool like every figure; the table is byte-identical at any
+// worker and shard count.
+func KVTable(o Options) *Table {
+	t := &Table{
+		Title: "KV dataplane: get/put/CAS tails under skew and load (dragonfly/adaptive)",
+		Header: []string{"transport", "skew", "load", "drop", "p50", "p99", "p99.9",
+			"goodput", "complete", "cas-fail", "rexmit"},
+	}
+	if len(o.LinkGbps) == 0 {
+		o.LinkGbps = []float64{100}
+	}
+	nc := NetConfig{"dragonfly/adaptive", topology.KindDragonfly, fabric.RouteAdaptive}
+	var specs []cellSpec
+	for _, skew := range kvSkews {
+		for _, load := range kvLoads {
+			for _, kind := range []motif.TransportKind{motif.KindRVMA, motif.KindRDMA} {
+				specs = append(specs, cellSpec{M: MotifKV, Kind: kind, NC: nc, Gbps: o.LinkGbps[0],
+					KV: KVParams{Skew: skew, GapNs: load.gapNs}})
+			}
+		}
+	}
+	for _, kind := range []motif.TransportKind{motif.KindRVMA, motif.KindRDMA} {
+		specs = append(specs, cellSpec{M: MotifKV, Kind: kind, NC: nc, Gbps: o.LinkGbps[0],
+			KV:    KVParams{Skew: 0.99, GapNs: 2000},
+			Fault: faultSpec{Drop: kvLossDrop, Recover: true, Budget: o.RetryBudget}})
+	}
+	outs := runCells(o, specs)
+	var population *motif.KVResult
+	for _, out := range outs {
+		spec := out.Spec
+		load := "-"
+		for _, l := range kvLoads {
+			if l.gapNs == spec.KV.GapNs {
+				load = l.label
+			}
+		}
+		drop := fmt.Sprintf("%g", spec.Fault.Drop)
+		if err := flushCellOutput(o, out); err != nil {
+			t.AddRow(spec.Kind.String(), fmt.Sprintf("%g", spec.KV.Skew), load, drop,
+				"-", "-", "-", "-", kvCompletion(out.KV), "-", kvStatus(out))
+			t.AddNote("FAILED %s: %v", spec.cellName(), err)
+			continue
+		}
+		res := out.KV
+		if res == nil {
+			t.AddNote("FAILED %s: no KV result", spec.cellName())
+			continue
+		}
+		population = res
+		goodput := "-"
+		if secs := out.Makespan.Seconds(); secs > 0 {
+			goodput = stats.FormatGbps(float64(res.PayloadBytes) * 8 / secs / 1e9)
+		}
+		t.AddRow(spec.Kind.String(), fmt.Sprintf("%g", spec.KV.Skew), load, drop,
+			sim.FromNanos(res.Lat.Quantile(0.50)).String(),
+			sim.FromNanos(res.Lat.Quantile(0.99)).String(),
+			sim.FromNanos(res.Lat.Quantile(0.999)).String(),
+			goodput, kvCompletion(res), kvCASFail(res),
+			fmt.Sprintf("%d", out.Recovery.Retransmits))
+	}
+	if population != nil {
+		t.AddNote("population: %d simulated clients (%d per proxy across %d edge-aggregation proxies, %d touched), %d ops/proxy",
+			population.SimulatedClients, population.ClientsPerProxy, population.Proxies,
+			population.DistinctClients, population.Issued/uint64(population.Proxies))
+	}
+	t.AddNote("load is the inverse proxy issue gap relative to 2µs (1x); 4x is overload")
+	t.AddNote("drop>0 rows rerun the nominal point under uniform loss with timeout/retransmit (budget %d)", defaultRetryBudget(o))
+	t.AddNote("goodput counts application payload only (values and CAS words; headers, padding and retransmits excluded) at link %s",
+		stats.FormatGbps(o.LinkGbps[0]))
+	t.AddNote("cas-fail is the share of CAS ops rejected on a stale version — the hot-key contention signal")
+	return t
+}
+
+// kvCompletion formats completed/issued as a percentage ("-" before any
+// issue).
+func kvCompletion(res *motif.KVResult) string {
+	if res == nil || res.Issued == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(res.Completed)/float64(res.Issued))
+}
+
+// kvCASFail formats the CAS conflict rate ("-" when the mix had no CAS).
+func kvCASFail(res *motif.KVResult) string {
+	total := res.CASOK + res.CASFail
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(res.CASFail)/float64(total))
+}
+
+// kvStatus summarizes a failed KV cell like bareStatus does for fault
+// controls.
+func kvStatus(out cellOutput) string {
+	return bareStatus(out)
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rvma/internal/fabric"
+	"rvma/internal/ledger"
+	"rvma/internal/motif"
+	"rvma/internal/topology"
+)
+
+// readDirBytes reads every file in dir into a name -> contents map.
+func readDirBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	files := make(map[string][]byte)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[ent.Name()] = data
+	}
+	return files
+}
+
+// kvTableArtifacts renders the KV dataplane table at a given worker and
+// shard count and returns the table bytes plus the per-cell canonical
+// ledgers (file name -> parsed ledger) when shards > 0.
+func kvTableArtifacts(t *testing.T, workers, shards int) ([]byte, map[string]ledger.Ledger) {
+	t.Helper()
+	o := DefaultOptions()
+	o.Nodes = 32
+	o.Workers = workers
+	o.Shards = shards
+	if shards > 0 {
+		o.LedgerDir = t.TempDir()
+	}
+	var buf bytes.Buffer
+	KVTable(o).Fprint(&buf)
+	if strings.Contains(buf.String(), "FAILED") {
+		t.Fatalf("workers=%d shards=%d: KV table has failed cells:\n%s", workers, shards, buf.String())
+	}
+	ledgers := make(map[string]ledger.Ledger)
+	if o.LedgerDir != "" {
+		for name, data := range readDirBytes(t, o.LedgerDir) {
+			var led ledger.Ledger
+			if err := json.Unmarshal(data, &led); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ledgers[name] = led
+		}
+	}
+	return buf.Bytes(), ledgers
+}
+
+// TestKVTableSmoke pins the shape of the KV table on the single-heap
+// path: every sweep row renders with real quantiles and goodput, the
+// loss rows appear, and the population note reports the >= 2^20
+// simulated-client fan-in.
+func TestKVTableSmoke(t *testing.T) {
+	table, _ := kvTableArtifacts(t, 1, 0)
+	s := string(table)
+	for _, want := range []string{"p99.9", "cas-fail", "simulated clients", "overload"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("KV table missing %q:\n%s", want, s)
+		}
+	}
+	rows := 0
+	for _, line := range strings.Split(s, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "RVMA") || strings.HasPrefix(trimmed, "RDMA") {
+			rows++
+			if strings.Contains(line, " - ") {
+				t.Errorf("row has blank cells: %q", line)
+			}
+		}
+	}
+	if want := len(kvSkews)*len(kvLoads)*2 + 2; rows != want {
+		t.Errorf("KV table has %d data rows, want %d:\n%s", rows, want, s)
+	}
+}
+
+// TestKVTableIdenticalAcrossWorkersAndShards is the acceptance gate for
+// the KV dataplane figure: the rendered table must be byte-identical at
+// worker counts {1, 4} and shard counts {1, 4}, and every cell's
+// canonical-ledger chain head and event count must match across the
+// whole matrix. This covers both transports, all skew/load points, and
+// the 5% loss + recovery rows in one sweep.
+func TestKVTableIdenticalAcrossWorkersAndShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is 4 full KV sweeps; skipped in -short")
+	}
+	baseTable, baseLedgers := kvTableArtifacts(t, 1, 1)
+	if len(baseLedgers) == 0 {
+		t.Fatal("baseline wrote no ledgers")
+	}
+	for name, led := range baseLedgers {
+		if led.Mode != ledger.ModeCanonical {
+			t.Fatalf("%s: ledger mode %q, want %q", name, led.Mode, ledger.ModeCanonical)
+		}
+		if led.Events == 0 || led.ChainHead == "" {
+			t.Fatalf("%s: empty canonical ledger (events=%d head=%q)", name, led.Events, led.ChainHead)
+		}
+		if led.Run == nil || led.Run.Motif != "kv" {
+			t.Fatalf("%s: ledger run spec does not carry the kv motif: %+v", name, led.Run)
+		}
+	}
+	for _, cfg := range []struct{ workers, shards int }{{4, 1}, {1, 4}, {4, 4}} {
+		table, ledgers := kvTableArtifacts(t, cfg.workers, cfg.shards)
+		if !bytes.Equal(baseTable, table) {
+			t.Errorf("workers=%d shards=%d: table diverged from workers=1 shards=1:\n%s",
+				cfg.workers, cfg.shards, firstDiffContext(baseTable, table))
+		}
+		if len(ledgers) != len(baseLedgers) {
+			t.Fatalf("workers=%d shards=%d: %d ledgers, baseline %d",
+				cfg.workers, cfg.shards, len(ledgers), len(baseLedgers))
+		}
+		for name, b := range baseLedgers {
+			g, ok := ledgers[name]
+			if !ok {
+				t.Errorf("workers=%d shards=%d: missing ledger %s", cfg.workers, cfg.shards, name)
+				continue
+			}
+			if g.ChainHead != b.ChainHead {
+				t.Errorf("workers=%d shards=%d %s: chain head %s, baseline %s",
+					cfg.workers, cfg.shards, name, g.ChainHead, b.ChainHead)
+			}
+			if g.Events != b.Events {
+				t.Errorf("workers=%d shards=%d %s: %d events, baseline %d",
+					cfg.workers, cfg.shards, name, g.Events, b.Events)
+			}
+		}
+	}
+}
+
+// TestKVRunSpecRoundTrip checks runSpecFor/cellSpecFor are inverses for
+// KV cells, including the resolved-default embedding: a cell that left
+// every KVParams field zero except skew/gap must round-trip into a spec
+// whose resolved config is unchanged.
+func TestKVRunSpecRoundTrip(t *testing.T) {
+	o := DefaultOptions()
+	o.Nodes = 32
+	o.Shards = 2
+	nc := NetConfig{"dragonfly/adaptive", topology.KindDragonfly, fabric.RouteAdaptive}
+	spec := cellSpec{M: MotifKV, Kind: motif.KindRVMA, NC: nc, Gbps: 100,
+		KV:    KVParams{Skew: 1.2, GapNs: 500},
+		Fault: faultSpec{Drop: 0.05, Recover: true, Budget: 6}}
+	rs := runSpecFor(spec, o)
+	if rs.Motif != "kv" || rs.KVSkew != 1.2 || rs.KVGapNs != 500 {
+		t.Fatalf("run spec did not carry KV knobs: %+v", rs)
+	}
+	if rs.KVServers == 0 || rs.KVClients == 0 || rs.KVKeys == 0 || rs.KVOps == 0 || rs.KVWindow == 0 {
+		t.Fatalf("run spec did not embed resolved defaults: %+v", rs)
+	}
+	back, err := cellSpecFor(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != MotifKV || back.Fault != spec.Fault {
+		t.Fatalf("round trip lost cell identity: %+v", back)
+	}
+	// The original run resolves defaults against the topology-rounded rank
+	// count, exactly as runSpecFor embeds them.
+	topo, err := topology.ForNodeCount(nc.Kind, o.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := spec.KV.Config(topo.NumNodes(), o.Seed)
+	replay := back.KV.Config(topo.NumNodes(), o.Seed)
+	if orig != replay {
+		t.Fatalf("resolved configs differ:\n orig:   %+v\n replay: %+v", orig, replay)
+	}
+}

@@ -51,6 +51,7 @@ const (
 	MotifSweep3D MotifName = "sweep3d"
 	MotifHalo3D  MotifName = "halo3d"
 	MotifIncast  MotifName = "incast"
+	MotifKV      MotifName = "kv"
 )
 
 // RunMotifPoint runs one motif under one transport on one network
@@ -82,6 +83,10 @@ type cellInstr struct {
 	attrib  *attrib.Collector
 	ledger  *ledger.Recorder
 	cell    string // bench/telemetry label: "motif|network|transport|gbps"
+
+	// kvResult carries the application-level outcome of a KV cell back to
+	// the caller (nil for every other motif, and on cluster-build errors).
+	kvResult *motif.KVResult
 
 	shards int // partition count; 0 = legacy single heap
 	// unsafeScale, when != 0 and != 1, multiplies the shard group's
@@ -162,6 +167,13 @@ func runMotifPoint(spec cellSpec, nodes int, seed uint64, inst *cellInstr) (sim.
 		makespan, err = motif.RunHalo3D(c, motif.DefaultHalo3DConfig(topo.NumNodes()))
 	case MotifIncast:
 		makespan, err = motif.RunIncast(c, motif.DefaultIncastConfig())
+	case MotifKV:
+		var res *motif.KVResult
+		makespan, res, err = motif.RunKV(c, spec.KV.Config(topo.NumNodes(), seed))
+		inst.kvResult = res
+		if res != nil && inst.reg != nil {
+			foldKVResult(inst.reg, res)
+		}
 	default:
 		return 0, c, fmt.Errorf("harness: unknown motif %q", spec.M)
 	}

@@ -36,6 +36,23 @@ func runSpecFor(spec cellSpec, o Options) ledger.RunSpec {
 	if spec.Fault.Recover {
 		rs.RetryBudget = spec.Fault.Budget
 	}
+	if spec.M == MotifKV {
+		// Embed the fully resolved KV knobs — including defaults derived
+		// from the topology-rounded rank count — so a replay rebuilds the
+		// identical proxy plans even on a spec whose cell left them zero.
+		ranks := o.Nodes
+		if topo, err := topology.ForNodeCount(spec.NC.Kind, o.Nodes); err == nil {
+			ranks = topo.NumNodes()
+		}
+		kp := KVParamsFor(spec.KV.Config(ranks, o.Seed))
+		rs.KVSkew = kp.Skew
+		rs.KVGapNs = kp.GapNs
+		rs.KVOps = kp.Ops
+		rs.KVServers = kp.Servers
+		rs.KVClients = kp.Clients
+		rs.KVKeys = kp.Keys
+		rs.KVWindow = kp.Window
+	}
 	return rs
 }
 
@@ -52,7 +69,7 @@ func transportName(k motif.TransportKind) string {
 func cellSpecFor(rs ledger.RunSpec) (cellSpec, error) {
 	var spec cellSpec
 	switch rs.Motif {
-	case string(MotifSweep3D), string(MotifHalo3D), string(MotifIncast):
+	case string(MotifSweep3D), string(MotifHalo3D), string(MotifIncast), string(MotifKV):
 		spec.M = MotifName(rs.Motif)
 	default:
 		return spec, fmt.Errorf("harness: unknown motif %q in run spec", rs.Motif)
@@ -94,6 +111,10 @@ func cellSpecFor(rs ledger.RunSpec) (cellSpec, error) {
 	spec.NC = NetConfig{Name: name, Kind: kind, Routing: routing}
 	spec.Gbps = rs.Gbps
 	spec.Fault = faultSpec{Drop: rs.Drop, Recover: rs.Recover, Budget: rs.RetryBudget}
+	if spec.M == MotifKV {
+		spec.KV = KVParams{Skew: rs.KVSkew, GapNs: rs.KVGapNs, Ops: rs.KVOps,
+			Servers: rs.KVServers, Clients: rs.KVClients, Keys: rs.KVKeys, Window: rs.KVWindow}
+	}
 	return spec, nil
 }
 

@@ -41,6 +41,9 @@ type cellSpec struct {
 	// Fault configures loss injection and recovery for this cell; the
 	// zero value is the default lossless run.
 	Fault faultSpec
+	// KV parameterizes the KV dataplane workload; consulted only when M is
+	// MotifKV.
+	KV KVParams
 }
 
 // faultSpec is a cell's loss/recovery configuration.
@@ -56,6 +59,9 @@ type faultSpec struct {
 // cellName labels the spec for bench records and telemetry file names.
 func (s cellSpec) cellName() string {
 	name := cellName(s.M, s.NC, s.Kind, s.Gbps)
+	if s.M == MotifKV {
+		name += fmt.Sprintf("|skew%g|gap%gns", s.KV.Skew, s.KV.GapNs)
+	}
 	if s.Fault.Drop > 0 {
 		name += fmt.Sprintf("|drop%g", s.Fault.Drop)
 		if s.Fault.Recover {
@@ -95,6 +101,10 @@ type cellOutput struct {
 	// Options.LedgerDir is set). Like Telemetry, it is rendered in the
 	// worker and written during the serial merge phase.
 	Ledger []byte
+	// KV is the application-level outcome of a KV cell (nil for other
+	// motifs). Populated even when the run errored, so a wedged overload
+	// cell still reports what completed.
+	KV *motif.KVResult
 }
 
 // runOneCell executes a single cell against the given registry with the
@@ -129,6 +139,7 @@ func runOneCell(o Options, spec cellSpec, reg *metrics.Registry) cellOutput {
 	}
 	var c *motif.Cluster
 	out.Makespan, c, out.Err = runMotifPoint(spec, o.Nodes, o.Seed, &inst)
+	out.KV = inst.kvResult
 	if c != nil {
 		out.Recovery = c.RecoveryStats()
 		out.Ranks = len(c.Transports)

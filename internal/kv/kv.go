@@ -1,0 +1,135 @@
+// Package kv models the server side of the transactional key-value
+// dataplane built on RVMA mailboxes (ROADMAP item 2): a versioned keyed
+// store that clients reach with get/put/CAS requests. The package holds
+// only the pure data-structure logic — which server owns a key, what a
+// request does to it, what the reply says. Wire transport, pacing,
+// client aggregation and retry live in internal/motif (RunKV); this
+// package must stay deterministic because Apply runs inside server-side
+// engine events.
+//
+// Keys are dense integers [0, Keys) partitioned round-robin across
+// servers: server s owns every key k with k % servers == s, stored
+// slice-indexed at k / servers. Slices rather than maps keep the store
+// free of map-iteration hazards and make state size obvious: one version
+// counter per owned key.
+package kv
+
+import "fmt"
+
+// OpKind is the request verb.
+type OpKind uint8
+
+const (
+	// OpGet reads the key's current version.
+	OpGet OpKind = iota
+	// OpPut unconditionally overwrites, bumping the version.
+	OpPut
+	// OpCAS overwrites only when the caller's expected version matches
+	// the stored one — the read-modify-write op whose acknowledgement
+	// semantics the KV tables measure under contention.
+	OpCAS
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Request is one client operation as it crosses the wire. Expect is only
+// meaningful for OpCAS: the version the caller believes the key holds.
+type Request struct {
+	Key    int
+	Kind   OpKind
+	Expect uint64
+}
+
+// Reply is the server's answer. Version is the key's version after the
+// op (for a failed CAS: the current version, so the caller can refresh
+// its cache). OK is false only for a CAS that lost the race.
+type Reply struct {
+	Version uint64
+	OK      bool
+}
+
+// ServerFor returns the rank-local server index owning key.
+func ServerFor(key, servers int) int { return key % servers }
+
+// Store is one server's shard of the keyspace. It is single-writer: only
+// the owning server rank applies requests, so all fields are plain.
+type Store struct {
+	servers int
+	index   int
+	// versions[k/servers] is the write count of owned key k; version 0
+	// means never written.
+	versions []uint64
+
+	gets, puts, casOK, casFail uint64
+}
+
+// NewStore builds server index's shard of a keys-wide keyspace split
+// across servers.
+func NewStore(keys, servers, index int) *Store {
+	owned := keys / servers
+	if index < keys%servers {
+		owned++
+	}
+	return &Store{servers: servers, index: index, versions: make([]uint64, owned)}
+}
+
+// Apply executes one request against the store and returns the reply.
+// It panics if the key is not owned by this store — routing bugs must be
+// loud, not silently absorbed into another key's slot.
+func (s *Store) Apply(req Request) Reply {
+	if req.Key%s.servers != s.index {
+		panic(fmt.Sprintf("kv: key %d routed to server %d (owner %d)", req.Key, s.index, req.Key%s.servers))
+	}
+	slot := req.Key / s.servers
+	switch req.Kind {
+	case OpGet:
+		s.gets++
+		return Reply{Version: s.versions[slot], OK: true}
+	case OpPut:
+		s.puts++
+		s.versions[slot]++
+		return Reply{Version: s.versions[slot], OK: true}
+	case OpCAS:
+		if s.versions[slot] == req.Expect {
+			s.casOK++
+			s.versions[slot]++
+			return Reply{Version: s.versions[slot], OK: true}
+		}
+		s.casFail++
+		return Reply{Version: s.versions[slot], OK: false}
+	default:
+		panic(fmt.Sprintf("kv: unknown op kind %d", req.Kind))
+	}
+}
+
+// Version returns the current version of an owned key.
+func (s *Store) Version(key int) uint64 {
+	return s.versions[key/s.servers]
+}
+
+// Gets returns the number of get requests applied.
+func (s *Store) Gets() uint64 { return s.gets }
+
+// Puts returns the number of put requests applied.
+func (s *Store) Puts() uint64 { return s.puts }
+
+// CASApplied returns the number of CAS requests that succeeded.
+func (s *Store) CASApplied() uint64 { return s.casOK }
+
+// CASFailed returns the number of CAS requests rejected on a stale
+// expected version — the hot-key contention signal.
+func (s *Store) CASFailed() uint64 { return s.casFail }
+
+// Applied returns the total number of requests applied.
+func (s *Store) Applied() uint64 { return s.gets + s.puts + s.casOK + s.casFail }

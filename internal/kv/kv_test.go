@@ -1,0 +1,96 @@
+package kv
+
+import (
+	"testing"
+
+	"rvma/internal/sim"
+)
+
+func TestStorePartitionAndVersions(t *testing.T) {
+	const keys, servers = 10, 3
+	stores := make([]*Store, servers)
+	owned := 0
+	for s := range stores {
+		stores[s] = NewStore(keys, servers, s)
+		owned += len(stores[s].versions)
+	}
+	if owned != keys {
+		t.Fatalf("stores own %d keys in total, want %d", owned, keys)
+	}
+	for k := 0; k < keys; k++ {
+		s := stores[ServerFor(k, servers)]
+		if got := s.Apply(Request{Key: k, Kind: OpGet}); got.Version != 0 || !got.OK {
+			t.Fatalf("fresh get key %d = %+v, want version 0 ok", k, got)
+		}
+		if got := s.Apply(Request{Key: k, Kind: OpPut}); got.Version != 1 || !got.OK {
+			t.Fatalf("first put key %d = %+v, want version 1 ok", k, got)
+		}
+		if got := s.Version(k); got != 1 {
+			t.Fatalf("key %d version = %d after put, want 1", k, got)
+		}
+	}
+}
+
+func TestStoreCAS(t *testing.T) {
+	s := NewStore(4, 1, 0)
+	s.Apply(Request{Key: 2, Kind: OpPut}) // version 1
+	if got := s.Apply(Request{Key: 2, Kind: OpCAS, Expect: 0}); got.OK {
+		t.Fatalf("stale CAS succeeded: %+v", got)
+	} else if got.Version != 1 {
+		t.Fatalf("failed CAS reply version = %d, want current 1", got.Version)
+	}
+	if got := s.Apply(Request{Key: 2, Kind: OpCAS, Expect: 1}); !got.OK || got.Version != 2 {
+		t.Fatalf("matching CAS = %+v, want ok version 2", got)
+	}
+	if s.CASApplied() != 1 || s.CASFailed() != 1 || s.Applied() != 3 {
+		t.Fatalf("stats = casOK %d casFail %d applied %d, want 1/1/3",
+			s.CASApplied(), s.CASFailed(), s.Applied())
+	}
+}
+
+func TestStoreRejectsForeignKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("applying a foreign key should panic")
+		}
+	}()
+	NewStore(8, 2, 0).Apply(Request{Key: 3, Kind: OpGet})
+}
+
+func TestZipfDeterministicAndInRange(t *testing.T) {
+	const n = 64
+	z := NewZipf(n, 0.99)
+	a, b := sim.NewRNG(7), sim.NewRNG(7)
+	for i := 0; i < 2000; i++ {
+		x, y := z.Sample(a), z.Sample(b)
+		if x != y {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, x, y)
+		}
+		if x < 0 || x >= n {
+			t.Fatalf("draw %d: rank %d out of [0, %d)", i, x, n)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	const n, draws = 256, 20000
+	hot := func(skew float64) int {
+		z := NewZipf(n, skew)
+		rng := sim.NewRNG(42)
+		count := 0
+		for i := 0; i < draws; i++ {
+			if z.Sample(rng) == 0 {
+				count++
+			}
+		}
+		return count
+	}
+	uniform, skewed, hotter := hot(0), hot(0.99), hot(1.2)
+	if uniform < draws/n/4 || uniform > draws/n*4 {
+		t.Fatalf("uniform hot-key count %d far from expected %d", uniform, draws/n)
+	}
+	if !(uniform < skewed && skewed < hotter) {
+		t.Fatalf("hot-key mass should grow with skew: uniform %d, 0.99 %d, 1.2 %d",
+			uniform, skewed, hotter)
+	}
+}

@@ -1,0 +1,51 @@
+package kv
+
+import (
+	"math"
+	"sort"
+
+	"rvma/internal/sim"
+)
+
+// Zipf draws ranks [0, n) with probability proportional to
+// 1/(rank+1)^skew by inverse-transform sampling on a precomputed CDF.
+// skew 0 degenerates to uniform; rank 0 is always the hottest key, so
+// every proxy contends on the same hot keys — exactly the skew the KV
+// tables sweep.
+//
+// The table is built once at setup time, before any engine event runs,
+// and sampling consumes exactly one RNG draw, so a proxy's key sequence
+// is a pure function of its seeded substream regardless of shard or
+// worker count. math.Pow is pure Go (no platform-dependent hardware
+// paths), so the table itself is bit-identical everywhere.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds the sampler for n keys at the given skew exponent.
+// It panics on n <= 0 or negative skew — those are configuration bugs.
+func NewZipf(n int, skew float64) *Zipf {
+	if n <= 0 {
+		panic("kv: zipf needs at least one key")
+	}
+	if skew < 0 {
+		panic("kv: negative zipf skew")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -skew)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // exact, despite rounding in the division
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one rank using a single uniform draw from rng.
+func (z *Zipf) Sample(rng *sim.RNG) int {
+	u := rng.Float64()
+	return sort.Search(len(z.cdf), func(i int) bool { return z.cdf[i] > u })
+}

@@ -34,6 +34,20 @@ type RunSpec struct {
 	Recover bool `json:"recover,omitempty"`
 	// RetryBudget overrides the recovery retry budget when > 0.
 	RetryBudget int `json:"retry_budget,omitempty"`
+	// KV parameters (set only when Motif is "kv"): the resolved workload
+	// knobs of the KV dataplane cell. The harness embeds the values the
+	// run actually used — not the CLI defaults — so a replay rebuilds the
+	// identical proxy plans. KVSkew and KVGapNs are meaningful at zero
+	// (uniform keys / no pacing) and are always applied on replay when
+	// Motif is "kv"; the remaining fields fall back to the motif defaults
+	// when zero.
+	KVSkew    float64 `json:"kv_skew,omitempty"`
+	KVGapNs   float64 `json:"kv_gap_ns,omitempty"`
+	KVOps     int     `json:"kv_ops,omitempty"`
+	KVServers int     `json:"kv_servers,omitempty"`
+	KVClients int     `json:"kv_clients,omitempty"`
+	KVKeys    int     `json:"kv_keys,omitempty"`
+	KVWindow  int     `json:"kv_window,omitempty"`
 	// Shards is the sharded-engine partition count the run used; 0 means
 	// the legacy single-heap path. Any value >= 1 selects the sharded cell
 	// pipeline (canonical ledger mode, spans disabled), so a replay must

@@ -116,6 +116,9 @@ var ModelPackages = map[string]bool{
 	// recovery schedules retry timers and jitter draws on the engine, so
 	// its determinism matters as much as the transports it guards.
 	"rvma/internal/recovery": true,
+	// kv's store Apply runs inside server-side engine events and its zipf
+	// sampler feeds seeded substreams, so both are model code.
+	"rvma/internal/kv": true,
 	// telemetry schedules its sampler ticks on the engine, so it must obey
 	// the same determinism rules as the models it observes.
 	"rvma/internal/telemetry": true,

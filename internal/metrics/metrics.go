@@ -276,7 +276,13 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
-// bucketIndex maps a sample to its bucket.
+// bucketIndex maps a sample to its bucket. Log2 of a value one ulp below
+// an exact power of two can round up to the integer exponent (the log's
+// relative error exceeds the float spacing once the exponent is large
+// enough), which would file the sample one bucket high — a bucket whose
+// lower bound exceeds the sample. Quantile interpolation assumes every
+// sample lies inside its bucket's bounds, so the index is pinned back to
+// the covering bucket before use.
 func bucketIndex(v float64) int {
 	if v < 1 {
 		return 0
@@ -284,7 +290,16 @@ func bucketIndex(v float64) int {
 	if v >= overflowBound {
 		return histBuckets - 1
 	}
-	return 1 + int(math.Floor(math.Log2(v)))
+	i := 1 + int(math.Floor(math.Log2(v)))
+	if i >= histBuckets-1 {
+		i = histBuckets - 2
+	}
+	if lo, _ := bucketBounds(i); v < lo {
+		i--
+	} else if _, hi := bucketBounds(i); v >= hi && i < histBuckets-2 {
+		i++
+	}
+	return i
 }
 
 // bucketBounds returns the value range bucket i covers.
@@ -335,6 +350,14 @@ func (h *Histogram) Max() float64 {
 // interpolation within the matching log bucket, clamped to the observed
 // min/max so single-sample and overflow-bucket queries stay exact.
 // An empty histogram returns 0.
+//
+// Monotonicity contract: Quantile(q1) <= Quantile(q2) for q1 < q2. Every
+// bucket's interpolation interval is clamped into [min, max], which keeps
+// the per-bucket intervals ordered (bucket bounds are ordered and the
+// clamp is monotone), and interpolation within a bucket is increasing in
+// the rank — so a higher quantile can never resolve to a smaller value,
+// even when the tail bucket holds a single sample far below its upper
+// bound (the p99.9-on-sparse-tail case).
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || h.count == 0 {
 		return 0
@@ -365,7 +388,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 				hi = lo
 			}
 			frac := (rank - prev) / float64(c)
-			return lo + (hi-lo)*frac
+			v := lo + (hi-lo)*frac
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
 		}
 	}
 	return h.max
@@ -425,6 +455,7 @@ type histogramJSON struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Sum   float64 `json:"sum"`
@@ -450,7 +481,8 @@ func (r *Registry) WriteJSON(w io.Writer, now sim.Time) error {
 		hists[name] = histogramJSON{
 			Count: h.Count(), Mean: h.Mean(),
 			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
-			Min: h.Min(), Max: h.Max(), Sum: h.total(),
+			P999: h.Quantile(0.999),
+			Min:  h.Min(), Max: h.Max(), Sum: h.total(),
 		}
 	}
 	s := snapshot{
@@ -516,8 +548,8 @@ func (r *Registry) HistogramNames() []string {
 }
 
 // FprintHistograms writes a human-readable latency table of every
-// histogram whose name starts with prefix: count, mean, p50, p99 and max,
-// formatted as durations (histogram values are nanoseconds).
+// histogram whose name starts with prefix: count, mean, p50, p99, p99.9
+// and max, formatted as durations (histogram values are nanoseconds).
 func (r *Registry) FprintHistograms(w io.Writer, prefix string) {
 	if r == nil {
 		return
@@ -532,17 +564,18 @@ func (r *Registry) FprintHistograms(w io.Writer, prefix string) {
 	if rows == 0 {
 		return
 	}
-	fmt.Fprintf(w, "%-36s %9s %12s %12s %12s %12s\n",
-		"stage", "count", "mean", "p50", "p99", "max")
+	fmt.Fprintf(w, "%-36s %9s %12s %12s %12s %12s %12s\n",
+		"stage", "count", "mean", "p50", "p99", "p99.9", "max")
 	for _, n := range names {
 		if len(n) < len(prefix) || n[:len(prefix)] != prefix {
 			continue
 		}
 		h := r.hists[n]
-		fmt.Fprintf(w, "%-36s %9d %12s %12s %12s %12s\n",
+		fmt.Fprintf(w, "%-36s %9d %12s %12s %12s %12s %12s\n",
 			n, h.Count(),
 			fmtNanos(h.Mean()), fmtNanos(h.Quantile(0.5)),
-			fmtNanos(h.Quantile(0.99)), fmtNanos(h.Max()))
+			fmtNanos(h.Quantile(0.99)), fmtNanos(h.Quantile(0.999)),
+			fmtNanos(h.Max()))
 	}
 }
 

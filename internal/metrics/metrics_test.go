@@ -134,6 +134,64 @@ func TestHistogramQuantilesMonotone(t *testing.T) {
 	}
 }
 
+// TestBucketIndexBoundaries pins the sample-to-bucket invariant that
+// Quantile interpolation relies on: every sample lands in a bucket whose
+// bounds contain it. Values one ulp below a power of two are the
+// adversarial case — math.Log2 rounds them up to the exact exponent once
+// the exponent is large enough, which used to file them one bucket high.
+func TestBucketIndexBoundaries(t *testing.T) {
+	for e := 1; e < histBuckets-2; e++ {
+		exact := math.Exp2(float64(e))
+		for _, v := range []float64{exact, math.Nextafter(exact, 0), math.Nextafter(exact, math.Inf(1))} {
+			if v >= overflowBound {
+				continue
+			}
+			i := bucketIndex(v)
+			lo, hi := bucketBounds(i)
+			if v < lo || v >= hi {
+				t.Fatalf("bucketIndex(%v) = %d with bounds [%v, %v); sample outside its bucket", v, i, lo, hi)
+			}
+		}
+	}
+}
+
+// TestHistogramSparseTailQuantilesMonotone is the regression test for the
+// p99.9-on-sparse-tail bug: a dense low bucket plus a single far-tail
+// sample one ulp below a power of two. The tail sample used to be filed
+// above its covering bucket, so interpolating a quantile inside the tail
+// bucket returned the bucket's lower bound — a value above the observed
+// max, making Quantile(0.999) > Quantile(1).
+func TestHistogramSparseTailQuantilesMonotone(t *testing.T) {
+	adversarial := [][]float64{
+		{math.Nextafter(1<<40, 0)},
+		{math.Nextafter(1<<35, 0), math.Nextafter(1<<40, 0)},
+		{1<<20 + 1, math.Nextafter(1<<41, 0)},
+	}
+	for _, tail := range adversarial {
+		var h Histogram
+		for i := 0; i < 500; i++ {
+			h.Observe(3)
+		}
+		for _, v := range tail {
+			h.Observe(v)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.995, 0.998, 0.999, 0.9995, 0.9999, 1} {
+			got := h.Quantile(q)
+			if got < prev {
+				t.Fatalf("tail %v: Quantile(%v) = %v < previous %v; quantiles must be monotone", tail, q, got, prev)
+			}
+			if got < h.Min() || got > h.Max() {
+				t.Fatalf("tail %v: Quantile(%v) = %v outside [min=%v, max=%v]", tail, q, got, h.Min(), h.Max())
+			}
+			prev = got
+		}
+		if got := h.Quantile(1); got != h.Max() {
+			t.Fatalf("tail %v: Quantile(1) = %v, want exact max %v", tail, got, h.Max())
+		}
+	}
+}
+
 func TestSpanStages(t *testing.T) {
 	r := NewRegistry()
 	r.EnableSpans()

@@ -40,6 +40,15 @@ single-heap; it is skipped only between a shards=0 run and a sharded
 one, because the legacy path attaches span instrumentation that itself
 schedules model events, so its counts are legitimately different.
 
+Cells present in only one log are not errors: a cell in the current run
+with no baseline counterpart (a newly added experiment family, e.g. the
+kv dataplane) is reported as "new, no baseline" and exempt from every
+check, and a baseline cell missing from the current run is reported as
+"absent from current". Only a pair of logs with no shared cells *and* no
+new cells fails — that means the current log is empty or the files are
+unrelated. When no cells are shared at all, the aggregate events/sec
+compares different workloads, so it is printed but not regression-checked.
+
 The full per-cell delta table (events/sec baseline vs current, delta %)
 always prints to stdout; when $GITHUB_STEP_SUMMARY is set it is also
 appended there as a markdown table, so every CI run shows the per-cell
@@ -63,10 +72,12 @@ def shards_of(rec):
     return rec.get("shards", 0)
 
 
-def delta_rows(shared, base_cells, cur_cells):
-    """One (cell, base_eps, cur_eps, delta_or_None, note) row per shared
-    cell. Cells run at different shard counts get a note and delta=None:
-    their events/sec are not comparable."""
+def delta_rows(shared, base_cells, cur_cells, new_cells=(), gone_cells=()):
+    """One (cell, base_eps, cur_eps, delta_or_None, note) row per cell.
+    Shared cells run at different shard counts get a note and delta=None
+    (their events/sec are not comparable), as do cells present in only
+    one log: current-only cells are "new, no baseline", baseline-only
+    cells are "absent from current"."""
     rows = []
     for cell in shared:
         b, c = base_cells[cell], cur_cells[cell]
@@ -78,6 +89,12 @@ def delta_rows(shared, base_cells, cur_cells):
             continue
         delta = (c_eps - b_eps) / b_eps if b_eps > 0 and c_eps > 0 else None
         rows.append((cell, b_eps, c_eps, delta, ""))
+    for cell in new_cells:
+        c_eps = cur_cells[cell].get("events_per_sec", 0.0)
+        rows.append((cell, 0.0, c_eps, None, "new, no baseline"))
+    for cell in gone_cells:
+        b_eps = base_cells[cell].get("events_per_sec", 0.0)
+        rows.append((cell, b_eps, 0.0, None, "absent from current"))
     return rows
 
 
@@ -121,6 +138,10 @@ def main(argv):
 
     failures = []
 
+    shared = sorted(set(base_cells) & set(cur_cells))
+    new_cells = sorted(set(cur_cells) - set(base_cells))
+    gone_cells = sorted(set(base_cells) - set(cur_cells))
+
     base_agg = base_summary.get("events_per_sec_aggregate", 0.0)
     cur_agg = cur_summary.get("events_per_sec_aggregate", 0.0)
     base_shards = base_summary.get("shards", 0)
@@ -133,6 +154,9 @@ def main(argv):
             print(f"note: shard counts differ (baseline {base_shards}, "
                   f"current {cur_shards}); aggregate throughput not "
                   f"regression-checked")
+        elif not shared:
+            print("note: no shared cells (different workloads); aggregate "
+                  "throughput not regression-checked")
         elif drop > threshold:
             failures.append(
                 f"aggregate events/sec dropped {drop:.1%} "
@@ -140,10 +164,12 @@ def main(argv):
     else:
         failures.append("missing events_per_sec_aggregate in summary")
 
-    shared = sorted(set(base_cells) & set(cur_cells))
-    if not shared:
+    if not shared and not new_cells:
         failures.append("no cells shared between baseline and current run")
-    rows = delta_rows(shared, base_cells, cur_cells)
+    elif new_cells:
+        print(f"note: {len(new_cells)} cell(s) new in current run, "
+              f"no baseline to compare")
+    rows = delta_rows(shared, base_cells, cur_cells, new_cells, gone_cells)
     print_delta_table(rows)
     append_step_summary(rows, base_agg, cur_agg)
     regressed = []
@@ -179,8 +205,12 @@ def main(argv):
         for f in failures:
             print(f"FAIL: {f}")
         return 1
-    skipped = len(shared) - comparable
-    note = f" ({skipped} skipped: shard counts differ)" if skipped else ""
+    notes = []
+    if skipped := len(shared) - comparable:
+        notes.append(f"{skipped} skipped: shard counts differ")
+    if new_cells:
+        notes.append(f"{len(new_cells)} new, no baseline")
+    note = f" ({'; '.join(notes)})" if notes else ""
     print(f"OK: {comparable} cells within {threshold:.0%} of baseline{note}")
     return 0
 
